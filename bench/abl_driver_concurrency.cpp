@@ -1,0 +1,43 @@
+// Ablation: driver fault-service concurrency. The host runtime services
+// fault batches with limited parallelism; more concurrent operations overlap
+// more 20 us service latencies, but also raise the number of chunks pinned
+// at once (capacity pressure on small footprints). Sweep 1..32 under the
+// baseline and CPPE.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace uvmsim;
+using namespace uvmsim::bench;
+
+int main() {
+  print_header("Ablation: driver fault-service concurrency",
+               "design-choice ablation (DESIGN.md) — not a paper figure");
+
+  const std::vector<std::string> workloads = {"2DC", "NW", "SRD", "HYB"};
+  for (const auto& [stack, base_pol] :
+       {std::pair{std::string("baseline"), presets::baseline()},
+        std::pair{std::string("CPPE"), presets::cppe()}}) {
+    std::vector<std::pair<std::string, PolicyConfig>> policies;
+    for (u32 conc : {1u, 2u, 4u, 8u, 16u, 32u}) {
+      PolicyConfig c = base_pol;
+      c.driver_concurrency = conc;
+      policies.emplace_back("conc=" + std::to_string(conc), c);
+    }
+    const auto results = run_sweep(cross(workloads, policies, {0.5}));
+    const ResultIndex idx(results);
+
+    std::cout << "--- " << stack << " (speedup over conc=1) ---\n";
+    std::vector<std::string> headers = {"concurrency"};
+    for (const auto& w : workloads) headers.push_back(w);
+    TextTable t(std::move(headers));
+    for (const auto& [label, pol] : policies) {
+      std::vector<std::string> row = {label};
+      for (const auto& w : workloads)
+        row.push_back(fmt(idx.at(w, label, 0.5).speedup_vs(idx.at(w, "conc=1", 0.5))) + "x");
+      t.add_row(std::move(row));
+    }
+    std::cout << t.str() << "\n";
+  }
+  return 0;
+}

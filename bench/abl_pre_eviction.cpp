@@ -1,0 +1,51 @@
+// Ablation: pre-eviction watermark. The paper's baseline (after Ganguly et
+// al.) pre-evicts a chunk each time so eviction work stays off the fault
+// critical path; with the watermark at 0 every eviction is paid
+// synchronously inside the 20 us fault service. Sweep 0..4 chunks on
+// eviction-heavy workloads under both the baseline stack and CPPE.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace uvmsim;
+using namespace uvmsim::bench;
+
+int main() {
+  print_header("Ablation: pre-eviction watermark (chunks kept free)",
+               "design-choice ablation (DESIGN.md) — not a paper figure");
+
+  const std::vector<std::string> workloads = {"2DC", "SRD", "MVT", "HIS"};
+  for (const auto& [stack, base_pol] :
+       {std::pair{std::string("baseline (LRU+locality)"), presets::baseline()},
+        std::pair{std::string("CPPE"), presets::cppe()}}) {
+    std::vector<std::pair<std::string, PolicyConfig>> policies;
+    for (u32 w : {0u, 1u, 2u, 4u}) {
+      PolicyConfig c = base_pol;
+      c.pre_evict_watermark_chunks = w;
+      policies.emplace_back("watermark=" + std::to_string(w), c);
+    }
+    const auto results = run_sweep(cross(workloads, policies, {0.5}));
+    const ResultIndex idx(results);
+
+    std::cout << "--- " << stack << " ---\n";
+    std::vector<std::string> headers = {"watermark"};
+    for (const auto& w : workloads) headers.push_back(w);
+    headers.push_back("geomean");
+    TextTable t(std::move(headers));
+    for (const auto& [label, pol] : policies) {
+      std::vector<std::string> row = {label};
+      std::vector<double> sps;
+      for (const auto& w : workloads) {
+        const double sp =
+            idx.at(w, label, 0.5).speedup_vs(idx.at(w, "watermark=0", 0.5));
+        sps.push_back(sp);
+        row.push_back(fmt(sp) + "x");
+      }
+      row.push_back(fmt(geomean(sps)) + "x");
+      t.add_row(std::move(row));
+    }
+    std::cout << t.str() << "\n";
+  }
+  std::cout << "(speedup over watermark=0, i.e. fully synchronous demand eviction)\n";
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Ablation: sensitivity of CPPE to its secondary design parameters —
+// interval length, the pattern-recording threshold (untouch >= 8), and the
+// wrong-eviction buffer scaling. The paper fixes these (§IV-B/§VI-A);
+// this bench verifies the chosen values sit on stable plateaus.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace uvmsim;
+using namespace uvmsim::bench;
+
+namespace {
+
+void sweep(const std::string& title,
+           const std::vector<std::pair<std::string, PolicyConfig>>& policies,
+           const std::vector<std::string>& workloads) {
+  const auto results = run_sweep(cross(workloads, policies, {0.5}));
+  const ResultIndex idx(results);
+
+  std::vector<std::string> headers = {title};
+  for (const auto& w : workloads) headers.push_back(w);
+  headers.push_back("geomean");
+  TextTable t(std::move(headers));
+  for (const auto& [label, pol] : policies) {
+    std::vector<std::string> row = {label};
+    std::vector<double> sps;
+    for (const auto& w : workloads) {
+      const double sp =
+          idx.at(w, label, 0.5).speedup_vs(idx.at(w, policies.front().first, 0.5));
+      sps.push_back(sp);
+      row.push_back(fmt(sp) + "x");
+    }
+    row.push_back(fmt(geomean(sps)) + "x");
+    t.add_row(std::move(row));
+  }
+  std::cout << t.str() << "\n";
+}
+
+}  // namespace
+
+int main() {
+  print_header("Ablation: CPPE secondary parameters",
+               "design-choice ablations (DESIGN.md) — not paper figures");
+  const std::vector<std::string> workloads = {"NW", "MVT", "SRD", "HIS", "B+T"};
+
+  {
+    std::vector<std::pair<std::string, PolicyConfig>> policies;
+    for (u32 iv : {64u, 16u, 32u, 128u, 256u}) {
+      PolicyConfig c = presets::cppe();
+      c.interval_faults = iv;
+      policies.emplace_back("interval=" + std::to_string(iv), c);
+    }
+    std::cout << "--- interval length (pages migrated per interval; paper: 64) ---\n";
+    sweep("interval", policies, workloads);
+  }
+  {
+    std::vector<std::pair<std::string, PolicyConfig>> policies;
+    for (u32 mu : {8u, 2u, 4u, 12u, 14u}) {
+      PolicyConfig c = presets::cppe();
+      c.pattern_min_untouch = mu;
+      policies.emplace_back("min_untouch=" + std::to_string(mu), c);
+    }
+    std::cout << "--- pattern-recording threshold (paper: untouch >= 8) ---\n";
+    sweep("threshold", policies, workloads);
+  }
+  {
+    std::vector<std::pair<std::string, PolicyConfig>> policies;
+    for (u32 div : {64u, 16u, 32u, 128u}) {
+      PolicyConfig c = presets::cppe();
+      c.wrong_evict_chain_divisor = div;
+      policies.emplace_back("chain/" + std::to_string(div), c);
+    }
+    std::cout << "--- wrong-eviction buffer scaling (paper: 8 * chain/64) ---\n";
+    sweep("buffer", policies, workloads);
+  }
+  std::cout << "(each row normalised to the paper's setting, the first row)\n";
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Shared helpers for the per-figure/per-table bench binaries.
+#pragma once
+
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/policy_factory.hpp"
+#include "harness/experiment.hpp"
+#include "harness/report.hpp"
+#include "harness/runner.hpp"
+#include "workloads/benchmarks.hpp"
+
+namespace uvmsim::bench {
+
+/// Cartesian product of workloads x labelled policies x oversubscription
+/// rates, in deterministic order (workload-major).
+inline std::vector<ExperimentSpec> cross(
+    const std::vector<std::string>& workloads,
+    const std::vector<std::pair<std::string, PolicyConfig>>& policies,
+    const std::vector<double>& oversubs) {
+  std::vector<ExperimentSpec> specs;
+  for (const auto& w : workloads)
+    for (double ov : oversubs)
+      for (const auto& [label, pol] : policies) {
+        ExperimentSpec s;
+        s.workload = w;
+        s.label = label;
+        s.policy = pol;
+        s.oversub = ov;
+        specs.push_back(std::move(s));
+      }
+  return specs;
+}
+
+/// Index results as (workload, label, oversub) -> RunResult.
+struct ResultIndex {
+  std::map<std::tuple<std::string, std::string, double>, RunResult> map;
+
+  explicit ResultIndex(const std::vector<LabelledResult>& results) {
+    for (const auto& r : results)
+      map.emplace(std::make_tuple(r.spec.workload, r.spec.label, r.spec.oversub),
+                  r.result);
+  }
+
+  [[nodiscard]] const RunResult& at(const std::string& w, const std::string& label,
+                                    double ov) const {
+    return map.at(std::make_tuple(w, label, ov));
+  }
+};
+
+/// Pattern-type roman numeral for table annotation.
+inline std::string type_of(const std::string& abbr) {
+  for (const auto& b : benchmark_table())
+    if (b.abbr == abbr) {
+      switch (b.type) {
+        case PatternType::kStreaming: return "I";
+        case PatternType::kPartlyRepetitive: return "II";
+        case PatternType::kMostlyRepetitive: return "III";
+        case PatternType::kThrashing: return "IV";
+        case PatternType::kRepetitiveThrashing: return "V";
+        case PatternType::kRegionMoving: return "VI";
+      }
+    }
+  return "?";
+}
+
+inline void print_header(const std::string& title, const std::string& paper_ref) {
+  std::cout << "==== " << title << " ====\n"
+            << "reproduces: " << paper_ref << "\n"
+            << "(shape comparison; absolute numbers differ from the paper's "
+               "testbed — see EXPERIMENTS.md)\n\n";
+}
+
+}  // namespace uvmsim::bench

@@ -1,0 +1,114 @@
+// google-benchmark micro-benchmarks of the simulator's hot structures:
+// chunk-chain operations, MHPE victim search, TLB lookups, pattern-buffer
+// planning, and the event queue. These bound the simulator's own throughput
+// (and, for the policy structures, the cost a real driver would pay).
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "mem/set_assoc_cache.hpp"
+#include "policy/chunk_chain.hpp"
+#include "policy/lru.hpp"
+#include "policy/mhpe.hpp"
+#include "prefetch/pattern_aware.hpp"
+#include "sim/event_queue.hpp"
+#include "tlb/tlb.hpp"
+
+namespace uvmsim {
+namespace {
+
+void BM_ChunkChainInsertErase(benchmark::State& state) {
+  ChunkChain chain;
+  ChunkId next = 0;
+  for (; next < 1024; ++next) chain.insert(next);
+  for (auto _ : state) {
+    chain.erase(next - 1024);
+    chain.insert(next);
+    ++next;
+  }
+}
+BENCHMARK(BM_ChunkChainInsertErase);
+
+void BM_ChunkChainMoveToTail(benchmark::State& state) {
+  ChunkChain chain;
+  for (ChunkId c = 0; c < 1024; ++c) chain.insert(c);
+  Xoshiro256 rng(1);
+  for (auto _ : state) chain.move_to_tail(rng.below(1024));
+}
+BENCHMARK(BM_ChunkChainMoveToTail);
+
+void BM_MhpeSelectVictim(benchmark::State& state) {
+  ChunkChain chain(64);
+  PolicyConfig cfg;
+  for (ChunkId c = 0; c < static_cast<ChunkId>(state.range(0)); ++c) {
+    ChunkEntry& e = chain.insert(c);
+    e.resident = TouchBits::all();
+    e.touched = TouchBits::all();
+  }
+  chain.note_pages_migrated(128);  // everything old
+  MhpePolicy pol(chain, cfg);
+  for (auto _ : state) benchmark::DoNotOptimize(pol.select_victim());
+}
+BENCHMARK(BM_MhpeSelectVictim)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_LruSelectVictim(benchmark::State& state) {
+  ChunkChain chain;
+  for (ChunkId c = 0; c < 1024; ++c) chain.insert(c);
+  LruPolicy pol(chain);
+  for (auto _ : state) benchmark::DoNotOptimize(pol.select_victim());
+}
+BENCHMARK(BM_LruSelectVictim);
+
+void BM_TlbLookupHit(benchmark::State& state) {
+  Tlb tlb("t", 128, 0, 1);
+  for (PageId p = 0; p < 128; ++p) tlb.fill(p);
+  Xoshiro256 rng(1);
+  Cycle now = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tlb.lookup(now, rng.below(128)));
+    now += 2;
+  }
+}
+BENCHMARK(BM_TlbLookupHit);
+
+void BM_SetAssocCacheInsert(benchmark::State& state) {
+  SetAssocCache cache(512, 16);
+  u64 tag = 0;
+  for (auto _ : state) benchmark::DoNotOptimize(cache.insert(tag++));
+}
+BENCHMARK(BM_SetAssocCacheInsert);
+
+void BM_PatternBufferPlan(benchmark::State& state) {
+  PolicyConfig cfg;
+  PatternAwarePrefetcher pf(cfg);
+  TouchBits stride2;
+  for (u32 i = 0; i < kChunkPages; i += 2) stride2.set(i);
+  for (ChunkId c = 0; c < 512; ++c) pf.on_chunk_evicted(c, stride2);
+
+  struct View final : ResidencyView {
+    [[nodiscard]] bool is_resident(PageId) const override { return false; }
+    [[nodiscard]] PageId footprint_pages() const override { return 512 * kChunkPages; }
+  } view;
+  Xoshiro256 rng(1);
+  for (auto _ : state) {
+    const PageId p = rng.below(512) * kChunkPages;  // always pattern-matching
+    benchmark::DoNotOptimize(pf.plan(p, view));
+  }
+}
+BENCHMARK(BM_PatternBufferPlan);
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    EventQueue eq;
+    int sink = 0;
+    for (int i = 0; i < 1000; ++i)
+      eq.schedule_at(static_cast<Cycle>(i * 7 % 997), [&sink] { ++sink; });
+    eq.run();
+    benchmark::DoNotOptimize(sink);
+  }
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+}  // namespace
+}  // namespace uvmsim
+
+BENCHMARK_MAIN();

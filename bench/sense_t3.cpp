@@ -1,0 +1,53 @@
+// §VI-A T3 sensitivity: sweep the forward-distance limit over 16..40
+// (stride 4) for the applications the paper says keep adjusting at runtime
+// (SRD, HSD, MRQ). Reported as speedup over the LRU+locality baseline.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace uvmsim;
+using namespace uvmsim::bench;
+
+int main() {
+  print_header("T3 sensitivity: forward-distance limit sweep 16..40",
+               "Section VI-A (threshold selection for T3)");
+
+  const std::vector<std::string> workloads = {"SRD", "HSD", "MRQ"};
+  std::vector<std::pair<std::string, PolicyConfig>> policies = {
+      {"baseline", presets::baseline()}};
+  for (u32 t3 = 16; t3 <= 40; t3 += 4) {
+    PolicyConfig c = presets::cppe();
+    c.t3_forward_limit = t3;
+    policies.emplace_back("T3=" + std::to_string(t3), c);
+  }
+  const auto results = run_sweep(cross(workloads, policies, {0.5}));
+  const ResultIndex idx(results);
+
+  std::vector<std::string> headers = {"T3"};
+  for (const auto& w : workloads) headers.push_back(w);
+  headers.push_back("geomean");
+  TextTable t(std::move(headers));
+
+  double best_gm = 0.0;
+  u32 best_t3 = 0;
+  for (u32 t3 = 16; t3 <= 40; t3 += 4) {
+    const std::string label = "T3=" + std::to_string(t3);
+    std::vector<std::string> row = {label};
+    std::vector<double> sps;
+    for (const auto& w : workloads) {
+      const double sp = idx.at(w, label, 0.5).speedup_vs(idx.at(w, "baseline", 0.5));
+      sps.push_back(sp);
+      row.push_back(fmt(sp) + "x");
+    }
+    const double gm = geomean(sps);
+    row.push_back(fmt(gm) + "x");
+    t.add_row(std::move(row));
+    if (gm > best_gm) {
+      best_gm = gm;
+      best_t3 = t3;
+    }
+  }
+  std::cout << t.str() << "\nbest average at T3=" << best_t3
+            << " (paper selects 32)\n";
+  return 0;
+}

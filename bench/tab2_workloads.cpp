@@ -1,0 +1,20 @@
+// Table II: workload characteristics (paper footprints and the 1/4-scaled
+// footprints this reproduction simulates).
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace uvmsim;
+
+int main() {
+  bench::print_header("Table II: Workload characteristics", "Table II");
+  TextTable t({"abbr", "workload", "suite", "paper MB", "sim pages", "sim MB",
+               "access pattern type"});
+  for (const auto& b : benchmark_table()) {
+    const u64 pages = scaled_pages(b.paper_mb);
+    t.add_row({b.abbr, b.name, b.suite, fmt(b.paper_mb, 1), std::to_string(pages),
+               fmt(static_cast<double>(pages) * 4.0 / 1024.0, 1), to_string(b.type)});
+  }
+  std::cout << t.str();
+  return 0;
+}

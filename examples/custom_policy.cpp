@@ -1,0 +1,108 @@
+// Example: extending the library with a user-defined eviction policy.
+//
+// The factory presets cover the paper's policies; research use means writing
+// new ones. This example implements CLOCK (second-chance) over the chunk
+// chain and wires it into the lower-level driver/GPU API directly — the same
+// API UvmSystem uses internally — then races it against LRU and MHPE on a
+// thrashing workload.
+//
+//   ./build/examples/custom_policy
+#include <iostream>
+#include <memory>
+#include <unordered_set>
+
+#include "core/policy_factory.hpp"
+#include "gpu/gpu.hpp"
+#include "harness/report.hpp"
+#include "policy/eviction_policy.hpp"
+#include "sim/event_queue.hpp"
+#include "uvm/driver.hpp"
+#include "workloads/benchmarks.hpp"
+
+using namespace uvmsim;
+
+namespace {
+
+/// CLOCK / second-chance at chunk granularity: sweep from the LRU end; a
+/// chunk touched since the last sweep visit gets a second chance (its
+/// reference state is consumed), the first chunk without one is evicted.
+/// The "reference bit" is derived from the chain's touch-interval stamp.
+class ClockPolicy final : public EvictionPolicy {
+ public:
+  using EvictionPolicy::EvictionPolicy;
+
+  [[nodiscard]] ChunkId select_victim() override {
+    ChunkId fallback = kInvalidChunk;
+    for (auto& e : chain()) {
+      if (e.pinned()) continue;
+      if (fallback == kInvalidChunk) fallback = e.id;
+      if (referenced_.erase(e.id) > 0) continue;  // second chance consumed
+      return e.id;
+    }
+    return fallback;  // everyone had a second chance: plain LRU order
+  }
+
+  void on_page_touched(ChunkEntry& e, u32 /*page*/) override {
+    referenced_.insert(e.id);
+  }
+
+  void on_chunk_evicted(const ChunkEntry& e) override { referenced_.erase(e.id); }
+
+  // Keep arrival order (like MHPE) — CLOCK's recency lives in the ref bits.
+  [[nodiscard]] bool reorder_on_touch() const override { return false; }
+  [[nodiscard]] std::string name() const override { return "CLOCK"; }
+
+ private:
+  std::unordered_set<ChunkId> referenced_;
+};
+
+/// Run one workload/policy pair on the low-level API and return total cycles.
+Cycle run_once(const Workload& wl, std::unique_ptr<EvictionPolicy> (*make)(UvmDriver&),
+               PrefetchKind prefetch, double oversub) {
+  EventQueue eq;
+  SystemConfig sys;
+  PolicyConfig pol;
+  pol.prefetch = prefetch;
+  const u64 footprint = wl.footprint_pages();
+  const auto capacity = static_cast<u64>(oversub * static_cast<double>(footprint));
+  UvmDriver driver(eq, sys, pol, footprint, capacity);
+  driver.set_policy(make(driver));
+  driver.set_prefetcher(make_prefetcher(pol));
+  Gpu gpu(eq, sys, driver, wl, pol.seed);
+  gpu.launch();
+  eq.run();
+  return gpu.finish_cycle();
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Custom eviction policy demo: CLOCK vs LRU vs MHPE\n\n";
+  TextTable t({"workload", "LRU", "CLOCK", "MHPE", "CLOCK vs LRU", "MHPE vs LRU"});
+  // Note: on purely cyclic patterns (SRD) CLOCK degenerates to LRU — every
+  // chunk is referenced between sweep visits — so identical cycle counts
+  // there are the correct result, not a wiring bug.
+  for (const char* abbr : {"SRD", "KMN", "BKP", "2DC", "B+T"}) {
+    const auto wl = make_benchmark(abbr);
+    const Cycle lru = run_once(
+        *wl, +[](UvmDriver& d) { return make_eviction_policy(presets::baseline(), d.chain()); },
+        PrefetchKind::kLocality, 0.5);
+    const Cycle clock = run_once(
+        *wl,
+        +[](UvmDriver& d) -> std::unique_ptr<EvictionPolicy> {
+          return std::make_unique<ClockPolicy>(d.chain());
+        },
+        PrefetchKind::kLocality, 0.5);
+    const Cycle mhpe = run_once(
+        *wl, +[](UvmDriver& d) { return make_eviction_policy(presets::cppe(), d.chain()); },
+        PrefetchKind::kPatternAware, 0.5);
+    t.add_row({abbr, std::to_string(lru), std::to_string(clock), std::to_string(mhpe),
+               fmt(static_cast<double>(lru) / static_cast<double>(clock)) + "x",
+               fmt(static_cast<double>(lru) / static_cast<double>(mhpe)) + "x"});
+  }
+  std::cout << t.str()
+            << "\nWriting a policy = subclassing EvictionPolicy (one virtual for"
+               " victim selection,\noptional hooks for touches/faults/intervals)"
+               " and handing it to UvmDriver::set_policy.\n";
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Example: sweep the oversubscription rate for one workload and compare
+// policy stacks side by side — the experiment you'd run to size GPU memory
+// for a workload, or to pick a policy for a deployment.
+//
+//   ./build/examples/oversubscription_sweep [ABBR]
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/policy_factory.hpp"
+#include "harness/report.hpp"
+#include "harness/runner.hpp"
+#include "workloads/benchmarks.hpp"
+
+using namespace uvmsim;
+
+int main(int argc, char** argv) {
+  const std::string abbr = argc > 1 ? argv[1] : "SRD";
+  const std::vector<double> rates = {1.0, 0.9, 0.75, 0.5, 0.35};
+  const std::vector<std::pair<std::string, PolicyConfig>> policies = {
+      {"baseline", presets::baseline()},
+      {"random", presets::random_evict()},
+      {"reserved-20%", presets::reserved_lru(0.20)},
+      {"CPPE", presets::cppe()},
+  };
+
+  // Build the full grid and run it across all cores.
+  std::vector<ExperimentSpec> specs;
+  for (double ov : rates)
+    for (const auto& [label, pol] : policies) {
+      ExperimentSpec s;
+      s.workload = abbr;
+      s.label = label;
+      s.policy = pol;
+      s.oversub = ov;
+      specs.push_back(std::move(s));
+    }
+  const auto results = run_sweep(specs);
+
+  std::cout << "Oversubscription sweep for " << abbr << " (cycles; lower is better)\n\n";
+  TextTable t({"fits in memory", "baseline", "random", "reserved-20%", "CPPE",
+               "CPPE speedup"});
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    const auto* row = &results[i * policies.size()];
+    std::vector<std::string> cells = {fmt(rates[i] * 100, 0) + "%"};
+    for (std::size_t p = 0; p < policies.size(); ++p)
+      cells.push_back(std::to_string(row[p].result.cycles));
+    cells.push_back(fmt(row[3].result.speedup_vs(row[0].result)) + "x");
+    t.add_row(std::move(cells));
+  }
+  std::cout << t.str()
+            << "\nAt 100% everything fits: the policies tie. The gap opens as "
+               "memory shrinks.\n";
+  return 0;
+}

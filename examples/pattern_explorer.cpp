@@ -1,0 +1,61 @@
+// Example: inspect what MHPE and the pattern buffer actually observed for a
+// workload — the per-interval untouch levels (the signal behind T1/T2), the
+// chosen strategy and forward distance, wrong evictions, and the pattern
+// buffer's hit behaviour. This is the tool used to understand *why* CPPE
+// wins or loses on a given access pattern.
+//
+//   ./build/examples/pattern_explorer [ABBR] [oversub]
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "core/policy_factory.hpp"
+#include "core/uvm_system.hpp"
+#include "harness/report.hpp"
+#include "workloads/benchmarks.hpp"
+
+using namespace uvmsim;
+
+int main(int argc, char** argv) {
+  const std::string abbr = argc > 1 ? argv[1] : "MVT";
+  const double oversub = argc > 2 ? std::atof(argv[2]) : 0.5;
+
+  const auto wl = make_benchmark(abbr);
+  UvmSystem sys(SystemConfig{}, presets::cppe(), *wl, oversub);
+  const RunResult r = sys.run();
+
+  std::cout << "CPPE introspection for " << wl->abbr() << " (" << wl->name()
+            << "), " << to_string(wl->pattern()) << ", "
+            << fmt(oversub * 100, 0) << "% of footprint in memory\n\n";
+
+  std::cout << "execution:      " << r.cycles << " cycles, "
+            << r.driver.page_faults << " faults, " << r.driver.migration_ops
+            << " driver ops\n";
+  std::cout << "migrated in:    " << r.driver.pages_migrated_in << " pages ("
+            << r.driver.pages_demanded << " demanded, "
+            << r.driver.pages_prefetched << " prefetched)\n";
+  std::cout << "evicted:        " << r.driver.pages_evicted << " pages in "
+            << r.driver.chunks_evicted << " chunks\n\n";
+
+  std::cout << "MHPE strategy:  "
+            << (r.mhpe_switched_to_lru ? "switched MRU -> LRU" : "stayed MRU")
+            << ", final forward distance " << r.mhpe_forward_distance
+            << ", wrong evictions " << r.mhpe_wrong_evictions << "\n";
+
+  std::cout << "untouch level per interval (U1), first 16 intervals:\n  ";
+  const std::size_t n = std::min<std::size_t>(16, r.untouch_history.size());
+  for (std::size_t i = 0; i < n; ++i) std::cout << r.untouch_history[i] << ' ';
+  if (r.untouch_history.empty()) std::cout << "(no evictions: memory never filled)";
+  std::cout << "\n  (T1=32 per interval, T2=40 over the first four)\n\n";
+
+  std::cout << "pattern buffer: peak " << r.pattern_buffer_peak << " entries, "
+            << r.pattern_matches << " matches / " << r.pattern_mismatches
+            << " mismatches\n";
+  if (r.pattern_matches > 0)
+    std::cout << "  -> patterned chunks prefetched narrowly: the stride the "
+                 "paper describes for NW/MVT\n";
+  else
+    std::cout << "  -> no stable pattern observed (dense or erratic touches)\n";
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Quickstart: run one benchmark under the paper's baseline (LRU + locality
+// prefetch) and under CPPE at 50% oversubscription, and print the headline
+// metrics side by side.
+//
+//   ./build/examples/quickstart [ABBR] [oversub]
+//
+// ABBR is a Table II abbreviation (default NW); oversub is the fraction of
+// the footprint that fits in GPU memory (default 0.5).
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "core/policy_factory.hpp"
+#include "core/uvm_system.hpp"
+#include "harness/report.hpp"
+#include "workloads/benchmarks.hpp"
+
+using namespace uvmsim;
+
+int main(int argc, char** argv) {
+  const std::string abbr = argc > 1 ? argv[1] : "NW";
+  const double oversub = argc > 2 ? std::atof(argv[2]) : 0.5;
+
+  const auto workload = make_benchmark(abbr);
+  std::cout << "Workload " << workload->abbr() << " (" << workload->name() << "), "
+            << workload->footprint_pages() << " pages, "
+            << to_string(workload->pattern()) << ", oversubscription "
+            << fmt(oversub * 100, 0) << "%\n\n";
+
+  const SystemConfig sys;
+  TextTable table({"config", "cycles", "faults", "pages in", "pages evicted",
+                   "prefetched", "speedup"});
+
+  UvmSystem base_sys(sys, presets::baseline(), *workload, oversub);
+  const RunResult base = base_sys.run();
+
+  for (const auto& [label, pol] :
+       {std::pair{std::string("baseline (LRU+locality)"), presets::baseline()},
+        std::pair{std::string("CPPE (MHPE+pattern-aware)"), presets::cppe()}}) {
+    UvmSystem s(sys, pol, *workload, oversub);
+    const RunResult r = s.run();
+    table.add_row({label, std::to_string(r.cycles),
+                   std::to_string(r.driver.page_faults),
+                   std::to_string(r.driver.pages_migrated_in),
+                   std::to_string(r.driver.pages_evicted),
+                   std::to_string(r.driver.pages_prefetched),
+                   fmt(r.speedup_vs(base)) + "x"});
+  }
+  std::cout << table.str();
+  return 0;
+}

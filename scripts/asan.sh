@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Address+UB sanitizer build and test run.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build-asan -G Ninja \
+  -DCMAKE_BUILD_TYPE=Debug \
+  -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-omit-frame-pointer"
+cmake --build build-asan
+ctest --test-dir build-asan -j"$(nproc)" --output-on-failure

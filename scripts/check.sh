@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Full local gate: configure, build, run every test and every bench binary.
+# Usage: scripts/check.sh [build-dir]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD="${1:-build}"
+
+cmake -B "$BUILD" -G Ninja
+cmake --build "$BUILD"
+ctest --test-dir "$BUILD" -j"$(nproc)" --output-on-failure
+
+echo
+echo "== bench binaries =="
+for b in "$BUILD"/bench/*; do
+  [ -x "$b" ] || continue
+  echo "--- $(basename "$b") ---"
+  "$b"
+done

@@ -1,0 +1,162 @@
+// Simulated-system configuration. Defaults reproduce Table I of the paper
+// plus the policy constants fixed in §IV-B / §VI-A.
+#pragma once
+
+#include <string>
+
+#include "common/types.hpp"
+
+namespace uvmsim {
+
+/// GPU core / translation / memory-system parameters (Table I).
+struct SystemConfig {
+  // --- GPU cores -----------------------------------------------------------
+  u32 num_sms = 28;                ///< streaming multiprocessors
+  double core_ghz = 1.4;           ///< core clock
+  u32 warps_per_sm = 8;            ///< concurrently scheduled warps modelled per SM
+
+  // --- Private L1 TLB (per SM) --------------------------------------------
+  u32 l1_tlb_entries = 128;
+  u32 l1_tlb_ways = 0;             ///< 0 = fully associative
+  Cycle l1_tlb_latency = 1;
+
+  // --- Shared L2 TLB --------------------------------------------------------
+  u32 l2_tlb_entries = 512;
+  u32 l2_tlb_ways = 16;
+  Cycle l2_tlb_latency = 10;
+  u32 l2_tlb_ports = 2;
+
+  // --- Page table walker ----------------------------------------------------
+  u32 walker_threads = 64;         ///< concurrent page-table walks
+  u32 page_table_levels = 4;
+  Cycle walk_cache_latency = 10;
+  u32 walk_cache_bytes = 8 * 1024; ///< 8 KB page walk cache
+  u32 walk_cache_ways = 16;
+  Cycle walk_memory_latency = 160; ///< per-level access that misses the PWC (L2/DRAM)
+
+  // --- Data caches -----------------------------------------------------------
+  u32 l1_cache_bytes = 48 * 1024;  ///< per-SM L1 data cache (Table I)
+  u32 l1_cache_ways = 6;
+  Cycle l1_cache_latency = 1;
+  u32 l2_cache_bytes = 3 * 1024 * 1024;  ///< shared L2 (Table I: 3 MB total)
+  u32 l2_cache_ways = 16;
+  Cycle l2_cache_latency = 30;
+  u32 cache_line_bytes = 128;  ///< one coalesced warp transaction
+
+  // --- DRAM -----------------------------------------------------------------
+  u32 dram_channels = 12;
+  double dram_bw_gbps = 528.0;     ///< aggregate
+  Cycle dram_latency = 120;        ///< load-to-use for a row-buffer-friendly stream
+
+  // --- CPU-GPU interconnect ---------------------------------------------------
+  double pcie_bw_gbps = 16.0;        ///< unified-memory migration bandwidth
+  double fault_latency_us = 20.0;    ///< end-to-end page fault service time
+  /// Driver-side cost of evicting one chunk (page-table updates, unmap,
+  /// write-back setup). Charged on the fault's critical path when the
+  /// eviction happens synchronously during fault service; pre-eviction
+  /// (PolicyConfig::pre_evict_watermark_chunks) moves it off that path.
+  double evict_service_us = 2.5;
+
+  [[nodiscard]] Cycle cycles_per_us() const {
+    return static_cast<Cycle>(core_ghz * 1000.0);
+  }
+  /// 20 us at 1.4 GHz = 28,000 cycles.
+  [[nodiscard]] Cycle fault_latency_cycles() const {
+    return static_cast<Cycle>(fault_latency_us * core_ghz * 1000.0);
+  }
+  [[nodiscard]] Cycle evict_service_cycles() const {
+    return static_cast<Cycle>(evict_service_us * core_ghz * 1000.0);
+  }
+  /// Cycles for one 4 KB page to cross PCIe: 4096 B / 16 GB/s = 256 ns (~359 cy).
+  [[nodiscard]] Cycle pcie_page_cycles() const {
+    const double ns = static_cast<double>(kPageBytes) / pcie_bw_gbps;
+    return static_cast<Cycle>(ns * core_ghz);
+  }
+  /// Cycles for a page read to be served by DRAM once resident.
+  [[nodiscard]] Cycle dram_access_cycles() const { return dram_latency; }
+};
+
+/// Which eviction policy manages the chunk chain.
+enum class EvictionKind : u8 {
+  kLru,           ///< classic LRU over chunks
+  kFifo,          ///< arrival-order (prefetch-order) pre-eviction
+  kRandom,        ///< uniform random resident chunk
+  kReservedLru,   ///< LRU with the top N% of the chain protected (Ganguly et al.)
+  kHpe,           ///< hierarchical page eviction (Yu et al., counter-based)
+  kMhpe,          ///< modified HPE — the paper's eviction policy (Algorithm 1)
+};
+
+/// Which prefetcher decides what to migrate on a fault.
+enum class PrefetchKind : u8 {
+  kNone,              ///< demand paging only
+  kLocality,          ///< sequential-local: whole 16-page chunk (64 KB block)
+  kTreeNeighborhood,  ///< CUDA-driver-style tree-based neighborhood prefetcher
+  kPatternAware,      ///< CPPE's access-pattern-aware prefetcher
+};
+
+/// Pattern-buffer entry deletion scheme (§IV-C, Fig 6).
+enum class DeletionScheme : u8 {
+  kScheme1,  ///< delete on any pattern mismatch
+  kScheme2,  ///< delete only if the *first* lookup of the entry mismatches
+};
+
+/// Policy-layer parameters (paper §IV-B and §VI-A defaults).
+struct PolicyConfig {
+  EvictionKind eviction = EvictionKind::kMhpe;
+  PrefetchKind prefetch = PrefetchKind::kPatternAware;
+
+  u32 interval_faults = 64;        ///< interval length, in page faults
+  u32 t1_untouch = 32;             ///< T1: per-interval untouch switch threshold
+  u32 t2_untouch_first4 = 40;      ///< T2: first-four-intervals switch threshold
+  u32 t3_forward_limit = 32;       ///< T3: forward-distance cap
+  u32 fd_min = 2;                  ///< forward-distance classification range low
+  u32 fd_max = 8;                  ///< forward-distance classification range high
+  u32 fd_chain_divisor = 100;      ///< initial fd = clamp(chain/100, fd_min, fd_max)
+
+  u32 wrong_evict_min_entries = 8;   ///< minimum wrong-eviction buffer length
+  u32 wrong_evict_chain_divisor = 64;///< buffer = max(8, 8 * chain/64)
+
+  u32 pattern_min_untouch = 8;     ///< only record evicted chunks with >= 8 untouched pages
+  DeletionScheme deletion = DeletionScheme::kScheme2;
+
+  double reserved_fraction = 0.2;  ///< reserved-LRU protected fraction (LRU-20%)
+  bool prefetch_when_full = true;  ///< false = disable prefetching under oversubscription
+  /// Pre-eviction low watermark, in chunks: after each migration the driver
+  /// evicts ahead until this many chunks' worth of frames are free, keeping
+  /// eviction work off the next fault's critical path (Ganguly et al.'s
+  /// pre-eviction; the paper's baseline "evicts a chunk each time").
+  /// 0 disables pre-eviction (evict synchronously on demand).
+  u32 pre_evict_watermark_chunks = 1;
+  /// How many migration operations the host driver services concurrently
+  /// (its fault-batch parallelism). Excess faults queue and are absorbed
+  /// into running plans where possible.
+  u32 driver_concurrency = 8;
+  u64 seed = 0x5EED;               ///< experiment RNG seed
+
+  // HPE-specific knobs (counter-based classification; see policy/hpe.hpp).
+  u32 hpe_regular_counter = 12;    ///< counter >= this marks a chunk "well used"
+};
+
+[[nodiscard]] constexpr const char* to_string(EvictionKind k) noexcept {
+  switch (k) {
+    case EvictionKind::kLru: return "LRU";
+    case EvictionKind::kFifo: return "FIFO";
+    case EvictionKind::kRandom: return "Random";
+    case EvictionKind::kReservedLru: return "ReservedLRU";
+    case EvictionKind::kHpe: return "HPE";
+    case EvictionKind::kMhpe: return "MHPE";
+  }
+  return "?";
+}
+
+[[nodiscard]] constexpr const char* to_string(PrefetchKind k) noexcept {
+  switch (k) {
+    case PrefetchKind::kNone: return "none";
+    case PrefetchKind::kLocality: return "locality";
+    case PrefetchKind::kTreeNeighborhood: return "tree";
+    case PrefetchKind::kPatternAware: return "pattern-aware";
+  }
+  return "?";
+}
+
+}  // namespace uvmsim

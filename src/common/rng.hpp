@@ -1,0 +1,76 @@
+// Deterministic, fast PRNGs. Every stochastic component of the simulator
+// (Random eviction, irregular workload generators) draws from one of these,
+// seeded from the experiment descriptor, so runs are bit-reproducible and
+// experiments can be executed on any number of harness threads.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace uvmsim {
+
+/// SplitMix64 — used to expand a single user seed into stream seeds.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(u64 seed) : state_(seed) {}
+
+  constexpr u64 next() {
+    u64 z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  u64 state_;
+};
+
+/// xoshiro256** 1.0 — the workhorse generator.
+class Xoshiro256 {
+ public:
+  using result_type = u64;
+
+  explicit constexpr Xoshiro256(u64 seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : s_) s = sm.next();
+  }
+
+  [[nodiscard]] static constexpr u64 min() { return 0; }
+  [[nodiscard]] static constexpr u64 max() { return ~u64{0}; }
+
+  constexpr u64 operator()() { return next(); }
+
+  constexpr u64 next() {
+    const u64 result = rotl(s_[1] * 5, 7) * 9;
+    const u64 t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire reduction).
+  constexpr u64 below(u64 bound) {
+    if (bound <= 1) return 0;
+    // 128-bit multiply keeps the mapping unbiased enough for simulation use.
+    return static_cast<u64>((static_cast<unsigned __int128>(next()) * bound) >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double uniform() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli draw.
+  constexpr bool chance(double p) { return uniform() < p; }
+
+ private:
+  static constexpr u64 rotl(u64 x, int k) { return (x << k) | (x >> (64 - k)); }
+  u64 s_[4] = {};
+};
+
+}  // namespace uvmsim

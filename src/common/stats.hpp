@@ -1,0 +1,65 @@
+// Lightweight statistics registry. Components own named counters; the
+// harness snapshots them at the end of a run. No global state: each
+// simulation owns one StatsRegistry, so experiments can run concurrently.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace uvmsim {
+
+class Counter {
+ public:
+  constexpr void add(u64 n = 1) noexcept { value_ += n; }
+  constexpr void set(u64 v) noexcept { value_ = v; }
+  [[nodiscard]] constexpr u64 get() const noexcept { return value_; }
+  constexpr Counter& operator++() noexcept { ++value_; return *this; }
+  constexpr Counter& operator+=(u64 n) noexcept { value_ += n; return *this; }
+
+ private:
+  u64 value_ = 0;
+};
+
+/// Tracks min/max/mean of a stream of samples.
+class Gauge {
+ public:
+  void sample(double v) noexcept {
+    sum_ += v;
+    ++n_;
+    if (v < min_ || n_ == 1) min_ = v;
+    if (v > max_ || n_ == 1) max_ = v;
+  }
+  [[nodiscard]] u64 count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? sum_ / static_cast<double>(n_) : 0.0; }
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+ private:
+  double sum_ = 0.0, min_ = 0.0, max_ = 0.0;
+  u64 n_ = 0;
+};
+
+/// Name → counter map shared across a single simulation instance.
+class StatsRegistry {
+ public:
+  Counter& counter(const std::string& name) { return counters_[name]; }
+  Gauge& gauge(const std::string& name) { return gauges_[name]; }
+
+  [[nodiscard]] u64 value(const std::string& name) const {
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second.get();
+  }
+
+  [[nodiscard]] const std::map<std::string, Counter>& counters() const { return counters_; }
+  [[nodiscard]] const std::map<std::string, Gauge>& gauges() const { return gauges_; }
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+};
+
+}  // namespace uvmsim

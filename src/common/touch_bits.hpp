@@ -1,0 +1,53 @@
+// TouchBits: the per-chunk bit vector the paper's §VI-C sizes at 16 bits.
+// One bit per page in a chunk; set = the page has been touched (demanded),
+// clear = the page is untouched (arrived only via prefetch, or absent).
+#pragma once
+
+#include <bit>
+#include <cassert>
+
+#include "common/types.hpp"
+
+namespace uvmsim {
+
+class TouchBits {
+ public:
+  constexpr TouchBits() = default;
+  explicit constexpr TouchBits(u16 raw) : bits_(raw) {}
+
+  /// All kChunkPages bits set.
+  [[nodiscard]] static constexpr TouchBits all() { return TouchBits(u16{0xFFFF}); }
+  [[nodiscard]] static constexpr TouchBits none() { return TouchBits(u16{0}); }
+
+  constexpr void set(u32 page_in_chunk) {
+    assert(page_in_chunk < kChunkPages);
+    bits_ = static_cast<u16>(bits_ | (1u << page_in_chunk));
+  }
+  constexpr void clear(u32 page_in_chunk) {
+    assert(page_in_chunk < kChunkPages);
+    bits_ = static_cast<u16>(bits_ & ~(1u << page_in_chunk));
+  }
+  [[nodiscard]] constexpr bool test(u32 page_in_chunk) const {
+    assert(page_in_chunk < kChunkPages);
+    return (bits_ >> page_in_chunk) & 1u;
+  }
+
+  /// Number of set (touched) bits.
+  [[nodiscard]] constexpr u32 count() const { return static_cast<u32>(std::popcount(bits_)); }
+  /// Number of clear bits — the paper's "untouch level" of one chunk.
+  [[nodiscard]] constexpr u32 untouched() const { return kChunkPages - count(); }
+
+  [[nodiscard]] constexpr u16 raw() const { return bits_; }
+  [[nodiscard]] constexpr bool empty() const { return bits_ == 0; }
+  [[nodiscard]] constexpr bool full() const { return bits_ == 0xFFFF; }
+
+  constexpr TouchBits operator|(TouchBits o) const { return TouchBits(static_cast<u16>(bits_ | o.bits_)); }
+  constexpr TouchBits operator&(TouchBits o) const { return TouchBits(static_cast<u16>(bits_ & o.bits_)); }
+  constexpr TouchBits operator~() const { return TouchBits(static_cast<u16>(~bits_)); }
+  constexpr bool operator==(const TouchBits&) const = default;
+
+ private:
+  u16 bits_ = 0;
+};
+
+}  // namespace uvmsim

@@ -1,0 +1,104 @@
+#include "core/policy_factory.hpp"
+
+#include "policy/fifo.hpp"
+#include "policy/hpe.hpp"
+#include "policy/lru.hpp"
+#include "policy/mhpe.hpp"
+#include "policy/random.hpp"
+#include "policy/reserved_lru.hpp"
+#include "prefetch/pattern_aware.hpp"
+#include "prefetch/tree_neighborhood.hpp"
+
+namespace uvmsim {
+
+std::unique_ptr<EvictionPolicy> make_eviction_policy(const PolicyConfig& cfg,
+                                                     ChunkChain& chain) {
+  switch (cfg.eviction) {
+    case EvictionKind::kLru:
+      return std::make_unique<LruPolicy>(chain);
+    case EvictionKind::kFifo:
+      return std::make_unique<FifoPolicy>(chain);
+    case EvictionKind::kRandom:
+      return std::make_unique<RandomPolicy>(chain, cfg.seed);
+    case EvictionKind::kReservedLru:
+      return std::make_unique<ReservedLruPolicy>(chain, cfg.reserved_fraction);
+    case EvictionKind::kHpe:
+      return std::make_unique<HpePolicy>(chain, cfg);
+    case EvictionKind::kMhpe:
+      return std::make_unique<MhpePolicy>(chain, cfg);
+  }
+  return nullptr;
+}
+
+std::unique_ptr<Prefetcher> make_prefetcher(const PolicyConfig& cfg) {
+  switch (cfg.prefetch) {
+    case PrefetchKind::kNone:
+      return std::make_unique<NoPrefetcher>();
+    case PrefetchKind::kLocality:
+      return std::make_unique<LocalityPrefetcher>();
+    case PrefetchKind::kTreeNeighborhood:
+      return std::make_unique<TreeNeighborhoodPrefetcher>();
+    case PrefetchKind::kPatternAware:
+      return std::make_unique<PatternAwarePrefetcher>(cfg);
+  }
+  return nullptr;
+}
+
+namespace presets {
+
+PolicyConfig baseline() {
+  PolicyConfig c;
+  c.eviction = EvictionKind::kLru;
+  c.prefetch = PrefetchKind::kLocality;
+  c.prefetch_when_full = true;
+  return c;
+}
+
+PolicyConfig cppe() {
+  PolicyConfig c;
+  c.eviction = EvictionKind::kMhpe;
+  c.prefetch = PrefetchKind::kPatternAware;
+  c.deletion = DeletionScheme::kScheme2;
+  return c;
+}
+
+PolicyConfig cppe_scheme1() {
+  PolicyConfig c = cppe();
+  c.deletion = DeletionScheme::kScheme1;
+  return c;
+}
+
+PolicyConfig random_evict() {
+  PolicyConfig c = baseline();
+  c.eviction = EvictionKind::kRandom;
+  return c;
+}
+
+PolicyConfig reserved_lru(double fraction) {
+  PolicyConfig c = baseline();
+  c.eviction = EvictionKind::kReservedLru;
+  c.reserved_fraction = fraction;
+  return c;
+}
+
+PolicyConfig disable_prefetch_when_full() {
+  PolicyConfig c = baseline();
+  c.prefetch_when_full = false;
+  return c;
+}
+
+PolicyConfig hpe() {
+  PolicyConfig c = baseline();
+  c.eviction = EvictionKind::kHpe;
+  return c;
+}
+
+PolicyConfig demand_only() {
+  PolicyConfig c;
+  c.eviction = EvictionKind::kLru;
+  c.prefetch = PrefetchKind::kNone;
+  return c;
+}
+
+}  // namespace presets
+}  // namespace uvmsim

@@ -1,0 +1,49 @@
+// Factories mapping PolicyConfig enums onto concrete eviction policies and
+// prefetchers, plus the named configuration presets used throughout the
+// paper's evaluation (baseline, CPPE, etc.).
+#pragma once
+
+#include <memory>
+
+#include "common/config.hpp"
+#include "policy/eviction_policy.hpp"
+#include "prefetch/prefetcher.hpp"
+
+namespace uvmsim {
+
+[[nodiscard]] std::unique_ptr<EvictionPolicy> make_eviction_policy(
+    const PolicyConfig& cfg, ChunkChain& chain);
+
+[[nodiscard]] std::unique_ptr<Prefetcher> make_prefetcher(const PolicyConfig& cfg);
+
+/// The paper's named configurations.
+namespace presets {
+
+/// State-of-the-art software baseline (§VI-B): sequential-local prefetcher +
+/// LRU pre-eviction, prefetching whole chunks even under oversubscription.
+[[nodiscard]] PolicyConfig baseline();
+
+/// CPPE: MHPE + access-pattern-aware prefetcher (Scheme-2 by default).
+[[nodiscard]] PolicyConfig cppe();
+
+/// CPPE with the Scheme-1 pattern-deletion policy (Fig 7 comparison).
+[[nodiscard]] PolicyConfig cppe_scheme1();
+
+/// Random eviction + naive locality prefetcher (Fig 3 / Fig 9).
+[[nodiscard]] PolicyConfig random_evict();
+
+/// Reserved LRU with the given protected fraction + naive prefetcher.
+[[nodiscard]] PolicyConfig reserved_lru(double fraction);
+
+/// Baseline with prefetching disabled once memory fills (Fig 10).
+[[nodiscard]] PolicyConfig disable_prefetch_when_full();
+
+/// HPE + naive locality prefetcher (Inefficiency 1 reproduction).
+[[nodiscard]] PolicyConfig hpe();
+
+/// Demand paging only (no prefetcher) with LRU.
+[[nodiscard]] PolicyConfig demand_only();
+
+}  // namespace presets
+
+}  // namespace uvmsim

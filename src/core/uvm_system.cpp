@@ -1,0 +1,66 @@
+#include "core/uvm_system.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/policy_factory.hpp"
+#include "policy/mhpe.hpp"
+#include "prefetch/pattern_aware.hpp"
+
+namespace uvmsim {
+
+UvmSystem::UvmSystem(const SystemConfig& sys, const PolicyConfig& pol,
+                     const Workload& workload, double oversub)
+    : sys_cfg_(sys), pol_cfg_(pol), workload_(workload), oversub_(oversub) {
+  const u64 footprint = workload.footprint_pages();
+  // Capacity floor: enough chunks that admission-bounded pinning can never
+  // exhaust the chain (see UvmDriver's deadlock-freedom argument).
+  const u64 floor_pages = 16 * kChunkPages;
+  const u64 capacity = std::max<u64>(
+      floor_pages,
+      std::min<u64>(footprint,
+                    static_cast<u64>(std::ceil(oversub * static_cast<double>(footprint)))));
+
+  driver_ = std::make_unique<UvmDriver>(eq_, sys_cfg_, pol_cfg_, footprint, capacity);
+  driver_->set_policy(make_eviction_policy(pol_cfg_, driver_->chain()));
+  driver_->set_prefetcher(make_prefetcher(pol_cfg_));
+  gpu_ = std::make_unique<Gpu>(eq_, sys_cfg_, *driver_, workload_, pol_cfg_.seed);
+}
+
+RunResult UvmSystem::run(Cycle max_cycles) {
+  gpu_->launch();
+  eq_.run(max_cycles);
+
+  RunResult r;
+  r.workload = workload_.abbr();
+  r.eviction_name = driver_->policy().name();
+  r.prefetcher_name = driver_->prefetcher().name();
+  r.oversub = oversub_;
+  r.footprint_pages = driver_->footprint_pages();
+  r.capacity_pages = driver_->capacity_pages();
+  r.cycles = gpu_->finished() ? gpu_->finish_cycle() : eq_.now();
+  r.completed = gpu_->finished();
+  r.driver = driver_->stats();
+  r.gpu = gpu_->stats();
+  r.h2d_pages = driver_->h2d().units_moved();
+  r.d2h_pages = driver_->d2h().units_moved();
+  r.h2d_utilisation = driver_->h2d().utilisation(r.cycles);
+  r.final_chain_length = driver_->chain().size();
+
+  if (const auto* mhpe = dynamic_cast<const MhpePolicy*>(&driver_->policy())) {
+    r.mhpe_used = true;
+    r.mhpe_switched_to_lru = mhpe->switched_to_lru();
+    r.mhpe_forward_distance = mhpe->forward_distance();
+    r.mhpe_wrong_evictions = mhpe->wrong_evictions_total();
+    r.untouch_history = mhpe->interval_untouch_history();
+    r.wrong_buffer_capacity = mhpe->wrong_buffer_capacity();
+  }
+  if (const auto* pa = dynamic_cast<const PatternAwarePrefetcher*>(&driver_->prefetcher())) {
+    r.pattern_buffer_peak = pa->peak_size();
+    r.pattern_matches = pa->matches();
+    r.pattern_mismatches = pa->mismatches();
+  }
+  return r;
+}
+
+}  // namespace uvmsim

@@ -1,0 +1,92 @@
+// UvmSystem: the one-call public API. Bundles an event queue, the UVM
+// driver (with the configured eviction policy + prefetcher), and the GPU
+// model running one workload at one oversubscription rate; `run()` simulates
+// to completion and returns every metric the evaluation needs.
+//
+// Typical use (see examples/quickstart.cpp):
+//
+//   auto wl = make_benchmark("NW");
+//   UvmSystem sys(SystemConfig{}, presets::cppe(), *wl, /*oversub=*/0.5);
+//   RunResult r = sys.run();
+//   std::cout << r.cycles << " cycles, " << r.driver.page_faults << " faults\n";
+#pragma once
+
+#include <limits>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "gpu/gpu.hpp"
+#include "sim/event_queue.hpp"
+#include "uvm/driver.hpp"
+#include "workloads/workload.hpp"
+
+namespace uvmsim {
+
+struct RunResult {
+  std::string workload;
+  std::string eviction_name;
+  std::string prefetcher_name;
+  double oversub = 1.0;          ///< capacity / footprint
+  u64 footprint_pages = 0;
+  u64 capacity_pages = 0;
+
+  Cycle cycles = 0;              ///< end-to-end execution time
+  bool completed = false;        ///< false if the cycle cap was hit
+  UvmDriver::Stats driver;
+  Gpu::Stats gpu;
+
+  u64 h2d_pages = 0;             ///< pages moved host->device
+  u64 d2h_pages = 0;             ///< pages moved device->host
+  double h2d_utilisation = 0.0;
+
+  // MHPE introspection (empty/false for other policies).
+  bool mhpe_used = false;
+  bool mhpe_switched_to_lru = false;
+  u32 mhpe_forward_distance = 0;
+  u64 mhpe_wrong_evictions = 0;
+  std::vector<u32> untouch_history;  ///< per-interval U1 since evictions began
+
+  // Pattern-buffer introspection (CPPE overhead analysis, §VI-C).
+  std::size_t pattern_buffer_peak = 0;
+  u64 pattern_matches = 0;
+  u64 pattern_mismatches = 0;
+
+  std::size_t final_chain_length = 0;
+  std::size_t wrong_buffer_capacity = 0;
+
+  [[nodiscard]] double speedup_vs(const RunResult& baseline) const {
+    return cycles == 0 ? 0.0
+                       : static_cast<double>(baseline.cycles) / static_cast<double>(cycles);
+  }
+};
+
+class UvmSystem {
+ public:
+  /// `oversub` is the fraction of the workload footprint that fits in GPU
+  /// memory (the paper's "75% / 50% oversubscribed" settings are 0.75/0.5;
+  /// >= 1.0 disables oversubscription).
+  UvmSystem(const SystemConfig& sys, const PolicyConfig& pol,
+            const Workload& workload, double oversub);
+
+  /// Simulate until all warps finish (or `max_cycles`, as a safety net).
+  [[nodiscard]] RunResult run(
+      Cycle max_cycles = std::numeric_limits<Cycle>::max());
+
+  [[nodiscard]] UvmDriver& driver() noexcept { return *driver_; }
+  [[nodiscard]] Gpu& gpu() noexcept { return *gpu_; }
+  [[nodiscard]] EventQueue& queue() noexcept { return eq_; }
+
+ private:
+  SystemConfig sys_cfg_;
+  PolicyConfig pol_cfg_;
+  const Workload& workload_;
+  double oversub_;
+  EventQueue eq_;
+  std::unique_ptr<UvmDriver> driver_;
+  std::unique_ptr<Gpu> gpu_;
+};
+
+}  // namespace uvmsim

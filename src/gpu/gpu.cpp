@@ -1,0 +1,157 @@
+#include "gpu/gpu.hpp"
+
+#include "common/rng.hpp"
+
+namespace uvmsim {
+
+Gpu::Gpu(EventQueue& eq, const SystemConfig& cfg, UvmDriver& driver,
+         const Workload& workload, u64 seed)
+    : eq_(eq),
+      cfg_(cfg),
+      driver_(driver),
+      dram_(cfg),
+      l2_tlb_("L2TLB", cfg.l2_tlb_entries, cfg.l2_tlb_ways, cfg.l2_tlb_latency,
+              cfg.l2_tlb_ports),
+      l2_cache_(cfg.l2_cache_bytes / cfg.cache_line_bytes, cfg.l2_cache_ways),
+      walker_(eq, driver.page_table(), cfg),
+      lines_per_page_(static_cast<u32>(kPageBytes) / cfg.cache_line_bytes) {
+  SplitMix64 seeder(seed);
+  sms_.resize(cfg.num_sms);
+  for (u32 s = 0; s < cfg.num_sms; ++s) {
+    Sm& sm = sms_[s];
+    sm.l1_tlb = std::make_unique<Tlb>("L1TLB." + std::to_string(s),
+                                      cfg.l1_tlb_entries, cfg.l1_tlb_ways,
+                                      cfg.l1_tlb_latency);
+    sm.l1d = std::make_unique<SetAssocCache>(
+        cfg.l1_cache_bytes / cfg.cache_line_bytes, cfg.l1_cache_ways);
+    sm.warps.resize(cfg.warps_per_sm);
+    for (u32 w = 0; w < cfg.warps_per_sm; ++w) {
+      const WarpContext ctx{
+          .global_index = s * cfg.warps_per_sm + w,
+          .total_warps = cfg.num_sms * cfg.warps_per_sm,
+          .seed = seeder.next(),
+      };
+      sm.warps[w].stream = workload.make_stream(ctx);
+      ++live_warps_;
+    }
+  }
+  // Evictions invalidate translations everywhere (TLB shootdown) and the
+  // physically-indexed cache lines of the departing frame.
+  driver_.set_shootdown_handler([this](PageId p, FrameId f) {
+    l2_tlb_.invalidate(p);
+    for (auto& sm : sms_) sm.l1_tlb->invalidate(p);
+    for (u32 line = 0; line < lines_per_page_; ++line) {
+      const u64 tag = f * lines_per_page_ + line;
+      l2_cache_.invalidate(tag);
+      for (auto& sm : sms_) sm.l1d->invalidate(tag);
+    }
+  });
+}
+
+void Gpu::launch() {
+  for (u32 s = 0; s < sms_.size(); ++s)
+    for (u32 w = 0; w < sms_[s].warps.size(); ++w)
+      warp_step(s, w);
+}
+
+void Gpu::warp_step(u32 sm, u32 warp) {
+  Warp& wp = sms_[sm].warps[warp];
+  Access a;
+  if (!wp.stream->next(a)) {
+    wp.done = true;
+    warp_finished();
+    return;
+  }
+  ++accesses_;
+  eq_.schedule_in(a.think, [this, sm, warp, page = a.page] { do_access(sm, warp, page); });
+}
+
+void Gpu::do_access(u32 sm, u32 warp, PageId page) {
+  // (1) per-SM L1 TLB.
+  const Tlb::Result l1 = sms_[sm].l1_tlb->lookup(eq_.now(), page);
+  if (l1.hit) {
+    finish_access(sm, warp, page, l1.ready_at);
+    return;
+  }
+  // (2) shared L2 TLB. A hit anywhere below L1 is a demand touch the driver
+  // can observe (PTE access bits).
+  const Tlb::Result l2 = l2_tlb_.lookup(l1.ready_at, page);
+  if (l2.hit) {
+    sms_[sm].l1_tlb->fill(page);
+    driver_.note_touch(page);
+    finish_access(sm, warp, page, l2.ready_at);
+    return;
+  }
+  // (3)-(5) page table walk.
+  walker_.walk(page, [this, sm, warp](PageId p, bool resident) {
+    if (resident) {
+      l2_tlb_.fill(p);
+      sms_[sm].l1_tlb->fill(p);
+      driver_.note_touch(p);
+      finish_access(sm, warp, p, eq_.now());
+      return;
+    }
+    // Replayable far fault: the warp parks until the page is migrated; the
+    // SM continues with its other warps (they have their own events).
+    ++far_faults_;
+    driver_.fault(p, [this, sm, warp, p] {
+      l2_tlb_.fill(p);
+      sms_[sm].l1_tlb->fill(p);
+      finish_access(sm, warp, p, eq_.now());
+    });
+  });
+}
+
+void Gpu::finish_access(u32 sm, u32 warp, PageId page, Cycle ready) {
+  // Charge the data access through the cache hierarchy (Table I). The line
+  // within the page advances deterministically every second access: a warp
+  // issues back-to-back accesses to the same coalesced 128 B transaction
+  // (short-range reuse the L1D catches), then moves to another line.
+  const FrameId f0 = driver_.page_table().frame_of(page);
+  const FrameId f = f0 == kInvalidFrame ? page : f0;
+  Warp& wp = sms_[sm].warps[warp];
+  const u64 line =
+      f * lines_per_page_ + (wp.access_count++ / 2 * 7) % lines_per_page_;
+
+  Cycle done;
+  if (sms_[sm].l1d->lookup(line)) {
+    ++l1d_hits_;
+    done = ready + cfg_.l1_cache_latency;
+  } else {
+    ++l1d_misses_;
+    sms_[sm].l1d->insert(line);
+    if (l2_cache_.lookup(line)) {
+      ++l2c_hits_;
+      done = ready + cfg_.l2_cache_latency;
+    } else {
+      ++l2c_misses_;
+      l2_cache_.insert(line);
+      done = dram_.access(ready + cfg_.l2_cache_latency, f);
+    }
+  }
+  eq_.schedule_at(done, [this, sm, warp] { warp_step(sm, warp); });
+}
+
+void Gpu::warp_finished() {
+  assert(live_warps_ > 0);
+  if (--live_warps_ == 0) finish_cycle_ = eq_.now();
+}
+
+Gpu::Stats Gpu::stats() const {
+  Stats st;
+  st.accesses = accesses_;
+  st.far_faults = far_faults_;
+  st.l2_tlb_hits = l2_tlb_.hits();
+  st.l2_tlb_misses = l2_tlb_.misses();
+  st.l1d_hits = l1d_hits_;
+  st.l1d_misses = l1d_misses_;
+  st.l2c_hits = l2c_hits_;
+  st.l2c_misses = l2c_misses_;
+  for (const auto& sm : sms_) {
+    st.l1_tlb_hits += sm.l1_tlb->hits();
+    st.l1_tlb_misses += sm.l1_tlb->misses();
+  }
+  return st;
+}
+
+}  // namespace uvmsim

@@ -1,0 +1,58 @@
+#include "harness/ascii_chart.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "harness/report.hpp"
+
+namespace uvmsim {
+
+BarChart::BarChart(std::string title, double reference, u32 width)
+    : title_(std::move(title)), reference_(reference), width_(std::max(8u, width)) {}
+
+void BarChart::add(std::string label, double value, std::string annotation) {
+  rows_.push_back(Row{std::move(label), value, std::move(annotation)});
+}
+
+std::string BarChart::str() const {
+  std::ostringstream os;
+  os << title_ << '\n';
+  if (rows_.empty()) return os.str();
+
+  double max_v = 0.0;
+  std::size_t label_w = 0;
+  for (const auto& r : rows_) {
+    max_v = std::max(max_v, r.value);
+    label_w = std::max(label_w, r.label.size());
+  }
+  if (max_v <= 0.0) max_v = 1.0;
+
+  const auto scale = [&](double v) {
+    const double clamped = std::clamp(v / max_v, 0.0, 1.0);
+    return static_cast<u32>(clamped * width_ + 0.5);
+  };
+  const u32 ref_col = (reference_ > 0.0 && reference_ <= max_v)
+                          ? scale(reference_)
+                          : width_ + 1;  // out of range: no marker
+
+  for (const auto& r : rows_) {
+    os << "  " << r.label << std::string(label_w - r.label.size(), ' ') << " |";
+    const u32 bars = scale(r.value);
+    for (u32 c = 0; c < std::max(bars, ref_col == width_ + 1 ? bars : ref_col);
+         ++c) {
+      if (c == ref_col && c >= bars)
+        os << '.';  // reference marker beyond the bar
+      else if (c < bars)
+        os << (c == ref_col ? '|' : '#');
+      else
+        os << ' ';
+    }
+    os << ' ' << fmt(r.value) << (r.annotation.empty() ? "" : "  " + r.annotation)
+       << '\n';
+  }
+  if (ref_col <= width_)
+    os << "  (reference " << fmt(reference_) << " marked with '|'/'.')\n";
+  return os.str();
+}
+
+}  // namespace uvmsim

@@ -1,0 +1,39 @@
+// Terminal bar charts for the figure-regenerating benches: the paper's
+// figures are bar plots, so the benches render one after the table.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace uvmsim {
+
+class BarChart {
+ public:
+  /// `reference` draws a vertical marker at that value (e.g. 1.0 for
+  /// normalised speedups) when it is inside the plotted range.
+  explicit BarChart(std::string title, double reference = 0.0, u32 width = 48);
+
+  void add(std::string label, double value, std::string annotation = "");
+
+  /// Render: one `label | ###### value annotation` row per entry, scaled to
+  /// the maximum value.
+  [[nodiscard]] std::string str() const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return rows_.size(); }
+
+ private:
+  struct Row {
+    std::string label;
+    double value;
+    std::string annotation;
+  };
+
+  std::string title_;
+  double reference_;
+  u32 width_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace uvmsim

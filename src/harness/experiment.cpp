@@ -1,0 +1,14 @@
+#include "harness/experiment.hpp"
+
+#include "workloads/benchmarks.hpp"
+
+namespace uvmsim {
+
+LabelledResult run_experiment(const ExperimentSpec& spec) {
+  const auto workload = make_benchmark(spec.workload);
+  UvmSystem system(spec.system, spec.policy, *workload, spec.oversub);
+  LabelledResult out{spec, system.run(spec.max_cycles)};
+  return out;
+}
+
+}  // namespace uvmsim

@@ -1,0 +1,31 @@
+// Experiment descriptor + single-run entry point. One experiment =
+// (workload, policy configuration, oversubscription rate); runs are
+// deterministic, so any sweep can be distributed over threads freely.
+#pragma once
+
+#include <string>
+
+#include "common/config.hpp"
+#include "core/uvm_system.hpp"
+
+namespace uvmsim {
+
+struct ExperimentSpec {
+  std::string workload;       ///< Table II abbreviation
+  std::string label;          ///< display label, e.g. "CPPE", "LRU-20%"
+  PolicyConfig policy;
+  double oversub = 0.5;       ///< fraction of footprint that fits (0.75 / 0.5)
+  SystemConfig system;
+  Cycle max_cycles = 20'000'000'000ull;  ///< runaway-simulation safety net
+};
+
+/// Result annotated with its spec label.
+struct LabelledResult {
+  ExperimentSpec spec;
+  RunResult result;
+};
+
+/// Build and run one experiment to completion.
+[[nodiscard]] LabelledResult run_experiment(const ExperimentSpec& spec);
+
+}  // namespace uvmsim

@@ -1,0 +1,115 @@
+#include "harness/results_io.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace uvmsim {
+namespace {
+
+std::string escape_json(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string escape_csv(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string results_csv_header() {
+  return "workload,label,eviction,prefetcher,oversub,cycles,completed,"
+         "page_faults,faults_coalesced,migration_ops,pages_in,pages_demanded,"
+         "pages_prefetched,pages_evicted,chunks_evicted,h2d_pages,d2h_pages,"
+         "mhpe_used,mhpe_switched_to_lru,mhpe_forward_distance,"
+         "mhpe_wrong_evictions,pattern_buffer_peak,pattern_matches,"
+         "pattern_mismatches,final_chain_length";
+}
+
+std::string to_csv_row(const LabelledResult& r) {
+  const RunResult& x = r.result;
+  std::ostringstream os;
+  os << escape_csv(x.workload) << ',' << escape_csv(r.spec.label) << ','
+     << escape_csv(x.eviction_name) << ',' << escape_csv(x.prefetcher_name) << ','
+     << x.oversub << ',' << x.cycles << ',' << (x.completed ? 1 : 0) << ','
+     << x.driver.page_faults << ',' << x.driver.faults_coalesced << ','
+     << x.driver.migration_ops << ',' << x.driver.pages_migrated_in << ','
+     << x.driver.pages_demanded << ',' << x.driver.pages_prefetched << ','
+     << x.driver.pages_evicted << ',' << x.driver.chunks_evicted << ','
+     << x.h2d_pages << ',' << x.d2h_pages << ',' << (x.mhpe_used ? 1 : 0) << ','
+     << (x.mhpe_switched_to_lru ? 1 : 0) << ',' << x.mhpe_forward_distance << ','
+     << x.mhpe_wrong_evictions << ',' << x.pattern_buffer_peak << ','
+     << x.pattern_matches << ',' << x.pattern_mismatches << ','
+     << x.final_chain_length;
+  return os.str();
+}
+
+void write_csv(std::ostream& os, const std::vector<LabelledResult>& results) {
+  os << results_csv_header() << '\n';
+  for (const auto& r : results) os << to_csv_row(r) << '\n';
+  if (!os) throw std::runtime_error("results: CSV write failed");
+}
+
+void write_json(std::ostream& os, const std::vector<LabelledResult>& results) {
+  os << "[\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const RunResult& x = results[i].result;
+    os << "  {"
+       << "\"workload\":\"" << escape_json(x.workload) << "\","
+       << "\"label\":\"" << escape_json(results[i].spec.label) << "\","
+       << "\"eviction\":\"" << escape_json(x.eviction_name) << "\","
+       << "\"prefetcher\":\"" << escape_json(x.prefetcher_name) << "\","
+       << "\"oversub\":" << x.oversub << ','
+       << "\"cycles\":" << x.cycles << ','
+       << "\"completed\":" << (x.completed ? "true" : "false") << ','
+       << "\"page_faults\":" << x.driver.page_faults << ','
+       << "\"migration_ops\":" << x.driver.migration_ops << ','
+       << "\"pages_in\":" << x.driver.pages_migrated_in << ','
+       << "\"pages_evicted\":" << x.driver.pages_evicted << ','
+       << "\"mhpe_switched_to_lru\":" << (x.mhpe_switched_to_lru ? "true" : "false") << ','
+       << "\"pattern_matches\":" << x.pattern_matches
+       << "}" << (i + 1 < results.size() ? "," : "") << '\n';
+  }
+  os << "]\n";
+  if (!os) throw std::runtime_error("results: JSON write failed");
+}
+
+void save_csv(const std::string& path, const std::vector<LabelledResult>& results) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("results: cannot open " + path);
+  write_csv(os, results);
+}
+
+void save_json(const std::string& path, const std::vector<LabelledResult>& results) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("results: cannot open " + path);
+  write_json(os, results);
+}
+
+}  // namespace uvmsim

@@ -1,0 +1,31 @@
+// Sweep-result export: flat CSV (one row per experiment, stable column
+// order) and JSON (one object per experiment) for downstream plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hpp"
+
+namespace uvmsim {
+
+/// The CSV header row, matching write_csv's column order.
+[[nodiscard]] std::string results_csv_header();
+
+/// One CSV row for a result (no trailing newline).
+[[nodiscard]] std::string to_csv_row(const LabelledResult& r);
+
+/// Full CSV document (header + rows).
+void write_csv(std::ostream& os, const std::vector<LabelledResult>& results);
+
+/// JSON array of result objects. Only simulator-generated strings are
+/// emitted (workload abbreviations, policy names), but they are escaped
+/// anyway so arbitrary labels are safe.
+void write_json(std::ostream& os, const std::vector<LabelledResult>& results);
+
+/// File-path conveniences; throw std::runtime_error on I/O failure.
+void save_csv(const std::string& path, const std::vector<LabelledResult>& results);
+void save_json(const std::string& path, const std::vector<LabelledResult>& results);
+
+}  // namespace uvmsim

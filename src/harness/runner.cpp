@@ -1,0 +1,35 @@
+#include "harness/runner.hpp"
+
+#include <atomic>
+#include <thread>
+
+namespace uvmsim {
+
+std::vector<LabelledResult> run_sweep(const std::vector<ExperimentSpec>& specs,
+                                      unsigned threads) {
+  if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
+  threads = std::min<unsigned>(threads, specs.empty() ? 1 : static_cast<unsigned>(specs.size()));
+
+  std::vector<LabelledResult> results(specs.size());
+  std::atomic<std::size_t> next{0};
+
+  const auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= specs.size()) return;
+      results[i] = run_experiment(specs[i]);
+    }
+  };
+
+  if (threads <= 1) {
+    worker();
+    return results;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (auto& th : pool) th.join();
+  return results;
+}
+
+}  // namespace uvmsim

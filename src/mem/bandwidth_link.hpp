@@ -1,0 +1,46 @@
+// A serialised bandwidth-limited link: transfers occupy the link back to
+// back, so a burst of page migrations queues up. Models the CPU-GPU
+// interconnect (16 GB/s) and, with per-channel instances, DRAM channels.
+#pragma once
+
+#include <algorithm>
+
+#include "common/types.hpp"
+
+namespace uvmsim {
+
+class BandwidthLink {
+ public:
+  /// `cycles_per_unit` — link occupancy of one transfer unit (e.g. one 4 KB page).
+  explicit BandwidthLink(Cycle cycles_per_unit) : cycles_per_unit_(cycles_per_unit) {}
+
+  /// Reserve the link for `units` transfer units starting no earlier than `now`.
+  /// Returns the cycle at which the last unit completes.
+  Cycle reserve(Cycle now, u64 units) {
+    const Cycle start = std::max(now, free_at_);
+    free_at_ = start + units * cycles_per_unit_;
+    busy_cycles_ += units * cycles_per_unit_;
+    units_moved_ += units;
+    return free_at_;
+  }
+
+  /// Earliest cycle a new transfer could begin.
+  [[nodiscard]] Cycle free_at() const noexcept { return free_at_; }
+  [[nodiscard]] u64 units_moved() const noexcept { return units_moved_; }
+  [[nodiscard]] Cycle busy_cycles() const noexcept { return busy_cycles_; }
+  [[nodiscard]] Cycle cycles_per_unit() const noexcept { return cycles_per_unit_; }
+
+  /// Link utilisation over [0, now].
+  [[nodiscard]] double utilisation(Cycle now) const noexcept {
+    return now == 0 ? 0.0
+                    : static_cast<double>(busy_cycles_) / static_cast<double>(now);
+  }
+
+ private:
+  Cycle cycles_per_unit_;
+  Cycle free_at_ = 0;
+  Cycle busy_cycles_ = 0;
+  u64 units_moved_ = 0;
+};
+
+}  // namespace uvmsim

@@ -1,0 +1,156 @@
+// The chunk chain (paper §II-C, Fig 2): the ordered list of resident chunks
+// plus per-chunk metadata, shared by every eviction policy.
+//
+// Orientation: the list HEAD is the LRU position, the TAIL is the MRU
+// position. New chunks are normally inserted at the tail; MHPE reinserts
+// wrongly-evicted chunks at the head (paper §IV-B).
+//
+// Execution is partitioned into intervals. Following §IV-B ("four chunks
+// are prefetched in one interval" with a 64-fault interval and 16-page
+// chunks), the interval counter advances per page *migrated in* — with
+// whole-chunk prefetching, 64 migrated pages = 4 chunks per interval.
+// Partitions (Fig 2) are derived from per-entry interval stamps:
+//   new    — stamped in the current interval,
+//   middle — stamped in the previous interval,
+//   old    — stamped earlier.
+#pragma once
+
+#include <cassert>
+#include <list>
+#include <unordered_map>
+
+#include "common/touch_bits.hpp"
+#include "common/types.hpp"
+
+namespace uvmsim {
+
+struct ChunkEntry {
+  ChunkId id = kInvalidChunk;
+  TouchBits touched;    ///< pages demanded by the GPU (access-bit view)
+  TouchBits resident;   ///< pages physically present (demanded or prefetched)
+  u32 hpe_counter = 0;  ///< HPE's per-chunk touch counter (page touches)
+  u64 arrival_interval = 0;     ///< interval when the chunk was migrated in
+  u64 last_touch_interval = 0;  ///< interval of the most recent demand touch
+  u32 pin_count = 0;            ///< in-flight migrations targeting this chunk
+
+  /// Pinned chunks have pages arriving and must not be evicted.
+  [[nodiscard]] bool pinned() const { return pin_count > 0; }
+
+  /// The paper's "untouch level" of this chunk if evicted now: resident
+  /// pages that were never demanded.
+  [[nodiscard]] u32 untouch_level() const {
+    return (resident & ~touched).count();
+  }
+};
+
+enum class Partition : u8 { kOld, kMiddle, kNew };
+
+class ChunkChain {
+ public:
+  using List = std::list<ChunkEntry>;
+  using Iter = List::iterator;
+  using ConstIter = List::const_iterator;
+
+  explicit ChunkChain(u32 interval_pages = 64) : interval_pages_(interval_pages) {}
+
+  // Copying would leave index_ pointing into the source's list; moving keeps
+  // list iterators valid (std::list guarantee) and is allowed.
+  ChunkChain(const ChunkChain&) = delete;
+  ChunkChain& operator=(const ChunkChain&) = delete;
+  ChunkChain(ChunkChain&&) = default;
+  ChunkChain& operator=(ChunkChain&&) = default;
+
+  /// Insert a new chunk. `at_head` places it at the LRU position (used for
+  /// wrongly-evicted chunks under MHPE); default is the MRU tail.
+  ChunkEntry& insert(ChunkId id, bool at_head = false) {
+    assert(!contains(id));
+    ChunkEntry e;
+    e.id = id;
+    e.arrival_interval = current_interval_;
+    e.last_touch_interval = current_interval_;
+    Iter it = at_head ? chain_.insert(chain_.begin(), e)
+                      : chain_.insert(chain_.end(), e);
+    index_.emplace(id, it);
+    return *it;
+  }
+
+  [[nodiscard]] bool contains(ChunkId id) const { return index_.contains(id); }
+
+  ChunkEntry& entry(ChunkId id) {
+    auto it = index_.find(id);
+    assert(it != index_.end());
+    return *it->second;
+  }
+  [[nodiscard]] const ChunkEntry& entry(ChunkId id) const {
+    auto it = index_.find(id);
+    assert(it != index_.end());
+    return *it->second;
+  }
+  [[nodiscard]] ChunkEntry* find(ChunkId id) {
+    auto it = index_.find(id);
+    return it == index_.end() ? nullptr : &*it->second;
+  }
+
+  /// Remove a chunk (after eviction) and return its final metadata.
+  ChunkEntry erase(ChunkId id) {
+    auto it = index_.find(id);
+    assert(it != index_.end());
+    ChunkEntry out = *it->second;
+    chain_.erase(it->second);
+    index_.erase(it);
+    return out;
+  }
+
+  /// Move a chunk to the MRU tail (HPE-style recency update on touch).
+  void move_to_tail(ChunkId id) {
+    auto it = index_.find(id);
+    assert(it != index_.end());
+    chain_.splice(chain_.end(), chain_, it->second);
+  }
+
+  /// Advance the interval clock by `n` migrated pages. Returns true when one
+  /// or more interval boundaries were crossed.
+  bool note_pages_migrated(u64 n) {
+    pages_migrated_ += n;
+    const u64 new_interval = pages_migrated_ / interval_pages_;
+    if (new_interval != current_interval_) {
+      current_interval_ = new_interval;
+      return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] u64 current_interval() const noexcept { return current_interval_; }
+  [[nodiscard]] u64 pages_migrated() const noexcept { return pages_migrated_; }
+
+  /// Which partition (Fig 2) an entry falls in, judged by its stamp.
+  [[nodiscard]] Partition partition_of(const ChunkEntry& e, bool by_touch) const {
+    const u64 stamp = by_touch ? e.last_touch_interval : e.arrival_interval;
+    if (stamp >= current_interval_) return Partition::kNew;
+    if (stamp + 1 == current_interval_) return Partition::kMiddle;
+    return Partition::kOld;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return chain_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return chain_.empty(); }
+
+  // LRU-first iteration (head -> tail).
+  [[nodiscard]] Iter begin() { return chain_.begin(); }
+  [[nodiscard]] Iter end() { return chain_.end(); }
+  [[nodiscard]] ConstIter begin() const { return chain_.begin(); }
+  [[nodiscard]] ConstIter end() const { return chain_.end(); }
+  // MRU-first iteration (tail -> head).
+  [[nodiscard]] List::reverse_iterator rbegin() { return chain_.rbegin(); }
+  [[nodiscard]] List::reverse_iterator rend() { return chain_.rend(); }
+  [[nodiscard]] List::const_reverse_iterator rbegin() const { return chain_.rbegin(); }
+  [[nodiscard]] List::const_reverse_iterator rend() const { return chain_.rend(); }
+
+ private:
+  List chain_;
+  std::unordered_map<ChunkId, Iter> index_;
+  u32 interval_pages_;
+  u64 pages_migrated_ = 0;
+  u64 current_interval_ = 0;
+};
+
+}  // namespace uvmsim

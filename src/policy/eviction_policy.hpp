@@ -1,0 +1,77 @@
+// EvictionPolicy: the strategy layer on top of the shared ChunkChain.
+//
+// The UVM driver owns one ChunkChain and one EvictionPolicy; the policy
+// reads/searches the chain and is notified of the paging events it needs
+// (chunk arrivals, demand touches, faults, interval boundaries, evictions).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/types.hpp"
+#include "policy/chunk_chain.hpp"
+
+namespace uvmsim {
+
+/// Where a (re-)migrated chunk should enter the chain.
+enum class InsertPosition : u8 { kTail, kHead };
+
+class EvictionPolicy {
+ public:
+  explicit EvictionPolicy(ChunkChain& chain) : chain_(chain) {}
+  virtual ~EvictionPolicy() = default;
+
+  EvictionPolicy(const EvictionPolicy&) = delete;
+  EvictionPolicy& operator=(const EvictionPolicy&) = delete;
+
+  /// A chunk was migrated in and inserted into the chain.
+  virtual void on_chunk_inserted(ChunkEntry& /*e*/) {}
+
+  /// A resident page received a demand touch (idx = page within chunk).
+  /// Chain metadata (touched bits, counters) is updated by the driver before
+  /// this hook; policies use it for recency reordering only.
+  virtual void on_page_touched(ChunkEntry& /*e*/, u32 /*page_in_chunk*/) {}
+
+  /// A far fault occurred for `page` (before migration). MHPE uses this to
+  /// detect wrong evictions.
+  virtual void on_fault(PageId /*page*/) {}
+
+  /// One or more interval boundaries were crossed (called after the chain's
+  /// interval clock advanced).
+  virtual void on_interval_boundary() {}
+
+  /// Select the chunk to evict. The chain is guaranteed to contain at least
+  /// one unpinned entry. Must not return a pinned chunk.
+  [[nodiscard]] virtual ChunkId select_victim() = 0;
+
+  /// The selected chunk is about to be evicted; final metadata available.
+  virtual void on_chunk_evicted(const ChunkEntry& /*e*/) {}
+
+  /// Where should `chunk` be inserted when (re-)migrated?
+  [[nodiscard]] virtual InsertPosition insert_position(ChunkId /*chunk*/) {
+    return InsertPosition::kTail;
+  }
+
+  /// True if demand touches should refresh the chunk's position/recency in
+  /// the chain (HPE/LRU-style). MHPE deliberately leaves the chain in pure
+  /// arrival order — one chain update per chunk (paper §VI-C).
+  [[nodiscard]] virtual bool reorder_on_touch() const { return false; }
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+ protected:
+  [[nodiscard]] ChunkChain& chain() noexcept { return chain_; }
+  [[nodiscard]] const ChunkChain& chain() const noexcept { return chain_; }
+
+  /// First unpinned chunk from the LRU end; kInvalidChunk if none.
+  [[nodiscard]] ChunkId lru_unpinned() const {
+    for (const auto& e : chain_)
+      if (!e.pinned()) return e.id;
+    return kInvalidChunk;
+  }
+
+ private:
+  ChunkChain& chain_;
+};
+
+}  // namespace uvmsim

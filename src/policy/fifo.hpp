@@ -1,0 +1,22 @@
+// FIFO / arrival-order eviction: the victim is the chunk that was migrated
+// in earliest, regardless of touches — "pre-evicts contiguous pages in the
+// order in which they were brought in by the prefetcher" (Ganguly et al.,
+// as described in the paper's §I/§II). Because MHPE also keeps the chain in
+// arrival order, FIFO is exactly MHPE's LRU mode without the MRU phase,
+// making it a useful ablation baseline.
+#pragma once
+
+#include "policy/eviction_policy.hpp"
+
+namespace uvmsim {
+
+class FifoPolicy final : public EvictionPolicy {
+ public:
+  using EvictionPolicy::EvictionPolicy;
+
+  [[nodiscard]] ChunkId select_victim() override { return lru_unpinned(); }
+  [[nodiscard]] bool reorder_on_touch() const override { return false; }
+  [[nodiscard]] std::string name() const override { return "FIFO"; }
+};
+
+}  // namespace uvmsim

@@ -1,0 +1,19 @@
+// Chunk-granular LRU — the eviction half of the paper's baseline
+// (sequential-local prefetcher + LRU pre-eviction, after Ganguly et al.).
+// Demand touches refresh recency; the victim is the coldest unpinned chunk.
+#pragma once
+
+#include "policy/eviction_policy.hpp"
+
+namespace uvmsim {
+
+class LruPolicy final : public EvictionPolicy {
+ public:
+  using EvictionPolicy::EvictionPolicy;
+
+  [[nodiscard]] ChunkId select_victim() override { return lru_unpinned(); }
+  [[nodiscard]] bool reorder_on_touch() const override { return true; }
+  [[nodiscard]] std::string name() const override { return "LRU"; }
+};
+
+}  // namespace uvmsim

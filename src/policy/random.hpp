@@ -1,0 +1,36 @@
+// Uniform-random eviction over resident chunks (evaluated by Zheng et al.
+// and used in the paper's Fig 3 / Fig 9 comparisons). Random avoids LRU's
+// pathological behaviour on cyclic (thrashing) patterns because each chunk
+// has equal survival probability regardless of reuse distance.
+#pragma once
+
+#include "common/rng.hpp"
+#include "policy/eviction_policy.hpp"
+
+namespace uvmsim {
+
+class RandomPolicy final : public EvictionPolicy {
+ public:
+  RandomPolicy(ChunkChain& chain, u64 seed) : EvictionPolicy(chain), rng_(seed) {}
+
+  [[nodiscard]] ChunkId select_victim() override {
+    const std::size_t n = chain().size();
+    std::size_t k = rng_.below(n);
+    // Walk to position k, then forward (wrapping) to the first unpinned entry.
+    auto it = chain().begin();
+    std::advance(it, static_cast<long>(k));
+    for (std::size_t scanned = 0; scanned < n; ++scanned) {
+      if (!it->pinned()) return it->id;
+      if (++it == chain().end()) it = chain().begin();
+    }
+    return kInvalidChunk;
+  }
+
+  [[nodiscard]] bool reorder_on_touch() const override { return true; }
+  [[nodiscard]] std::string name() const override { return "Random"; }
+
+ private:
+  Xoshiro256 rng_;
+};
+
+}  // namespace uvmsim

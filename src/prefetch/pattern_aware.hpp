@@ -1,0 +1,109 @@
+// CPPE's access-pattern-aware prefetcher (paper §IV-C, Fig 6).
+//
+// A "pattern buffer" remembers the demand-touch pattern of chunks evicted by
+// the eviction policy (only chunks with untouch level >= 8 are recorded —
+// chunks that were mostly untouched are exactly the ones where whole-chunk
+// prefetching wasted capacity and bandwidth). On a later fault into a
+// recorded chunk:
+//   * faulted page matches the pattern  -> prefetch only the patterned pages;
+//   * faulted page misses the pattern   -> prefetch the whole chunk, and
+//     delete the entry per the configured deletion scheme:
+//       Scheme-1: delete on any mismatch;
+//       Scheme-2: delete only if the mismatch happens on the entry's FIRST
+//                 lookup (a chunk whose first probe matched has demonstrated
+//                 a stable pattern and is kept).
+#pragma once
+
+#include <unordered_map>
+
+#include "common/config.hpp"
+#include "prefetch/prefetcher.hpp"
+
+namespace uvmsim {
+
+class PatternAwarePrefetcher final : public Prefetcher {
+ public:
+  explicit PatternAwarePrefetcher(const PolicyConfig& cfg)
+      : min_untouch_(cfg.pattern_min_untouch), scheme_(cfg.deletion) {}
+
+  [[nodiscard]] std::vector<PageId> plan(PageId faulted,
+                                         const ResidencyView& view) override {
+    const ChunkId c = chunk_of_page(faulted);
+    std::vector<PageId> out;
+    out.reserve(kChunkPages);
+
+    auto it = buffer_.find(c);
+    if (it == buffer_.end()) {
+      append_chunk(c, view, out);
+      return out;
+    }
+    ++lookups_;
+    Entry& e = it->second;
+    const bool first_lookup = !e.probed;
+    e.probed = true;
+
+    if (e.pattern.test(page_index_in_chunk(faulted))) {
+      // Pattern match: migrate only the patterned (touched-last-time) pages.
+      ++matches_;
+      const PageId base = first_page_of_chunk(c);
+      for (u32 i = 0; i < kChunkPages; ++i) {
+        const PageId p = base + i;
+        if (e.pattern.test(i) && p < view.footprint_pages() && !view.is_resident(p))
+          out.push_back(p);
+      }
+      return out;
+    }
+
+    // Mismatch: fall back to the whole chunk, minus anything resident.
+    ++mismatches_;
+    append_chunk(c, view, out);
+    if (scheme_ == DeletionScheme::kScheme1 ||
+        (scheme_ == DeletionScheme::kScheme2 && first_lookup)) {
+      buffer_.erase(it);
+      ++deletions_;
+    }
+    return out;
+  }
+
+  void on_chunk_evicted(ChunkId chunk, TouchBits touched) override {
+    // Record only sparse chunks (untouch level >= 8); a mostly-touched chunk
+    // carries no prefetch-narrowing signal. Entries are *only* removed by
+    // the deletion schemes — a dense re-eviction leaves an existing pattern
+    // in place, which is exactly why Scheme-2 "usually required two
+    // prefetches" for slowly-populating chunks (paper §VI-B).
+    if (touched.untouched() < min_untouch_) return;
+    // Never record an empty pattern: it could prefetch zero pages.
+    if (touched.empty()) return;
+    buffer_[chunk] = Entry{touched, /*probed=*/false};
+    ++records_;
+    peak_size_ = std::max(peak_size_, buffer_.size());
+  }
+
+  [[nodiscard]] std::string name() const override {
+    return scheme_ == DeletionScheme::kScheme1 ? "pattern-aware/s1" : "pattern-aware/s2";
+  }
+
+  // --- Overhead / behaviour introspection (§VI-C, Fig 7) --------------------
+  [[nodiscard]] std::size_t size() const noexcept { return buffer_.size(); }
+  [[nodiscard]] std::size_t peak_size() const noexcept { return peak_size_; }
+  [[nodiscard]] u64 lookups() const noexcept { return lookups_; }
+  [[nodiscard]] u64 matches() const noexcept { return matches_; }
+  [[nodiscard]] u64 mismatches() const noexcept { return mismatches_; }
+  [[nodiscard]] u64 records() const noexcept { return records_; }
+  [[nodiscard]] u64 deletions() const noexcept { return deletions_; }
+  [[nodiscard]] bool has_pattern(ChunkId c) const { return buffer_.contains(c); }
+
+ private:
+  struct Entry {
+    TouchBits pattern;
+    bool probed = false;  ///< has this entry been looked up since recording?
+  };
+
+  std::unordered_map<ChunkId, Entry> buffer_;
+  u32 min_untouch_;
+  DeletionScheme scheme_;
+  std::size_t peak_size_ = 0;
+  u64 lookups_ = 0, matches_ = 0, mismatches_ = 0, records_ = 0, deletions_ = 0;
+};
+
+}  // namespace uvmsim

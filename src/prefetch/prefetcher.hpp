@@ -1,0 +1,80 @@
+// Prefetcher interface: given a faulting page, decide which additional pages
+// to migrate in the same driver operation. The CPPE coordination point is
+// `on_chunk_evicted`, through which the eviction policy's victims (and their
+// touch patterns) reach the prefetcher.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/touch_bits.hpp"
+#include "common/types.hpp"
+
+namespace uvmsim {
+
+/// Read-only residency oracle handed to prefetchers. "Resident" includes
+/// pages whose migration is already in flight, so prefetchers never request
+/// duplicate transfers.
+class ResidencyView {
+ public:
+  virtual ~ResidencyView() = default;
+  [[nodiscard]] virtual bool is_resident(PageId p) const = 0;
+  /// Pages [0, footprint_pages()) are valid; nothing may be prefetched past
+  /// the end of the allocation.
+  [[nodiscard]] virtual PageId footprint_pages() const = 0;
+};
+
+class Prefetcher {
+ public:
+  virtual ~Prefetcher() = default;
+
+  /// Plan the migration for a fault on `faulted` (guaranteed non-resident).
+  /// Returns the page set to transfer; it must include `faulted`, exclude
+  /// resident/in-flight pages, and stay inside the footprint.
+  [[nodiscard]] virtual std::vector<PageId> plan(PageId faulted,
+                                                 const ResidencyView& view) = 0;
+
+  /// CPPE hook: a chunk selected by the eviction policy was evicted with the
+  /// given demand-touch pattern. Default: ignore.
+  virtual void on_chunk_evicted(ChunkId /*chunk*/, TouchBits /*touched*/) {}
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+ protected:
+  /// Append every valid, non-resident page of `chunk` to `out`.
+  static void append_chunk(ChunkId chunk, const ResidencyView& view,
+                           std::vector<PageId>& out) {
+    const PageId base = first_page_of_chunk(chunk);
+    for (u32 i = 0; i < kChunkPages; ++i) {
+      const PageId p = base + i;
+      if (p < view.footprint_pages() && !view.is_resident(p)) out.push_back(p);
+    }
+  }
+};
+
+/// Demand paging only: migrate exactly the faulting page.
+class NoPrefetcher final : public Prefetcher {
+ public:
+  [[nodiscard]] std::vector<PageId> plan(PageId faulted,
+                                         const ResidencyView&) override {
+    return {faulted};
+  }
+  [[nodiscard]] std::string name() const override { return "none"; }
+};
+
+/// Sequential-local prefetcher (Zheng et al., HPCA'16; the 64 KB basic block
+/// of Ganguly et al.): on a fault, migrate the whole 16-page chunk that
+/// contains the faulting page.
+class LocalityPrefetcher final : public Prefetcher {
+ public:
+  [[nodiscard]] std::vector<PageId> plan(PageId faulted,
+                                         const ResidencyView& view) override {
+    std::vector<PageId> out;
+    out.reserve(kChunkPages);
+    append_chunk(chunk_of_page(faulted), view, out);
+    return out;
+  }
+  [[nodiscard]] std::string name() const override { return "locality"; }
+};
+
+}  // namespace uvmsim

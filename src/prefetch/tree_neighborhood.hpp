@@ -1,0 +1,56 @@
+// Tree-based neighborhood prefetcher — the scheme Ganguly et al. (ISCA'19)
+// reverse-engineered from the NVIDIA CUDA driver. The address space is
+// divided into 2 MB regions; each region is a full binary tree whose leaves
+// are 64 KB basic blocks (16 pages). On a fault the faulting basic block is
+// migrated, then the tree is climbed: whenever more than half of an
+// ancestor node's bytes are (or are about to be) resident, the rest of that
+// node is prefetched too, and the climb continues.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "prefetch/prefetcher.hpp"
+
+namespace uvmsim {
+
+class TreeNeighborhoodPrefetcher final : public Prefetcher {
+ public:
+  static constexpr u64 kRegionBytes = 2ull * 1024 * 1024;      ///< 2 MB subtree
+  static constexpr u64 kRegionPages = kRegionBytes / kPageBytes;  ///< 512 pages
+
+  [[nodiscard]] std::vector<PageId> plan(PageId faulted,
+                                         const ResidencyView& view) override {
+    std::vector<PageId> out;
+    out.reserve(kChunkPages);
+    append_chunk(chunk_of_page(faulted), view, out);
+
+    // Climb from the 16-page leaf toward the 512-page region root.
+    const PageId region_base = faulted & ~(kRegionPages - 1);
+    u64 node_pages = kChunkPages;
+    while (node_pages < kRegionPages) {
+      node_pages *= 2;
+      const PageId node_base = region_base + ((faulted - region_base) & ~(node_pages - 1));
+      const PageId node_end =
+          std::min<PageId>(node_base + node_pages, view.footprint_pages());
+      if (node_base >= node_end) break;
+
+      u64 covered = out.size();  // pages this plan already migrates
+      for (PageId p = node_base; p < node_end; ++p)
+        if (view.is_resident(p)) ++covered;
+      // Over-counts nothing: `out` only holds non-resident pages and all of
+      // them fall inside the smallest enclosing node, hence inside this one.
+      if (2 * covered <= node_pages) break;  // <= 50% resident: stop climbing
+
+      for (PageId p = node_base; p < node_end; ++p) {
+        if (view.is_resident(p)) continue;
+        if (std::find(out.begin(), out.end(), p) == out.end()) out.push_back(p);
+      }
+    }
+    return out;
+  }
+
+  [[nodiscard]] std::string name() const override { return "tree"; }
+};
+
+}  // namespace uvmsim

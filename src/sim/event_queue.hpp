@@ -1,0 +1,72 @@
+// Discrete-event simulation kernel.
+//
+// A single EventQueue drives one simulation instance. Events scheduled for
+// the same cycle run in FIFO order of scheduling (stable sequence numbers),
+// which keeps component interactions deterministic.
+#pragma once
+
+#include <cassert>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace uvmsim {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedule `fn` to run `delay` cycles from now.
+  void schedule_in(Cycle delay, Callback fn) { schedule_at(now_ + delay, std::move(fn)); }
+
+  /// Schedule `fn` at an absolute cycle (must not be in the past).
+  void schedule_at(Cycle when, Callback fn) {
+    assert(when >= now_);
+    heap_.push(Event{when, seq_++, std::move(fn)});
+  }
+
+  [[nodiscard]] Cycle now() const noexcept { return now_; }
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t pending() const noexcept { return heap_.size(); }
+
+  /// Pop and run the next event. Returns false if the queue was empty.
+  bool step() {
+    if (heap_.empty()) return false;
+    // Move the callback out before popping so it may schedule new events.
+    Event ev = std::move(const_cast<Event&>(heap_.top()));
+    heap_.pop();
+    now_ = ev.when;
+    ev.fn();
+    return true;
+  }
+
+  /// Run until the queue drains or `max_cycle` would be passed.
+  /// Returns the number of events executed.
+  u64 run(Cycle max_cycle = ~Cycle{0}) {
+    u64 executed = 0;
+    while (!heap_.empty() && heap_.top().when <= max_cycle) {
+      step();
+      ++executed;
+    }
+    if (now_ < max_cycle && max_cycle != ~Cycle{0}) now_ = max_cycle;
+    return executed;
+  }
+
+ private:
+  struct Event {
+    Cycle when;
+    u64 seq;
+    Callback fn;
+    bool operator>(const Event& o) const {
+      return when != o.when ? when > o.when : seq > o.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
+  Cycle now_ = 0;
+  u64 seq_ = 0;
+};
+
+}  // namespace uvmsim

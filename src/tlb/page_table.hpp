@@ -1,0 +1,62 @@
+// Four-level radix page table over the unified virtual address space.
+//
+// The simulator does not store data, so a mapping is presence plus a
+// physical frame number. The radix structure matters to the *walker*: each
+// level contributes a node whose tag is probed in the page walk cache, so
+// spatially-close pages share upper-level nodes exactly as on real x86-64.
+#pragma once
+
+#include <cassert>
+#include <unordered_map>
+
+#include "common/types.hpp"
+
+namespace uvmsim {
+
+/// Physical frame number in GPU device memory.
+using FrameId = u64;
+inline constexpr FrameId kInvalidFrame = ~FrameId{0};
+
+class PageTable {
+ public:
+  static constexpr u32 kLevels = 4;
+  static constexpr u32 kBitsPerLevel = 9;  ///< 512-entry nodes, x86-64 style
+
+  /// Tag identifying the page-table node visited at `level` (0 = leaf/PTE
+  /// level, kLevels-1 = root) during a walk for page `p`. Pages that share
+  /// the high-order bits share nodes, so the walk cache captures locality.
+  [[nodiscard]] static constexpr u64 node_tag(PageId p, u32 level) {
+    assert(level < kLevels);
+    // Shift away the bits resolved below this level; keep the level in the
+    // tag so nodes from different levels never alias.
+    return ((p >> (kBitsPerLevel * level)) << 2) | level;
+  }
+
+  [[nodiscard]] bool resident(PageId p) const { return map_.contains(p); }
+
+  [[nodiscard]] FrameId frame_of(PageId p) const {
+    auto it = map_.find(p);
+    return it == map_.end() ? kInvalidFrame : it->second;
+  }
+
+  void map(PageId p, FrameId f) {
+    assert(!map_.contains(p));
+    map_.emplace(p, f);
+  }
+
+  /// Remove the mapping; returns the frame that backed it.
+  FrameId unmap(PageId p) {
+    auto it = map_.find(p);
+    assert(it != map_.end());
+    const FrameId f = it->second;
+    map_.erase(it);
+    return f;
+  }
+
+  [[nodiscard]] std::size_t mapped_pages() const { return map_.size(); }
+
+ private:
+  std::unordered_map<PageId, FrameId> map_;
+};
+
+}  // namespace uvmsim

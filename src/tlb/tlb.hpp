@@ -1,0 +1,72 @@
+// TLB: a SetAssocCache of page translations with hit/miss statistics and
+// (for the shared L2 TLB) port contention. Supports hit-under-miss — the
+// owner continues probing while walks for earlier misses are outstanding.
+#pragma once
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "mem/set_assoc_cache.hpp"
+
+namespace uvmsim {
+
+class Tlb {
+ public:
+  /// `ways == 0` means fully associative (used for the 128-entry L1 TLBs).
+  Tlb(std::string name, u32 entries, u32 ways, Cycle latency, u32 ports = 1)
+      : name_(std::move(name)),
+        cache_(entries, ways),
+        latency_(latency),
+        port_free_(std::max(1u, ports), 0) {}
+
+  struct Result {
+    bool hit;
+    Cycle ready_at;  ///< cycle at which the lookup result is available
+  };
+
+  /// Probe for `page` at cycle `now`, paying port contention + access latency.
+  Result lookup(Cycle now, PageId page) {
+    const Cycle start = acquire_port(now);
+    const bool hit = cache_.lookup(page);
+    if (hit)
+      ++hits_;
+    else
+      ++misses_;
+    return Result{hit, start + latency_};
+  }
+
+  void fill(PageId page) { cache_.insert(page); }
+
+  /// Shootdown on page eviction. Returns true if the entry existed.
+  bool invalidate(PageId page) { return cache_.invalidate(page); }
+
+  [[nodiscard]] u64 hits() const noexcept { return hits_; }
+  [[nodiscard]] u64 misses() const noexcept { return misses_; }
+  [[nodiscard]] double hit_rate() const noexcept {
+    const u64 total = hits_ + misses_;
+    return total == 0 ? 0.0 : static_cast<double>(hits_) / static_cast<double>(total);
+  }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] u32 entries() const noexcept { return cache_.entries(); }
+
+ private:
+  /// Each port serves one lookup per cycle; pick the earliest-free port.
+  Cycle acquire_port(Cycle now) {
+    auto it = std::min_element(port_free_.begin(), port_free_.end());
+    const Cycle start = std::max(now, *it);
+    *it = start + 1;
+    return start;
+  }
+
+  std::string name_;
+  SetAssocCache cache_;
+  Cycle latency_;
+  std::vector<Cycle> port_free_;
+  u64 hits_ = 0;
+  u64 misses_ = 0;
+};
+
+}  // namespace uvmsim

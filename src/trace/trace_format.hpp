@@ -1,0 +1,30 @@
+// On-disk trace format for recorded page-access streams.
+//
+// A trace file stores one access stream per warp, so a recorded workload
+// replays bit-identically through TraceWorkload (same pages, same think
+// times, same warp assignment). Layout (little-endian, packed manually —
+// no struct dumping, so the format is portable):
+//
+//   [Header]
+//     u64 magic      "UVMTRC01"
+//     u32 version    (1)
+//     u32 num_streams
+//     u64 footprint_pages
+//     u8  pattern_type
+//     u8  name_len, name bytes
+//   [Stream] x num_streams
+//     u32 global_warp_index
+//     u64 num_accesses
+//     [Access] x num_accesses:  u64 page, u32 think
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace uvmsim {
+
+inline constexpr u64 kTraceMagic = 0x3130'4352'544D'5655ull;  // "UVMTRC01"
+inline constexpr u32 kTraceVersion = 1;
+
+}  // namespace uvmsim

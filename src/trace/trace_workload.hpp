@@ -1,0 +1,57 @@
+// TraceWorkload: replay a recorded trace as a Workload. Recording any
+// workload with the same grid shape and seed and replaying it produces a
+// bit-identical simulation — the replay equivalence is enforced by
+// tests/trace/trace_test.cpp.
+//
+// When the simulated grid has more warps than the trace has streams, the
+// extra warps get empty streams; when it has fewer, the surplus streams are
+// ignored. (Exact replay therefore requires matching grid shapes.)
+#pragma once
+
+#include <memory>
+#include <utility>
+
+#include "trace/trace_io.hpp"
+#include "workloads/workload.hpp"
+
+namespace uvmsim {
+
+class TraceWorkload final : public Workload {
+ public:
+  explicit TraceWorkload(Trace trace) : trace_(std::move(trace)) {}
+
+  [[nodiscard]] std::string name() const override { return trace_.name + " (trace)"; }
+  [[nodiscard]] std::string abbr() const override { return trace_.name; }
+  [[nodiscard]] u64 footprint_pages() const override { return trace_.footprint_pages; }
+  [[nodiscard]] PatternType pattern() const override { return trace_.pattern; }
+
+  [[nodiscard]] std::unique_ptr<AccessStream> make_stream(
+      const WarpContext& ctx) const override {
+    for (const auto& s : trace_.streams)
+      if (s.global_warp_index == ctx.global_index)
+        return std::make_unique<ReplayStream>(&s.accesses);
+    return std::make_unique<ReplayStream>(nullptr);  // no work for this warp
+  }
+
+  [[nodiscard]] const Trace& trace() const noexcept { return trace_; }
+
+ private:
+  class ReplayStream final : public AccessStream {
+   public:
+    explicit ReplayStream(const std::vector<Access>* accesses)
+        : accesses_(accesses) {}
+    bool next(Access& out) override {
+      if (accesses_ == nullptr || pos_ >= accesses_->size()) return false;
+      out = (*accesses_)[pos_++];
+      return true;
+    }
+
+   private:
+    const std::vector<Access>* accesses_;
+    std::size_t pos_ = 0;
+  };
+
+  Trace trace_;
+};
+
+}  // namespace uvmsim

@@ -1,0 +1,279 @@
+#include "uvm/driver.hpp"
+
+#include <algorithm>
+
+namespace uvmsim {
+
+UvmDriver::UvmDriver(EventQueue& eq, const SystemConfig& sys,
+                     const PolicyConfig& pol, u64 footprint_pages,
+                     u64 capacity_pages)
+    : eq_(eq),
+      sys_(sys),
+      pol_(pol),
+      footprint_pages_(footprint_pages),
+      capacity_pages_(capacity_pages),
+      free_frames_(capacity_pages),
+      chain_(pol.interval_faults),
+      h2d_(sys.pcie_page_cycles()),
+      d2h_(sys.pcie_page_cycles()),
+      max_concurrent_migrations_(std::max(1u, pol.driver_concurrency)) {
+  assert(capacity_pages_ > 0);
+}
+
+UvmDriver::~UvmDriver() = default;
+
+void UvmDriver::set_policy(std::unique_ptr<EvictionPolicy> policy) {
+  policy_ = std::move(policy);
+}
+void UvmDriver::set_prefetcher(std::unique_ptr<Prefetcher> prefetcher) {
+  prefetcher_ = std::move(prefetcher);
+}
+
+void UvmDriver::note_touch(PageId p) {
+  ChunkEntry* e = chain_.find(chunk_of_page(p));
+  if (e == nullptr) return;  // resident page always has a chain entry, but be safe
+  const u32 idx = page_index_in_chunk(p);
+  if (!e->touched.test(idx)) {
+    e->touched.set(idx);
+    ++e->hpe_counter;
+  }
+  e->last_touch_interval = chain_.current_interval();
+  if (policy_->reorder_on_touch()) chain_.move_to_tail(e->id);
+  policy_->on_page_touched(*e, idx);
+}
+
+void UvmDriver::fault(PageId p, WakeCallback wake) {
+  assert(p < footprint_pages_);
+  if (pt_.resident(p)) {  // raced with a completing migration
+    note_touch(p);
+    wake();
+    return;
+  }
+  if (auto it = inflight_.find(p); it != inflight_.end()) {
+    // A migration covering this page is in flight: the fault coalesces
+    // (replayable far faults simply replay once the page lands).
+    ++stats_.faults_coalesced;
+    it->second.push_back(std::move(wake));
+    return;
+  }
+  if (auto it = pending_.find(p); it != pending_.end()) {
+    ++stats_.faults_coalesced;  // fault already raised, not yet serviced
+    it->second.push_back(std::move(wake));
+    return;
+  }
+  ++stats_.page_faults;
+  policy_->on_fault(p);  // wrong-eviction detection happens per fault event
+  pending_[p].push_back(std::move(wake));
+  if (active_migrations_ < max_concurrent_migrations_) {
+    ++active_migrations_;
+    service_fault(p);
+  } else {
+    fault_queue_.push_back(p);
+  }
+}
+
+void UvmDriver::service_fault(PageId p) {
+  // The fault may have been absorbed into another plan (or even completed)
+  // between queueing/retry and now; if so, release the slot and move on.
+  if (!pending_.contains(p)) {
+    --active_migrations_;
+    admit_next();
+    return;
+  }
+
+  // 1. Let the prefetcher plan the migration set. When prefetching under
+  //    oversubscription is disabled (Fig 10's variant), a full memory demands
+  //    the faulted page only.
+  Migration m;
+  if (!pol_.prefetch_when_full && memory_full()) {
+    m.pages.push_back(p);
+  } else {
+    m.pages = prefetcher_->plan(p, *this);
+    // Defensive: guarantee the faulted page is transferred even if a
+    // prefetcher mis-plans around it.
+    if (std::find(m.pages.begin(), m.pages.end(), p) == m.pages.end())
+      m.pages.push_back(p);
+  }
+
+  // Keep the faulted page at the front so plan trimming never drops it, and
+  // clamp oversized plans (the tree prefetcher can request up to 2 MB) to
+  // the physical capacity.
+  {
+    auto it = std::find(m.pages.begin(), m.pages.end(), p);
+    assert(it != m.pages.end());
+    std::iter_swap(m.pages.begin(), it);
+    if (m.pages.size() > capacity_pages_) m.pages.resize(capacity_pages_);
+  }
+
+  // 2. Make room. Chunks touched by this plan are pinned before any eviction
+  //    so a victim search can never select what we are about to fill.
+  for (PageId page : m.pages) {
+    if (ChunkEntry* e = chain_.find(chunk_of_page(page))) {
+      ++e->pin_count;
+      m.pinned.push_back(e->id);
+    }
+  }
+  const auto unpin_page = [&](PageId page) {
+    if (ChunkEntry* e = chain_.find(chunk_of_page(page))) {
+      auto it = std::find(m.pinned.begin(), m.pinned.end(), e->id);
+      if (it != m.pinned.end()) {
+        --e->pin_count;
+        m.pinned.erase(it);
+      }
+    }
+  };
+  u64 demand_evictions = 0;  // evictions on this fault's critical path
+  while (free_frames_ < m.pages.size()) {
+    if (evict_one_chunk()) {
+      ++demand_evictions;
+      continue;
+    }
+    // Every chunk is pinned by concurrent migrations. If even the faulted
+    // page cannot fit, release our pins and retry once a concurrent
+    // migration has completed (one must exist — pins come only from active
+    // migrations). Otherwise shrink the plan to what fits now.
+    if (free_frames_ == 0) {
+      for (ChunkId c : m.pinned) --chain_.entry(c).pin_count;
+      eq_.schedule_in(sys_.fault_latency_cycles() / 4 + 1,
+                      [this, p] { service_fault(p); });
+      return;
+    }
+    while (m.pages.size() > free_frames_) {
+      unpin_page(m.pages.back());
+      m.pages.pop_back();
+    }
+    break;
+  }
+  assert(free_frames_ >= m.pages.size());
+  free_frames_ -= m.pages.size();
+
+  // 3. Mark every planned page in flight, absorbing pending faults: their
+  //    waiters ride this migration and their queue entries will be skipped.
+  for (PageId page : m.pages) {
+    if (auto node = pending_.extract(page); !node.empty())
+      inflight_.insert(std::move(node));
+    else
+      inflight_.try_emplace(page);
+  }
+
+  // 4. Timing: the 20 us fault service happens first (driver round trips and
+  //    page-table manipulation), lengthened by any eviction work that had to
+  //    run synchronously on this fault's critical path (pre-eviction exists
+  //    to keep demand_evictions at zero), then the pages occupy the H2D link.
+  ++stats_.migration_ops;
+  stats_.demand_evictions += demand_evictions;
+  const Cycle service_done = eq_.now() + sys_.fault_latency_cycles() +
+                             demand_evictions * sys_.evict_service_cycles();
+  const Cycle transfer_done = h2d_.reserve(service_done, m.pages.size());
+  eq_.schedule_at(transfer_done,
+                  [this, mig = std::move(m)]() mutable { complete_migration(std::move(mig)); });
+}
+
+bool UvmDriver::evict_one_chunk() {
+  const ChunkId victim = policy_->select_victim();
+  if (victim == kInvalidChunk) return false;
+  ChunkEntry& e = chain_.entry(victim);
+  assert(!e.pinned());
+
+  policy_->on_chunk_evicted(e);
+  // CPPE coordination point: the evicted chunk's demand-touch pattern flows
+  // to the prefetcher (pattern buffer) — §IV-A's fine-grained interplay.
+  prefetcher_->on_chunk_evicted(victim, e.touched);
+
+  u64 pages_out = 0;
+  const PageId base = first_page_of_chunk(victim);
+  for (u32 i = 0; i < kChunkPages; ++i) {
+    if (!e.resident.test(i)) continue;
+    const PageId page = base + i;
+    const FrameId frame = pt_.unmap(page);
+    frame_pool_.push_back(frame);
+    ++free_frames_;
+    ++pages_out;
+    if (shootdown_) shootdown_(page, frame);
+  }
+  d2h_.reserve(eq_.now(), pages_out);  // write-back occupancy (full duplex)
+  chain_.erase(victim);
+  ++stats_.chunks_evicted;
+  stats_.pages_evicted += pages_out;
+  return true;
+}
+
+void UvmDriver::complete_migration(Migration m) {
+  for (PageId page : m.pages) {
+    // Allocate a physical frame (accounting was done at service time).
+    FrameId f;
+    if (!frame_pool_.empty()) {
+      f = frame_pool_.back();
+      frame_pool_.pop_back();
+    } else {
+      assert(next_frame_ < capacity_pages_);
+      f = next_frame_++;
+    }
+    pt_.map(page, f);
+
+    const ChunkId c = chunk_of_page(page);
+    ChunkEntry* e = chain_.find(c);
+    if (e == nullptr) {
+      const bool at_head = policy_->insert_position(c) == InsertPosition::kHead;
+      e = &chain_.insert(c, at_head);
+      policy_->on_chunk_inserted(*e);
+    }
+    const u32 idx = page_index_in_chunk(page);
+    e->resident.set(idx);
+    ++e->hpe_counter;  // HPE's counter counts *migrated* pages — the
+                       // prefetch pollution the paper's Inefficiency 1 describes
+
+    // Wake any warps that faulted on this page; their presence marks the
+    // page as demanded (touched) rather than purely prefetched.
+    if (auto node = inflight_.extract(page); !node.empty() && !node.mapped().empty()) {
+      e->touched.set(idx);
+      e->last_touch_interval = chain_.current_interval();
+      ++stats_.pages_demanded;
+      policy_->on_page_touched(*e, idx);
+      for (auto& wake : node.mapped()) wake();
+    } else {
+      ++stats_.pages_prefetched;
+    }
+  }
+  stats_.pages_migrated_in += m.pages.size();
+
+  // Release service-time pins.
+  for (ChunkId c : m.pinned) {
+    ChunkEntry& e = chain_.entry(c);  // pinned chunks cannot have been evicted
+    assert(e.pin_count > 0);
+    --e.pin_count;
+  }
+
+  // Advance the interval clock by migrated pages (64 pages = 4 chunks per
+  // interval with whole-chunk prefetch, matching §IV-B).
+  if (chain_.note_pages_migrated(m.pages.size())) policy_->on_interval_boundary();
+
+  // Pre-evict ahead of the next fault: keep the configured watermark of
+  // frames free so eviction work stays off fault critical paths. Only
+  // meaningful when memory is actually oversubscribed — with the footprint
+  // fully cacheable nothing will ever need the headroom.
+  if (capacity_pages_ < footprint_pages_) {
+    const u64 watermark = u64{pol_.pre_evict_watermark_chunks} * kChunkPages;
+    while (free_frames_ < watermark) {
+      if (!evict_one_chunk()) break;  // everything pinned right now
+      ++stats_.pre_evictions;
+    }
+  }
+
+  // Admit backlogged faults into the freed driver slot.
+  --active_migrations_;
+  admit_next();
+}
+
+void UvmDriver::admit_next() {
+  while (!fault_queue_.empty() && active_migrations_ < max_concurrent_migrations_) {
+    const PageId next = fault_queue_.front();
+    fault_queue_.pop_front();
+    if (!pending_.contains(next)) continue;  // absorbed by an earlier plan
+    ++active_migrations_;
+    service_fault(next);
+    return;
+  }
+}
+
+}  // namespace uvmsim

@@ -1,0 +1,154 @@
+// UvmDriver: the GPU software runtime + GMMU pair that manages unified
+// memory (paper §II-A). It owns the page table, the physical frame pool
+// (sized for the experiment's oversubscription rate), the chunk chain, the
+// eviction policy, and the prefetcher, and it orchestrates the full far-
+// fault lifecycle:
+//
+//   fault -> (coalesce with in-flight?) -> admission queue ->
+//   prefetcher plans the migration set -> evict chunks until frames free ->
+//   20 us fault service + PCIe H2D occupancy -> map pages, fill chain,
+//   wake stalled warps.
+//
+// Evictions write back over the D2H direction of the link (PCIe is full
+// duplex) and invalidate TLBs through a registered shootdown handler.
+//
+// Demand-touch visibility: the GPU calls `note_touch` on every L1-TLB-miss
+// access to a resident page. This models the driver harvesting PTE access
+// bits when it manipulates page tables — exactly the visibility MHPE needs
+// (untouch levels of *evicted* chunks) without the per-access GPU-to-driver
+// traffic the paper rules out for HPE.
+#pragma once
+
+#include <cassert>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/stats.hpp"
+#include "mem/bandwidth_link.hpp"
+#include "policy/eviction_policy.hpp"
+#include "prefetch/prefetcher.hpp"
+#include "sim/event_queue.hpp"
+#include "tlb/page_table.hpp"
+
+namespace uvmsim {
+
+class UvmDriver final : public ResidencyView {
+ public:
+  /// Fires when the faulted page has become resident (warp replay point).
+  using WakeCallback = std::function<void()>;
+  /// TLB/cache shootdown hook, invoked for every page unmapped by an
+  /// eviction with the physical frame it occupied (caches are physically
+  /// indexed).
+  using ShootdownHandler = std::function<void(PageId, FrameId)>;
+
+  UvmDriver(EventQueue& eq, const SystemConfig& sys, const PolicyConfig& pol,
+            u64 footprint_pages, u64 capacity_pages);
+  ~UvmDriver() override;
+
+  UvmDriver(const UvmDriver&) = delete;
+  UvmDriver& operator=(const UvmDriver&) = delete;
+
+  /// Install the policy/prefetcher pair (see core/policy_factory).
+  void set_policy(std::unique_ptr<EvictionPolicy> policy);
+  void set_prefetcher(std::unique_ptr<Prefetcher> prefetcher);
+  void set_shootdown_handler(ShootdownHandler h) { shootdown_ = std::move(h); }
+
+  // --- GPU-side interface ----------------------------------------------------
+  /// Is the page mapped right now (TLB-fillable)?
+  [[nodiscard]] bool page_resident(PageId p) const { return pt_.resident(p); }
+
+  /// Record a demand touch on a resident page (called on L1 TLB misses).
+  void note_touch(PageId p);
+
+  /// Raise a replayable far fault for `p`; `wake` fires once `p` is mapped.
+  void fault(PageId p, WakeCallback wake);
+
+  // --- ResidencyView (prefetcher oracle: resident OR already in flight) ------
+  [[nodiscard]] bool is_resident(PageId p) const override {
+    return pt_.resident(p) || inflight_.contains(p);
+  }
+  [[nodiscard]] PageId footprint_pages() const override { return footprint_pages_; }
+
+  // --- Introspection -----------------------------------------------------------
+  [[nodiscard]] ChunkChain& chain() noexcept { return chain_; }
+  [[nodiscard]] const ChunkChain& chain() const noexcept { return chain_; }
+  [[nodiscard]] EvictionPolicy& policy() noexcept { return *policy_; }
+  [[nodiscard]] Prefetcher& prefetcher() noexcept { return *prefetcher_; }
+  [[nodiscard]] const PageTable& page_table() const noexcept { return pt_; }
+  [[nodiscard]] u64 capacity_pages() const noexcept { return capacity_pages_; }
+  [[nodiscard]] u64 free_frames() const noexcept { return free_frames_; }
+  /// "Memory full" in the paper's sense: oversubscription pressure has set
+  /// in — either eviction has begun (pre-eviction may since keep a small
+  /// headroom free) or a whole-chunk migration no longer fits.
+  [[nodiscard]] bool memory_full() const noexcept {
+    return stats_.chunks_evicted > 0 || free_frames_ < kChunkPages;
+  }
+
+  struct Stats {
+    u64 page_faults = 0;        ///< distinct far-fault events (post-coalescing)
+    u64 faults_coalesced = 0;   ///< faults that joined an in-flight migration
+    u64 pages_migrated_in = 0;  ///< total pages moved host -> device
+    u64 pages_demanded = 0;     ///< migrated pages that had a waiting fault
+    u64 pages_prefetched = 0;   ///< migrated pages moved speculatively
+    u64 pages_evicted = 0;      ///< pages moved device -> host (Fig 4 metric)
+    u64 chunks_evicted = 0;
+    u64 migration_ops = 0;      ///< driver service operations
+    u64 demand_evictions = 0;   ///< chunk evictions on a fault's critical path
+    u64 pre_evictions = 0;      ///< chunk evictions performed ahead of need
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const BandwidthLink& h2d() const noexcept { return h2d_; }
+  [[nodiscard]] const BandwidthLink& d2h() const noexcept { return d2h_; }
+
+ private:
+  struct Migration {
+    std::vector<PageId> pages;
+    std::vector<ChunkId> pinned;  ///< one entry per pin placed at service time
+  };
+
+  void service_fault(PageId p);
+  void complete_migration(Migration m);
+  /// Evict one chunk; returns false when every chunk is pinned.
+  bool evict_one_chunk();
+  /// Hand the freed driver slot to the next queued fault that was not
+  /// already absorbed into an earlier migration plan.
+  void admit_next();
+
+  EventQueue& eq_;
+  SystemConfig sys_;
+  PolicyConfig pol_;
+  u64 footprint_pages_;
+  u64 capacity_pages_;
+  u64 free_frames_;
+  FrameId next_frame_ = 0;
+  std::vector<FrameId> frame_pool_;  ///< recycled frames
+
+  PageTable pt_;
+  ChunkChain chain_;
+  std::unique_ptr<EvictionPolicy> policy_;
+  std::unique_ptr<Prefetcher> prefetcher_;
+  ShootdownHandler shootdown_;
+
+  BandwidthLink h2d_;  ///< host -> device page migrations
+  BandwidthLink d2h_;  ///< device -> host eviction writebacks
+
+  /// Faults raised but not yet covered by a migration plan (page -> waiters).
+  /// A queued fault whose page gets swept into another fault's chunk plan is
+  /// "absorbed": its waiters move to inflight_ and its queue entry is skipped
+  /// on admission — this is how one driver operation serves a whole batch of
+  /// faults, the amortisation prefetching exists to provide.
+  std::unordered_map<PageId, std::vector<WakeCallback>> pending_;
+  /// page -> warps waiting for it (migration underway).
+  std::unordered_map<PageId, std::vector<WakeCallback>> inflight_;
+  std::deque<PageId> fault_queue_;  ///< admission-controlled backlog
+  u32 active_migrations_ = 0;
+  u32 max_concurrent_migrations_;  ///< PolicyConfig::driver_concurrency
+
+  Stats stats_;
+};
+
+}  // namespace uvmsim

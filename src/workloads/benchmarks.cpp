@@ -1,0 +1,129 @@
+#include "workloads/benchmarks.hpp"
+
+#include <stdexcept>
+
+#include "workloads/patterns.hpp"
+
+namespace uvmsim {
+
+u64 scaled_pages(double paper_mb) {
+  // 1/4 scale, floor 4 MB: pages = max(1024, paper_MB * 256 / 4).
+  const auto pages = static_cast<u64>(paper_mb * 64.0);
+  return std::max<u64>(1024, pages);
+}
+
+const std::vector<BenchmarkInfo>& benchmark_table() {
+  static const std::vector<BenchmarkInfo> table = {
+      {"HOT", "hotspot", "Rodinia", 12.0, PatternType::kStreaming},
+      {"LEU", "leukocyte", "Rodinia", 5.6, PatternType::kStreaming},
+      {"2DC", "2DCONV", "Polybench", 128.0, PatternType::kStreaming},
+      {"3DC", "3DCONV", "Polybench", 127.5, PatternType::kStreaming},
+      {"BKP", "backprop", "Rodinia", 9.0, PatternType::kPartlyRepetitive},
+      {"PAT", "pathfinder", "Rodinia", 38.5, PatternType::kPartlyRepetitive},
+      {"DWT", "dwt2d", "Rodinia", 27.0, PatternType::kPartlyRepetitive},
+      {"KMN", "kmeans", "Rodinia", 130.0, PatternType::kPartlyRepetitive},
+      {"SAD", "sad", "Parboil", 8.5, PatternType::kMostlyRepetitive},
+      {"NW", "nw", "Rodinia", 32.0, PatternType::kMostlyRepetitive},
+      {"BFS", "bfs", "Rodinia", 37.2, PatternType::kMostlyRepetitive},
+      {"MVT", "MVT", "Polybench", 64.1, PatternType::kMostlyRepetitive},
+      {"BIC", "BICG", "Polybench", 64.1, PatternType::kMostlyRepetitive},
+      {"SRD", "srad_v2", "Rodinia", 96.0, PatternType::kThrashing},
+      {"HSD", "hotspot3D", "Rodinia", 24.0, PatternType::kThrashing},
+      {"MRQ", "mri-q", "Parboil", 5.0, PatternType::kThrashing},
+      {"STN", "stencil", "Parboil", 4.0, PatternType::kThrashing},
+      {"HWL", "heartwall", "Rodinia", 40.7, PatternType::kRepetitiveThrashing},
+      {"SGM", "sgemm", "Parboil", 12.0, PatternType::kRepetitiveThrashing},
+      {"HIS", "histo", "Parboil", 13.2, PatternType::kRepetitiveThrashing},
+      {"SPV", "spmv", "Parboil", 27.3, PatternType::kRepetitiveThrashing},
+      {"B+T", "b+tree", "Rodinia", 34.7, PatternType::kRegionMoving},
+      {"HYB", "hybridsort", "Rodinia", 104.0, PatternType::kRegionMoving},
+  };
+  return table;
+}
+
+std::vector<std::string> benchmark_abbrs() {
+  std::vector<std::string> out;
+  out.reserve(benchmark_table().size());
+  for (const auto& b : benchmark_table()) out.push_back(b.abbr);
+  return out;
+}
+
+std::unique_ptr<Workload> make_benchmark(std::string_view abbr) {
+  const auto pages = [&](const char* a) {
+    for (const auto& b : benchmark_table())
+      if (b.abbr == a) return scaled_pages(b.paper_mb);
+    throw std::logic_error("benchmark missing from table");
+  };
+
+  // --- Type I: streaming --------------------------------------------------
+  if (abbr == "HOT") return std::make_unique<StreamingWorkload>("hotspot", "HOT", pages("HOT"), 1.0);
+  if (abbr == "LEU") return std::make_unique<StreamingWorkload>("leukocyte", "LEU", pages("LEU"), 1.0);
+  if (abbr == "2DC") return std::make_unique<StreamingWorkload>("2DCONV", "2DC", pages("2DC"), 1.0);
+  if (abbr == "3DC") return std::make_unique<StreamingWorkload>("3DCONV", "3DC", pages("3DC"), 1.0);
+
+  // --- Type II: partly repetitive ------------------------------------------
+  if (abbr == "BKP")
+    return std::make_unique<PartlyRepetitiveWorkload>("backprop", "BKP", pages("BKP"), 1.0, 0.30, 3.0);
+  if (abbr == "PAT")
+    return std::make_unique<PartlyRepetitiveWorkload>("pathfinder", "PAT", pages("PAT"), 1.0, 0.25, 2.0);
+  if (abbr == "DWT")
+    return std::make_unique<PartlyRepetitiveWorkload>("dwt2d", "DWT", pages("DWT"), 1.0, 0.50, 2.0);
+  if (abbr == "KMN")
+    return std::make_unique<PartlyRepetitiveWorkload>("kmeans", "KMN", pages("KMN"), 2.0, 0.05, 8.0);
+
+  // --- Type III: mostly repetitive (strided / sparse) ----------------------
+  if (abbr == "SAD")
+    return std::make_unique<StridedWorkload>("sad", "SAD", pages("SAD"), 2, 4.0, 0.5,
+                                             PatternType::kMostlyRepetitive, 0.03);
+  if (abbr == "NW")
+    return std::make_unique<StridedWorkload>("nw", "NW", pages("NW"), 2, 8.0, 0.0,
+                                             PatternType::kMostlyRepetitive, 0.02);
+  if (abbr == "BFS")
+    return std::make_unique<IrregularSparseWorkload>("bfs", "BFS", pages("BFS"), 6, 0.5);
+  if (abbr == "MVT")
+    return std::make_unique<StridedWorkload>("MVT", "MVT", pages("MVT"), 4, 10.0, 0.0,
+                                             PatternType::kMostlyRepetitive, 0.01);
+  if (abbr == "BIC")
+    return std::make_unique<StridedWorkload>("BICG", "BIC", pages("BIC"), 4, 10.0, 0.25,
+                                             PatternType::kMostlyRepetitive, 0.01);
+
+  // --- Type IV: thrashing ---------------------------------------------------
+  if (abbr == "SRD")
+    return std::make_unique<ThrashingWorkload>("srad_v2", "SRD", pages("SRD"), 6.0);
+  if (abbr == "HSD")
+    return std::make_unique<ThrashingWorkload>("hotspot3D", "HSD", pages("HSD"), 8.0);
+  if (abbr == "MRQ")
+    return std::make_unique<ThrashingWorkload>("mri-q", "MRQ", pages("MRQ"), 8.0,
+                                               /*jitter=*/80, /*shared_pages=*/true,
+                                               /*backtrack_prob=*/0.008,
+                                               /*backtrack_pages=*/120);
+  if (abbr == "STN")
+    return std::make_unique<ThrashingWorkload>("stencil", "STN", pages("STN"), 10.0);
+
+  // --- Type V: repetitive-thrashing -----------------------------------------
+  if (abbr == "HWL")
+    return std::make_unique<RepetitiveThrashingWorkload>("heartwall", "HWL", pages("HWL"),
+                                                         0.50, 4.0, 1.0, ColdTraffic::kRandom);
+  if (abbr == "SGM")
+    return std::make_unique<RepetitiveThrashingWorkload>("sgemm", "SGM", pages("SGM"),
+                                                         0.60, 5.0, 2.0, ColdTraffic::kStream);
+  if (abbr == "HIS")
+    return std::make_unique<StridedWorkload>("histo", "HIS", pages("HIS"), 2, 5.0, 1.0,
+                                             PatternType::kRepetitiveThrashing, 0.02);
+  if (abbr == "SPV")
+    return std::make_unique<RepetitiveThrashingWorkload>("spmv", "SPV", pages("SPV"),
+                                                         0.20, 6.0, 1.5,
+                                                         ColdTraffic::kFixedSparse);
+
+  // --- Type VI: region moving -----------------------------------------------
+  // Region sizes close to the oversubscribed capacity make these capacity-
+  // sensitive, which is what lets reserved LRU hurt them (paper Fig 3/9).
+  if (abbr == "B+T")
+    return std::make_unique<RegionMovingWorkload>("b+tree", "B+T", pages("B+T"), 0.45, 0.45);
+  if (abbr == "HYB")
+    return std::make_unique<RegionMovingWorkload>("hybridsort", "HYB", pages("HYB"), 0.40, 0.45);
+
+  throw std::invalid_argument("unknown benchmark abbreviation: " + std::string(abbr));
+}
+
+}  // namespace uvmsim

@@ -1,0 +1,36 @@
+// The 23 benchmarks of Table II, as synthetic pattern-family instances.
+// Footprints are the paper's, scaled by 1/4 (floor 4 MB) to keep simulation
+// turnaround practical; DESIGN.md §1 documents the substitution.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "workloads/workload.hpp"
+
+namespace uvmsim {
+
+struct BenchmarkInfo {
+  std::string abbr;   ///< paper abbreviation (HOT, LEU, ..., HYB)
+  std::string name;   ///< full benchmark name
+  std::string suite;  ///< Rodinia / Parboil / Polybench
+  double paper_mb;    ///< footprint reported in Table II
+  PatternType type;
+};
+
+/// Table II, in paper order.
+[[nodiscard]] const std::vector<BenchmarkInfo>& benchmark_table();
+
+/// Instantiate one benchmark by abbreviation (e.g. "NW", "B+T").
+/// Throws std::invalid_argument for unknown abbreviations.
+[[nodiscard]] std::unique_ptr<Workload> make_benchmark(std::string_view abbr);
+
+/// All abbreviations in Table II order.
+[[nodiscard]] std::vector<std::string> benchmark_abbrs();
+
+/// Scaled footprint in pages for a Table II entry.
+[[nodiscard]] u64 scaled_pages(double paper_mb);
+
+}  // namespace uvmsim

@@ -1,0 +1,324 @@
+// The six access-pattern families of Table II, as parameterisable workloads.
+// Concrete benchmarks (benchmarks.cpp) instantiate these with per-app
+// footprints and parameters chosen to reproduce the features the paper's
+// analysis relies on (strides in NW/MVT/BIC, cyclic reuse in Type IV,
+// sparse moving regions in Type VI, ...).
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "workloads/segment.hpp"
+#include "workloads/workload.hpp"
+
+namespace uvmsim {
+
+/// Common bookkeeping for all pattern families.
+class PatternWorkloadBase : public Workload {
+ public:
+  PatternWorkloadBase(std::string name, std::string abbr, u64 pages,
+                      PatternType type)
+      : name_(std::move(name)), abbr_(std::move(abbr)), pages_(pages), type_(type) {}
+
+  [[nodiscard]] std::string name() const override { return name_; }
+  [[nodiscard]] std::string abbr() const override { return abbr_; }
+  [[nodiscard]] u64 footprint_pages() const override { return pages_; }
+  [[nodiscard]] PatternType pattern() const override { return type_; }
+
+  [[nodiscard]] std::unique_ptr<AccessStream> make_stream(
+      const WarpContext& ctx) const override {
+    return std::make_unique<SegmentStream>(segments(ctx), ctx.seed);
+  }
+
+ protected:
+  [[nodiscard]] virtual std::vector<Segment> segments(const WarpContext& ctx) const = 0;
+
+  /// Interleaved slice of a full pass: warp g visits pages g, g+T, g+2T, ...
+  [[nodiscard]] Segment pass(const WarpContext& ctx, double rounds,
+                             u32 acc = 2, u32 think = 100) const {
+    return Segment::walk(0, pages_, ctx.global_index, ctx.total_warps, rounds, acc, think);
+  }
+
+ private:
+  std::string name_, abbr_;
+  u64 pages_;
+  PatternType type_;
+};
+
+/// Type I — streaming: one or a few sequential passes; every page is touched
+/// and never (or rarely) reused.
+class StreamingWorkload final : public PatternWorkloadBase {
+ public:
+  StreamingWorkload(std::string name, std::string abbr, u64 pages, double rounds)
+      : PatternWorkloadBase(std::move(name), std::move(abbr), pages,
+                            PatternType::kStreaming),
+        rounds_(rounds) {}
+
+ protected:
+  [[nodiscard]] std::vector<Segment> segments(const WarpContext& ctx) const override {
+    return {pass(ctx, rounds_)};
+  }
+
+ private:
+  double rounds_;
+};
+
+/// Type II — partly repetitive: a streaming pass plus heavy reuse of a hot
+/// prefix (iterative kernels whose auxiliary structures are revisited).
+class PartlyRepetitiveWorkload final : public PatternWorkloadBase {
+ public:
+  PartlyRepetitiveWorkload(std::string name, std::string abbr, u64 pages,
+                           double stream_rounds, double hot_fraction,
+                           double hot_rounds)
+      : PatternWorkloadBase(std::move(name), std::move(abbr), pages,
+                            PatternType::kPartlyRepetitive),
+        stream_rounds_(stream_rounds),
+        hot_fraction_(hot_fraction),
+        hot_rounds_(hot_rounds) {}
+
+ protected:
+  [[nodiscard]] std::vector<Segment> segments(const WarpContext& ctx) const override {
+    const u64 hot = std::max<u64>(kChunkPages,
+                                  static_cast<u64>(hot_fraction_ * static_cast<double>(footprint_pages())));
+    std::vector<Segment> segs;
+    segs.push_back(pass(ctx, stream_rounds_));
+    segs.push_back(Segment::walk(0, hot, ctx.global_index, ctx.total_warps, hot_rounds_));
+    return segs;
+  }
+
+ private:
+  double stream_rounds_, hot_fraction_, hot_rounds_;
+};
+
+/// Type III — mostly repetitive with a fixed page stride (paper §IV-C: NW
+/// touches every 2nd page of a chunk, MVT every 4th, for long periods).
+/// Repeated rounds over the strided subset make the *touched* working set
+/// stride-times smaller than the chunk-granular one — precisely the case
+/// the pattern-aware prefetcher exploits.
+class StridedWorkload final : public PatternWorkloadBase {
+ public:
+  StridedWorkload(std::string name, std::string abbr, u64 pages, u64 stride,
+                  double rounds, double full_rounds = 0.0,
+                  PatternType type = PatternType::kMostlyRepetitive,
+                  double off_stride_noise = 0.0)
+      : PatternWorkloadBase(std::move(name), std::move(abbr), pages, type),
+        stride_(stride),
+        rounds_(rounds),
+        full_rounds_(full_rounds),
+        noise_(off_stride_noise) {}
+
+ protected:
+  [[nodiscard]] std::vector<Segment> segments(const WarpContext& ctx) const override {
+    std::vector<Segment> segs;
+    if (full_rounds_ > 0.0) segs.push_back(pass(ctx, full_rounds_));
+    // Strided subset, warp-interleaved: warp g visits offsets (g + i*T)*stride.
+    // The walked region is aligned down to a stride multiple so the wrap
+    // preserves the page residue — the "fixed stride" the paper observes.
+    const u64 aligned = footprint_pages() - footprint_pages() % stride_;
+    Segment strided = Segment::walk(0, aligned,
+                                    (ctx.global_index * stride_) % aligned,
+                                    ctx.total_warps * stride_, rounds_);
+    strided.off_stride = noise_;
+    segs.push_back(strided);
+    return segs;
+  }
+
+ private:
+  u64 stride_;
+  double rounds_, full_rounds_;
+  double noise_;
+};
+
+/// Type III (irregular flavour) — sparse graph traversal: epochs of uniform
+/// random page visits over the whole footprint; chunks fill slowly over many
+/// intervals (the paper's BFS/HWL observation in §VI-B).
+class IrregularSparseWorkload final : public PatternWorkloadBase {
+ public:
+  IrregularSparseWorkload(std::string name, std::string abbr, u64 pages,
+                          u32 epochs, double draws_per_page_per_epoch,
+                          PatternType type = PatternType::kMostlyRepetitive)
+      : PatternWorkloadBase(std::move(name), std::move(abbr), pages, type),
+        epochs_(epochs),
+        draws_(draws_per_page_per_epoch) {}
+
+ protected:
+  [[nodiscard]] std::vector<Segment> segments(const WarpContext& ctx) const override {
+    const u64 per_warp =
+        std::max<u64>(1, static_cast<u64>(draws_ * static_cast<double>(footprint_pages())) /
+                             ctx.total_warps);
+    std::vector<Segment> segs;
+    segs.reserve(epochs_);
+    for (u32 e = 0; e < epochs_; ++e)
+      segs.push_back(Segment::random(0, footprint_pages(), per_warp, /*acc=*/1));
+    return segs;
+  }
+
+ private:
+  u32 epochs_;
+  double draws_;
+};
+
+/// Type IV — thrashing: cyclic passes over a working set larger than the
+/// oversubscribed memory. LRU is pathological here (every reuse misses);
+/// MRU retains a resident prefix. `think_jitter` desynchronises SMs, which
+/// creates the paper's second wrong-eviction source (same page touched by
+/// different SMs at different times — pronounced in MRQ).
+class ThrashingWorkload final : public PatternWorkloadBase {
+ public:
+  /// `shared_pages` adds the paper's second wrong-eviction source: each
+  /// iteration alternates the warp-to-page assignment by half the warp
+  /// count, so every page is touched by two different SMs at different
+  /// times. A chunk evicted between those touches re-faults — MRQ's
+  /// "forward distance continuously adjusted due to wrong evictions".
+  ThrashingWorkload(std::string name, std::string abbr, u64 pages, double iters,
+                    u32 think_jitter = 0, bool shared_pages = false,
+                    double backtrack_prob = 0.0, u64 backtrack_pages = 0)
+      : PatternWorkloadBase(std::move(name), std::move(abbr), pages,
+                            PatternType::kThrashing),
+        iters_(iters),
+        jitter_(think_jitter),
+        shared_(shared_pages),
+        backtrack_prob_(backtrack_prob),
+        backtrack_pages_(backtrack_pages) {}
+
+ protected:
+  [[nodiscard]] std::vector<Segment> segments(const WarpContext& ctx) const override {
+    if (!shared_) {
+      Segment s = pass(ctx, iters_);
+      s.think_jitter = jitter_;
+      s.backtrack_prob = backtrack_prob_;
+      s.backtrack_pages = backtrack_pages_;
+      return {s};
+    }
+    // One segment per iteration, alternating the slice offset by T/2, so
+    // every page is touched by two different SMs at different times.
+    std::vector<Segment> segs;
+    const auto full_iters = static_cast<u32>(iters_);
+    segs.reserve(full_iters);
+    for (u32 i = 0; i < full_iters; ++i) {
+      const u64 start = ctx.global_index + (i % 2 ? ctx.total_warps / 2 : 0);
+      Segment s = Segment::walk(0, footprint_pages(), start % footprint_pages(),
+                                ctx.total_warps, 1.0);
+      s.think_jitter = jitter_;
+      s.backtrack_prob = backtrack_prob_;
+      s.backtrack_pages = backtrack_pages_;
+      segs.push_back(s);
+    }
+    return segs;
+  }
+
+ private:
+  double iters_;
+  u32 jitter_;
+  bool shared_;
+  double backtrack_prob_;
+  u64 backtrack_pages_;
+};
+
+/// How the cold (non-hot) region of a Type V workload is visited.
+enum class ColdTraffic : u8 {
+  kStream,       ///< sequential sweeps (tiled GEMM-style)
+  kRandom,       ///< fresh uniform draws each epoch — unstable patterns
+  kFixedSparse,  ///< the SAME scattered subset each epoch (a sparse matrix's
+                 ///< fixed nonzero structure, as in spmv) — stable patterns
+                 ///< the pattern buffer can predict correctly
+};
+
+/// Type V — repetitive-thrashing: cyclic reuse of a hot subset interleaved
+/// with streaming or sparse traffic over the remainder.
+class RepetitiveThrashingWorkload final : public PatternWorkloadBase {
+ public:
+  RepetitiveThrashingWorkload(std::string name, std::string abbr, u64 pages,
+                              double hot_fraction, double hot_iters,
+                              double cold_rounds,
+                              ColdTraffic cold = ColdTraffic::kStream)
+      : PatternWorkloadBase(std::move(name), std::move(abbr), pages,
+                            PatternType::kRepetitiveThrashing),
+        hot_fraction_(hot_fraction),
+        hot_iters_(hot_iters),
+        cold_rounds_(cold_rounds),
+        cold_(cold) {}
+
+ protected:
+  [[nodiscard]] std::vector<Segment> segments(const WarpContext& ctx) const override {
+    const u64 n = footprint_pages();
+    const u64 hot = std::max<u64>(kChunkPages,
+                                  static_cast<u64>(hot_fraction_ * static_cast<double>(n)));
+    const u64 cold_base = hot;
+    const u64 cold = n - hot;
+    std::vector<Segment> segs;
+    // Two epochs of (hot cycle, cold sweep) keep both classes live.
+    for (int e = 0; e < 2; ++e) {
+      segs.push_back(Segment::walk(0, hot, ctx.global_index, ctx.total_warps,
+                                   hot_iters_ / 2.0));
+      if (cold > 0) {
+        switch (cold_) {
+          case ColdTraffic::kStream:
+            segs.push_back(Segment::walk(cold_base, cold, ctx.global_index,
+                                         ctx.total_warps, cold_rounds_ / 2.0));
+            break;
+          case ColdTraffic::kRandom: {
+            const u64 draws = std::max<u64>(
+                1, static_cast<u64>(cold_rounds_ / 2.0 * static_cast<double>(cold) * 0.5) /
+                       ctx.total_warps);
+            segs.push_back(Segment::random(cold_base, cold, draws, /*acc=*/1));
+            break;
+          }
+          case ColdTraffic::kFixedSparse: {
+            // Scattered but epoch-stable subset: the i-th visit lands on
+            // (i * kScatter) mod cold, warp-partitioned. kScatter is chosen
+            // coprime to typical region sizes so the subset spreads over all
+            // chunks while staying identical every epoch.
+            Segment s = Segment::walk(
+                cold_base, cold, (ctx.global_index * kScatter) % cold,
+                ctx.total_warps * kScatter, cold_rounds_ / 2.0, /*acc=*/1);
+            // cover only `cold_rounds_/2 * 0.5` of the region per epoch.
+            s.visits = std::max<u64>(1, s.visits / 2);
+            segs.push_back(s);
+            break;
+          }
+        }
+      }
+    }
+    return segs;
+  }
+
+ private:
+  static constexpr u64 kScatter = 7;
+  double hot_fraction_, hot_iters_, cold_rounds_;
+  ColdTraffic cold_;
+};
+
+/// Type VI — region moving: a working region slides across the footprint;
+/// within each epoch, pages of the region are visited sparsely at random
+/// (tree traversals / bucket sorts), so evicted chunks carry many untouched
+/// prefetched pages — the high untouch levels of B+T/HYB in Table III.
+class RegionMovingWorkload final : public PatternWorkloadBase {
+ public:
+  RegionMovingWorkload(std::string name, std::string abbr, u64 pages,
+                       double region_fraction, double coverage)
+      : PatternWorkloadBase(std::move(name), std::move(abbr), pages,
+                            PatternType::kRegionMoving),
+        region_fraction_(region_fraction),
+        coverage_(coverage) {}
+
+ protected:
+  [[nodiscard]] std::vector<Segment> segments(const WarpContext& ctx) const override {
+    const u64 n = footprint_pages();
+    const u64 region = std::max<u64>(4 * kChunkPages,
+                                     static_cast<u64>(region_fraction_ * static_cast<double>(n)));
+    const u64 advance = region / 2;  // half-overlapping slide
+    std::vector<Segment> segs;
+    for (PageId base = 0; base + region <= n; base += advance) {
+      const u64 draws = std::max<u64>(
+          1, static_cast<u64>(coverage_ * static_cast<double>(region)) / ctx.total_warps);
+      segs.push_back(Segment::random(base, region, draws, /*acc=*/1));
+    }
+    return segs;
+  }
+
+ private:
+  double region_fraction_, coverage_;
+};
+
+}  // namespace uvmsim

@@ -1,0 +1,135 @@
+// Segment: a declarative primitive from which every synthetic workload's
+// per-warp program is composed. A stream is a sequence of segments; each
+// segment visits pages of one region either deterministically (wrapping
+// arithmetic walk — covers sequential, cyclic and strided patterns) or
+// randomly (uniform draws).
+#pragma once
+
+#include <cassert>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "workloads/workload.hpp"
+
+namespace uvmsim {
+
+struct Segment {
+  enum class Kind : u8 {
+    kWalk,    ///< page = base + (start + i*step) mod region
+    kRandom,  ///< page = base + uniform(region)
+  };
+
+  Kind kind = Kind::kWalk;
+  PageId base = 0;   ///< first page of the region
+  u64 region = 1;    ///< region length in pages
+  u64 start = 0;     ///< kWalk: initial offset within the region
+  u64 step = 1;      ///< kWalk: offset advance per visit (wraps mod region)
+  u64 visits = 0;    ///< number of page visits in this segment
+  u32 acc_per_page = 2;  ///< consecutive accesses emitted per visit
+  u32 think = 100;       ///< compute cycles before each access
+  u32 think_jitter = 0;  ///< +/- uniform jitter applied to think
+  /// Probability that a kWalk visit lands one page off its nominal target —
+  /// models the occasional off-stride accesses real strided kernels make
+  /// (boundary handling, auxiliary structures). These are what make the
+  /// pattern-buffer deletion schemes (Fig 6/7) behave differently.
+  double off_stride = 0.0;
+  /// Probability that a kWalk visit re-reads a page `backtrack_pages` behind
+  /// the nominal position (stencil halo re-reads). Under an MRU eviction
+  /// policy these land on recently evicted chunks and register as wrong
+  /// evictions — the feedback that drives MHPE's forward-distance
+  /// adjustment (the paper's MRQ behaviour).
+  double backtrack_prob = 0.0;
+  u64 backtrack_pages = 0;
+
+  /// Sequential/cyclic walk helper: `rounds` full passes.
+  [[nodiscard]] static Segment walk(PageId base, u64 region, u64 start, u64 step,
+                                    double rounds, u32 acc = 2, u32 think = 100) {
+    Segment s;
+    s.kind = Kind::kWalk;
+    s.base = base;
+    s.region = region;
+    s.start = start % (region == 0 ? 1 : region);
+    s.step = step;
+    const u64 visits_per_round = step == 0 ? region : (region + step - 1) / step;
+    s.visits = static_cast<u64>(rounds * static_cast<double>(visits_per_round));
+    s.acc_per_page = acc;
+    s.think = think;
+    return s;
+  }
+
+  [[nodiscard]] static Segment random(PageId base, u64 region, u64 draws,
+                                      u32 acc = 2, u32 think = 100) {
+    Segment s;
+    s.kind = Kind::kRandom;
+    s.base = base;
+    s.region = region;
+    s.visits = draws;
+    s.acc_per_page = acc;
+    s.think = think;
+    return s;
+  }
+};
+
+/// Executes a vector of segments as one AccessStream.
+class SegmentStream final : public AccessStream {
+ public:
+  SegmentStream(std::vector<Segment> segments, u64 seed)
+      : segments_(std::move(segments)), rng_(seed) {}
+
+  bool next(Access& out) override {
+    while (seg_ < segments_.size()) {
+      const Segment& s = segments_[seg_];
+      if (visit_ >= s.visits) {
+        ++seg_;
+        visit_ = 0;
+        rep_ = 0;
+        continue;
+      }
+      if (rep_ == 0) current_page_ = page_for(s, visit_);
+      out.page = current_page_;
+      out.think = jittered_think(s);
+      if (++rep_ >= s.acc_per_page) {
+        rep_ = 0;
+        ++visit_;
+      }
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  [[nodiscard]] PageId page_for(const Segment& s, u64 i) {
+    assert(s.region > 0);
+    switch (s.kind) {
+      case Segment::Kind::kWalk: {
+        u64 off = (s.start + i * s.step) % s.region;
+        if (s.off_stride > 0.0 && rng_.chance(s.off_stride))
+          off = (off + 1) % s.region;
+        if (s.backtrack_prob > 0.0 && rng_.chance(s.backtrack_prob))
+          off = (off + s.region - s.backtrack_pages % s.region) % s.region;
+        return s.base + off;
+      }
+      case Segment::Kind::kRandom:
+        return s.base + rng_.below(s.region);
+    }
+    return s.base;
+  }
+
+  [[nodiscard]] u32 jittered_think(const Segment& s) {
+    if (s.think_jitter == 0) return s.think;
+    const u32 span = 2 * s.think_jitter + 1;
+    const u32 delta = static_cast<u32>(rng_.below(span));
+    return s.think + delta - std::min(s.think, s.think_jitter);
+  }
+
+  std::vector<Segment> segments_;
+  Xoshiro256 rng_;
+  std::size_t seg_ = 0;
+  u64 visit_ = 0;
+  u32 rep_ = 0;
+  PageId current_page_ = 0;
+};
+
+}  // namespace uvmsim

@@ -1,0 +1,59 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace uvmsim {
+namespace {
+
+TEST(Rng, Deterministic) {
+  Xoshiro256 a(42), b(42);
+  for (int i = 0; i < 1000; ++i) ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next() == b.next()) ++same;
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Xoshiro256 r(7);
+  for (u64 bound : {u64{1}, u64{2}, u64{17}, u64{1000}, u64{1} << 40}) {
+    for (int i = 0; i < 200; ++i) ASSERT_LT(r.below(bound), bound);
+  }
+}
+
+TEST(Rng, BelowOneIsZero) {
+  Xoshiro256 r(9);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(r.below(1), 0u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(r.below(0), 0u);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Xoshiro256 r(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, BelowCoversRangeRoughlyUniformly) {
+  Xoshiro256 r(13);
+  std::set<u64> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(r.below(16));
+  EXPECT_EQ(seen.size(), 16u);  // all buckets hit in 2000 draws
+}
+
+TEST(SplitMix, ExpandsSeedsDeterministically) {
+  SplitMix64 a(5), b(5);
+  EXPECT_EQ(a.next(), b.next());
+  EXPECT_NE(a.next(), SplitMix64(6).next());
+}
+
+}  // namespace
+}  // namespace uvmsim

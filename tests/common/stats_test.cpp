@@ -1,0 +1,47 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace uvmsim {
+namespace {
+
+TEST(Stats, CounterBasics) {
+  Counter c;
+  EXPECT_EQ(c.get(), 0u);
+  ++c;
+  c += 4;
+  c.add();
+  EXPECT_EQ(c.get(), 6u);
+  c.set(100);
+  EXPECT_EQ(c.get(), 100u);
+}
+
+TEST(Stats, GaugeTracksMinMaxMean) {
+  Gauge g;
+  g.sample(2.0);
+  g.sample(6.0);
+  g.sample(4.0);
+  EXPECT_EQ(g.count(), 3u);
+  EXPECT_DOUBLE_EQ(g.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(g.min(), 2.0);
+  EXPECT_DOUBLE_EQ(g.max(), 6.0);
+}
+
+TEST(Stats, GaugeSingleSample) {
+  Gauge g;
+  g.sample(-3.5);
+  EXPECT_DOUBLE_EQ(g.min(), -3.5);
+  EXPECT_DOUBLE_EQ(g.max(), -3.5);
+}
+
+TEST(Stats, RegistryCreatesOnDemand) {
+  StatsRegistry reg;
+  reg.counter("faults").add(3);
+  reg.counter("faults").add(2);
+  EXPECT_EQ(reg.value("faults"), 5u);
+  EXPECT_EQ(reg.value("missing"), 0u);       // const read does not create
+  EXPECT_EQ(reg.counters().size(), 1u);
+}
+
+}  // namespace
+}  // namespace uvmsim

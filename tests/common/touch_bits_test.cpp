@@ -1,0 +1,65 @@
+#include "common/touch_bits.hpp"
+
+#include <gtest/gtest.h>
+
+namespace uvmsim {
+namespace {
+
+TEST(TouchBits, StartsEmpty) {
+  TouchBits b;
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.count(), 0u);
+  EXPECT_EQ(b.untouched(), kChunkPages);
+}
+
+TEST(TouchBits, SetTestClear) {
+  TouchBits b;
+  b.set(3);
+  EXPECT_TRUE(b.test(3));
+  EXPECT_FALSE(b.test(2));
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_EQ(b.untouched(), 15u);
+  b.clear(3);
+  EXPECT_FALSE(b.test(3));
+  EXPECT_TRUE(b.empty());
+}
+
+TEST(TouchBits, AllAndFull) {
+  TouchBits b = TouchBits::all();
+  EXPECT_TRUE(b.full());
+  EXPECT_EQ(b.count(), 16u);
+  EXPECT_EQ(b.untouched(), 0u);
+}
+
+TEST(TouchBits, SetIsIdempotent) {
+  TouchBits b;
+  b.set(7);
+  b.set(7);
+  EXPECT_EQ(b.count(), 1u);
+}
+
+TEST(TouchBits, BitwiseOps) {
+  TouchBits a(0x00FF), b(0x0F0F);
+  EXPECT_EQ((a & b).raw(), 0x000F);
+  EXPECT_EQ((a | b).raw(), 0x0FFF);
+  EXPECT_EQ((~a).raw(), 0xFF00);
+}
+
+TEST(TouchBits, UntouchLevelOfEvictedChunkSemantics) {
+  // resident=all, touched=strided by 2 -> untouch level 8 (the paper's NW case)
+  TouchBits resident = TouchBits::all();
+  TouchBits touched;
+  for (u32 i = 0; i < kChunkPages; i += 2) touched.set(i);
+  EXPECT_EQ((resident & ~touched).count(), 8u);
+}
+
+// Property: count + untouched == kChunkPages for all 16-bit patterns.
+TEST(TouchBits, CountPlusUntouchedInvariant) {
+  for (u32 raw = 0; raw <= 0xFFFF; ++raw) {
+    TouchBits b(static_cast<u16>(raw));
+    ASSERT_EQ(b.count() + b.untouched(), kChunkPages);
+  }
+}
+
+}  // namespace
+}  // namespace uvmsim

@@ -1,0 +1,49 @@
+#include "common/types.hpp"
+
+#include <gtest/gtest.h>
+
+namespace uvmsim {
+namespace {
+
+TEST(Types, PageAndChunkArithmetic) {
+  EXPECT_EQ(kPageBytes, 4096u);
+  EXPECT_EQ(kChunkPages, 16u);
+  EXPECT_EQ(kChunkBytes, 64u * 1024u);
+
+  EXPECT_EQ(page_of(0), 0u);
+  EXPECT_EQ(page_of(4095), 0u);
+  EXPECT_EQ(page_of(4096), 1u);
+  EXPECT_EQ(chunk_of_page(0), 0u);
+  EXPECT_EQ(chunk_of_page(15), 0u);
+  EXPECT_EQ(chunk_of_page(16), 1u);
+  EXPECT_EQ(chunk_of(16 * 4096), 1u);
+}
+
+TEST(Types, PageIndexInChunk) {
+  EXPECT_EQ(page_index_in_chunk(0), 0u);
+  EXPECT_EQ(page_index_in_chunk(15), 15u);
+  EXPECT_EQ(page_index_in_chunk(16), 0u);
+  EXPECT_EQ(page_index_in_chunk(33), 1u);
+}
+
+TEST(Types, FirstPageOfChunkRoundTrips) {
+  for (ChunkId c : {ChunkId{0}, ChunkId{1}, ChunkId{123}, ChunkId{99999}}) {
+    const PageId base = first_page_of_chunk(c);
+    EXPECT_EQ(chunk_of_page(base), c);
+    EXPECT_EQ(chunk_of_page(base + kChunkPages - 1), c);
+    EXPECT_EQ(page_index_in_chunk(base), 0u);
+  }
+}
+
+TEST(Types, AddrOfPageRoundTrips) {
+  EXPECT_EQ(page_of(addr_of_page(42)), 42u);
+  EXPECT_EQ(addr_of_page(1), kPageBytes);
+}
+
+TEST(Types, PatternTypeNames) {
+  EXPECT_STREQ(to_string(PatternType::kStreaming), "Type I (Streaming)");
+  EXPECT_STREQ(to_string(PatternType::kRegionMoving), "Type VI (Region Moving)");
+}
+
+}  // namespace
+}  // namespace uvmsim

@@ -1,0 +1,80 @@
+#include "core/policy_factory.hpp"
+
+#include <gtest/gtest.h>
+
+#include "policy/mhpe.hpp"
+#include "prefetch/pattern_aware.hpp"
+
+namespace uvmsim {
+namespace {
+
+TEST(PolicyFactory, BuildsEveryEvictionKind) {
+  ChunkChain chain;
+  for (EvictionKind k : {EvictionKind::kLru, EvictionKind::kFifo,
+                         EvictionKind::kRandom, EvictionKind::kReservedLru,
+                         EvictionKind::kHpe, EvictionKind::kMhpe}) {
+    PolicyConfig cfg;
+    cfg.eviction = k;
+    auto pol = make_eviction_policy(cfg, chain);
+    ASSERT_NE(pol, nullptr) << to_string(k);
+    EXPECT_FALSE(pol->name().empty());
+  }
+}
+
+TEST(PolicyFactory, BuildsEveryPrefetchKind) {
+  for (PrefetchKind k : {PrefetchKind::kNone, PrefetchKind::kLocality,
+                         PrefetchKind::kTreeNeighborhood,
+                         PrefetchKind::kPatternAware}) {
+    PolicyConfig cfg;
+    cfg.prefetch = k;
+    auto pf = make_prefetcher(cfg);
+    ASSERT_NE(pf, nullptr) << to_string(k);
+  }
+}
+
+TEST(Presets, BaselineIsLruPlusLocality) {
+  const PolicyConfig c = presets::baseline();
+  EXPECT_EQ(c.eviction, EvictionKind::kLru);
+  EXPECT_EQ(c.prefetch, PrefetchKind::kLocality);
+  EXPECT_TRUE(c.prefetch_when_full);
+}
+
+TEST(Presets, CppeIsMhpePlusPatternAwareScheme2) {
+  const PolicyConfig c = presets::cppe();
+  EXPECT_EQ(c.eviction, EvictionKind::kMhpe);
+  EXPECT_EQ(c.prefetch, PrefetchKind::kPatternAware);
+  EXPECT_EQ(c.deletion, DeletionScheme::kScheme2);
+  // Paper thresholds (§VI-A).
+  EXPECT_EQ(c.t1_untouch, 32u);
+  EXPECT_EQ(c.t2_untouch_first4, 40u);
+  EXPECT_EQ(c.t3_forward_limit, 32u);
+  EXPECT_EQ(c.interval_faults, 64u);
+}
+
+TEST(Presets, Scheme1VariantDiffersOnlyInDeletion) {
+  const PolicyConfig a = presets::cppe(), b = presets::cppe_scheme1();
+  EXPECT_EQ(b.deletion, DeletionScheme::kScheme1);
+  EXPECT_EQ(a.eviction, b.eviction);
+  EXPECT_EQ(a.prefetch, b.prefetch);
+}
+
+TEST(Presets, ReservedLruCarriesFraction) {
+  EXPECT_DOUBLE_EQ(presets::reserved_lru(0.1).reserved_fraction, 0.1);
+  EXPECT_EQ(presets::reserved_lru(0.2).eviction, EvictionKind::kReservedLru);
+}
+
+TEST(Presets, DisablePrefetchTogglesGate) {
+  EXPECT_FALSE(presets::disable_prefetch_when_full().prefetch_when_full);
+}
+
+TEST(Presets, FactoryRoundTripsCppe) {
+  ChunkChain chain;
+  const PolicyConfig cfg = presets::cppe();
+  auto pol = make_eviction_policy(cfg, chain);
+  auto pf = make_prefetcher(cfg);
+  EXPECT_NE(dynamic_cast<MhpePolicy*>(pol.get()), nullptr);
+  EXPECT_NE(dynamic_cast<PatternAwarePrefetcher*>(pf.get()), nullptr);
+}
+
+}  // namespace
+}  // namespace uvmsim

@@ -1,0 +1,63 @@
+#include "harness/ascii_chart.hpp"
+
+#include <gtest/gtest.h>
+
+namespace uvmsim {
+namespace {
+
+TEST(BarChart, RendersTitleAndRows) {
+  BarChart c("My Chart");
+  c.add("aa", 2.0);
+  c.add("b", 1.0, "note");
+  const std::string s = c.str();
+  EXPECT_EQ(s.find("My Chart"), 0u);
+  EXPECT_NE(s.find("aa"), std::string::npos);
+  EXPECT_NE(s.find("note"), std::string::npos);
+}
+
+TEST(BarChart, BarsScaleWithValues) {
+  BarChart c("t", 0.0, 40);
+  c.add("big", 4.0);
+  c.add("small", 1.0);
+  const std::string s = c.str();
+  const auto count_hashes = [&](const std::string& label) {
+    const auto pos = s.find(label);
+    const auto line_end = s.find('\n', pos);
+    return std::count(s.begin() + static_cast<long>(pos),
+                      s.begin() + static_cast<long>(line_end), '#');
+  };
+  EXPECT_GT(count_hashes("big"), 3 * count_hashes("small"));
+}
+
+TEST(BarChart, LabelsAreAligned) {
+  BarChart c("t");
+  c.add("x", 1.0);
+  c.add("longer", 1.0);
+  const std::string s = c.str();
+  EXPECT_EQ(s.find("x      |") != std::string::npos ||
+                s.find("x      |") != std::string::npos,
+            true);
+}
+
+TEST(BarChart, EmptyChartIsJustTitle) {
+  BarChart c("only title");
+  EXPECT_EQ(c.str(), "only title\n");
+  EXPECT_EQ(c.size(), 0u);
+}
+
+TEST(BarChart, ReferenceMarkerAppearsWhenInRange) {
+  BarChart c("t", /*reference=*/1.0, 40);
+  c.add("above", 2.0);
+  c.add("below", 0.5);
+  const std::string s = c.str();
+  EXPECT_NE(s.find("reference 1.00"), std::string::npos);
+}
+
+TEST(BarChart, ZeroValuesDoNotDivideByZero) {
+  BarChart c("t");
+  c.add("zero", 0.0);
+  EXPECT_NO_THROW((void)c.str());
+}
+
+}  // namespace
+}  // namespace uvmsim

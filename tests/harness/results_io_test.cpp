@@ -1,0 +1,91 @@
+#include "harness/results_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+namespace uvmsim {
+namespace {
+
+LabelledResult sample(const std::string& label = "CPPE") {
+  LabelledResult r;
+  r.spec.label = label;
+  r.result.workload = "NW";
+  r.result.eviction_name = "MHPE";
+  r.result.prefetcher_name = "pattern-aware/s2";
+  r.result.oversub = 0.5;
+  r.result.cycles = 12345;
+  r.result.completed = true;
+  r.result.driver.page_faults = 100;
+  r.result.driver.pages_migrated_in = 400;
+  r.result.driver.pages_demanded = 100;
+  r.result.driver.pages_prefetched = 300;
+  r.result.mhpe_used = true;
+  r.result.mhpe_switched_to_lru = true;
+  r.result.pattern_matches = 7;
+  return r;
+}
+
+TEST(ResultsIo, CsvHeaderAndRowHaveSameColumnCount) {
+  const auto count = [](const std::string& s) {
+    return std::count(s.begin(), s.end(), ',');
+  };
+  EXPECT_EQ(count(results_csv_header()), count(to_csv_row(sample())));
+}
+
+TEST(ResultsIo, CsvRowContents) {
+  const std::string row = to_csv_row(sample());
+  EXPECT_NE(row.find("NW,CPPE,MHPE,pattern-aware/s2,0.5,12345,1,100"),
+            std::string::npos);
+}
+
+TEST(ResultsIo, CsvEscapesCommasAndQuotes) {
+  const std::string row = to_csv_row(sample("a,b\"c"));
+  EXPECT_NE(row.find("\"a,b\"\"c\""), std::string::npos);
+}
+
+TEST(ResultsIo, WriteCsvDocument) {
+  std::ostringstream os;
+  write_csv(os, {sample(), sample("other")});
+  const std::string doc = os.str();
+  EXPECT_EQ(std::count(doc.begin(), doc.end(), '\n'), 3);  // header + 2 rows
+  EXPECT_EQ(doc.find("workload,label"), 0u);
+}
+
+TEST(ResultsIo, JsonIsWellFormedish) {
+  std::ostringstream os;
+  write_json(os, {sample(), sample("b")});
+  const std::string doc = os.str();
+  EXPECT_EQ(doc.front(), '[');
+  EXPECT_EQ(std::count(doc.begin(), doc.end(), '{'), 2);
+  EXPECT_EQ(std::count(doc.begin(), doc.end(), '}'), 2);
+  EXPECT_NE(doc.find("\"workload\":\"NW\""), std::string::npos);
+  EXPECT_NE(doc.find("\"mhpe_switched_to_lru\":true"), std::string::npos);
+  // exactly one separating comma between the two objects
+  EXPECT_NE(doc.find("},"), std::string::npos);
+}
+
+TEST(ResultsIo, JsonEscapesStrings) {
+  std::ostringstream os;
+  write_json(os, {sample("with \"quotes\" and \n newline")});
+  const std::string doc = os.str();
+  EXPECT_NE(doc.find("with \\\"quotes\\\" and \\n newline"), std::string::npos);
+}
+
+TEST(ResultsIo, SaveToFilesRoundTrips) {
+  const std::string dir = ::testing::TempDir();
+  save_csv(dir + "/r.csv", {sample()});
+  save_json(dir + "/r.json", {sample()});
+  std::ifstream csv(dir + "/r.csv"), json(dir + "/r.json");
+  EXPECT_TRUE(csv.good());
+  EXPECT_TRUE(json.good());
+}
+
+TEST(ResultsIo, SaveToBadPathThrows) {
+  EXPECT_THROW(save_csv("/nonexistent/x.csv", {}), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace uvmsim

@@ -1,0 +1,67 @@
+#include "harness/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/policy_factory.hpp"
+
+namespace uvmsim {
+namespace {
+
+std::vector<ExperimentSpec> small_sweep() {
+  std::vector<ExperimentSpec> specs;
+  for (const char* w : {"STN", "HOT"})
+    for (double ov : {1.0, 0.5}) {
+      ExperimentSpec s;
+      s.workload = w;
+      s.label = std::string(w) + "@" + std::to_string(ov);
+      s.policy = presets::baseline();
+      s.oversub = ov;
+      s.system.num_sms = 4;  // keep the test fast
+      specs.push_back(std::move(s));
+    }
+  return specs;
+}
+
+TEST(Runner, ResultsArriveInSpecOrder) {
+  const auto specs = small_sweep();
+  const auto results = run_sweep(specs, 4);
+  ASSERT_EQ(results.size(), specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_EQ(results[i].spec.label, specs[i].label);
+    EXPECT_EQ(results[i].result.workload, specs[i].workload);
+    EXPECT_TRUE(results[i].result.completed);
+  }
+}
+
+TEST(Runner, SingleThreadMatchesMultiThread) {
+  const auto specs = small_sweep();
+  const auto serial = run_sweep(specs, 1);
+  const auto parallel = run_sweep(specs, 4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].result.cycles, parallel[i].result.cycles) << i;
+    EXPECT_EQ(serial[i].result.driver.page_faults,
+              parallel[i].result.driver.page_faults)
+        << i;
+  }
+}
+
+TEST(Runner, EmptySweepIsFine) {
+  EXPECT_TRUE(run_sweep({}).empty());
+}
+
+TEST(Runner, MoreThreadsThanWork) {
+  std::vector<ExperimentSpec> specs;
+  ExperimentSpec s;
+  s.workload = "STN";
+  s.policy = presets::baseline();
+  s.oversub = 1.0;
+  s.system.num_sms = 2;
+  specs.push_back(std::move(s));
+  const auto results = run_sweep(specs, 64);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_TRUE(results[0].result.completed);
+}
+
+}  // namespace
+}  // namespace uvmsim

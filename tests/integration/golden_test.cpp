@@ -1,0 +1,86 @@
+// Golden-range regression guard: the headline reproduction claims (Fig 8's
+// per-type behaviour) must not silently drift as the simulator evolves.
+// Ranges are intentionally loose — they encode the *shape* the paper
+// establishes, not exact numbers.
+#include <gtest/gtest.h>
+
+#include "core/policy_factory.hpp"
+#include "harness/report.hpp"
+#include "harness/runner.hpp"
+#include "workloads/benchmarks.hpp"
+
+namespace uvmsim {
+namespace {
+
+class GoldenFig8 : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    std::vector<ExperimentSpec> specs;
+    for (const auto& w : benchmark_abbrs())
+      for (const auto& [label, pol] :
+           {std::pair{std::string("baseline"), presets::baseline()},
+            std::pair{std::string("CPPE"), presets::cppe()}}) {
+        ExperimentSpec s;
+        s.workload = w;
+        s.label = label;
+        s.policy = pol;
+        s.oversub = 0.5;
+        specs.push_back(std::move(s));
+      }
+    results_ = new std::vector<LabelledResult>(run_sweep(specs));
+  }
+  static void TearDownTestSuite() {
+    delete results_;
+    results_ = nullptr;
+  }
+
+  static double speedup(const std::string& w) {
+    const RunResult* base = nullptr;
+    const RunResult* cppe = nullptr;
+    for (const auto& r : *results_) {
+      if (r.result.workload != w) continue;
+      (r.spec.label == "CPPE" ? cppe : base) = &r.result;
+    }
+    return cppe->speedup_vs(*base);
+  }
+
+  static std::vector<LabelledResult>* results_;
+};
+
+std::vector<LabelledResult>* GoldenFig8::results_ = nullptr;
+
+TEST_F(GoldenFig8, StreamingStaysNeutral) {
+  for (const char* w : {"HOT", "LEU", "2DC", "3DC"}) {
+    EXPECT_GT(speedup(w), 0.95) << w;
+    EXPECT_LT(speedup(w), 1.30) << w;
+  }
+}
+
+TEST_F(GoldenFig8, ThrashingWinsClearly) {
+  for (const char* w : {"SRD", "HSD", "STN", "MRQ"}) EXPECT_GT(speedup(w), 1.15) << w;
+}
+
+TEST_F(GoldenFig8, StridedAppsWinBig) {
+  EXPECT_GT(speedup("MVT"), 3.0);
+  EXPECT_GT(speedup("BIC"), 3.0);
+  EXPECT_GT(speedup("NW"), 1.6);
+}
+
+TEST_F(GoldenFig8, RegionMovingStaysClose) {
+  for (const char* w : {"B+T", "HYB"}) {
+    EXPECT_GT(speedup(w), 0.85) << w;
+    EXPECT_LT(speedup(w), 1.15) << w;
+  }
+}
+
+TEST_F(GoldenFig8, GeomeanInPaperBallpark) {
+  std::vector<double> sps;
+  for (const auto& w : benchmark_abbrs())
+    if (w != "MVT" && w != "BIC") sps.push_back(speedup(w));  // paper's Fig 8 set
+  const double gm = geomean(sps);
+  EXPECT_GT(gm, 1.15);  // paper: 1.64x at 50%; shape floor
+  EXPECT_LT(gm, 2.50);
+}
+
+}  // namespace
+}  // namespace uvmsim

@@ -1,0 +1,151 @@
+// End-to-end UvmSystem integration: runs real benchmarks through the full
+// stack and checks cross-module invariants plus the paper's directional
+// results (who wins on which pattern type).
+#include <gtest/gtest.h>
+
+#include "core/policy_factory.hpp"
+#include "core/uvm_system.hpp"
+#include "workloads/benchmarks.hpp"
+
+namespace uvmsim {
+namespace {
+
+RunResult run(const std::string& abbr, const PolicyConfig& pol, double oversub) {
+  const auto wl = make_benchmark(abbr);
+  UvmSystem sys(SystemConfig{}, pol, *wl, oversub);
+  return sys.run();
+}
+
+TEST(System, NoOversubscriptionMeansNoEvictions) {
+  const RunResult r = run("HOT", presets::baseline(), 1.0);
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(r.driver.pages_evicted, 0u);
+  EXPECT_EQ(r.driver.chunks_evicted, 0u);
+}
+
+TEST(System, OversubscriptionForcesEvictions) {
+  const RunResult r = run("HOT", presets::baseline(), 0.5);
+  EXPECT_TRUE(r.completed);
+  EXPECT_GT(r.driver.pages_evicted, 0u);
+}
+
+TEST(System, RunsAreDeterministic) {
+  const RunResult a = run("SRD", presets::cppe(), 0.5);
+  const RunResult b = run("SRD", presets::cppe(), 0.5);
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.driver.page_faults, b.driver.page_faults);
+  EXPECT_EQ(a.driver.pages_evicted, b.driver.pages_evicted);
+}
+
+TEST(System, PageConservationInvariant) {
+  for (const char* abbr : {"HOT", "NW", "SRD", "B+T"}) {
+    const RunResult r = run(abbr, presets::cppe(), 0.5);
+    EXPECT_TRUE(r.completed) << abbr;
+    // in - out == finally-resident, which fits in the resident chunk chain
+    // and never exceeds capacity.
+    const u64 resident = r.driver.pages_migrated_in - r.driver.pages_evicted;
+    EXPECT_LE(resident, r.capacity_pages) << abbr;
+    EXPECT_LE(resident, r.final_chain_length * kChunkPages) << abbr;
+    EXPECT_GT(r.final_chain_length, 0u) << abbr;
+    EXPECT_EQ(r.driver.pages_demanded + r.driver.pages_prefetched,
+              r.driver.pages_migrated_in)
+        << abbr;
+    EXPECT_EQ(r.h2d_pages, r.driver.pages_migrated_in) << abbr;
+    EXPECT_EQ(r.d2h_pages, r.driver.pages_evicted) << abbr;
+  }
+}
+
+// Directional results from the paper's evaluation.
+
+TEST(System, CppeBeatsBaselineOnThrashing) {
+  // Type IV: MHPE's MRU handles cyclic reuse that LRU thrashes on (Fig 8).
+  const RunResult base = run("HSD", presets::baseline(), 0.5);
+  const RunResult cppe = run("HSD", presets::cppe(), 0.5);
+  EXPECT_GT(cppe.speedup_vs(base), 1.2);
+}
+
+TEST(System, CppeBeatsBaselineOnStridedApps) {
+  // NW/MVT: the pattern-aware prefetcher stops migrating untouched pages.
+  for (const char* abbr : {"NW", "MVT"}) {
+    const RunResult base = run(abbr, presets::baseline(), 0.5);
+    const RunResult cppe = run(abbr, presets::cppe(), 0.5);
+    EXPECT_GT(cppe.speedup_vs(base), 1.5) << abbr;
+  }
+}
+
+TEST(System, CppeComparableOnStreamingAndRegionMoving) {
+  // Type I and VI favour LRU; CPPE must not lose much (Fig 8's observation).
+  for (const char* abbr : {"2DC", "B+T", "HYB"}) {
+    const RunResult base = run(abbr, presets::baseline(), 0.5);
+    const RunResult cppe = run(abbr, presets::cppe(), 0.5);
+    EXPECT_GT(cppe.speedup_vs(base), 0.85) << abbr;
+  }
+}
+
+TEST(System, MhpeSwitchesToLruOnIrregularButNotOnThrashing) {
+  const RunResult thrash = run("SRD", presets::cppe(), 0.5);
+  EXPECT_TRUE(thrash.mhpe_used);
+  EXPECT_FALSE(thrash.mhpe_switched_to_lru);  // Type IV stays MRU
+
+  const RunResult irregular = run("B+T", presets::cppe(), 0.5);
+  EXPECT_TRUE(irregular.mhpe_switched_to_lru);  // Type VI: high untouch
+}
+
+TEST(System, DisablingPrefetchHurtsStreaming) {
+  // Fig 10: regular apps slow down badly without prefetch once memory fills.
+  const RunResult base = run("2DC", presets::baseline(), 0.5);
+  const RunResult nopf = run("2DC", presets::disable_prefetch_when_full(), 0.5);
+  EXPECT_GT(static_cast<double>(nopf.cycles) / static_cast<double>(base.cycles), 1.3);
+}
+
+TEST(System, PrefetchingWhenFullInflatesEvictionsOnStridedApps) {
+  // Fig 4's metric: eviction count, prefetch-always vs prefetch-off-when-full.
+  const RunResult always = run("MVT", presets::baseline(), 0.5);
+  const RunResult gated = run("MVT", presets::disable_prefetch_when_full(), 0.5);
+  EXPECT_GT(static_cast<double>(always.driver.pages_evicted) /
+                static_cast<double>(gated.driver.pages_evicted),
+            1.2);
+}
+
+TEST(System, PatternBufferEngagesOnlyWhereExpected) {
+  EXPECT_GT(run("MVT", presets::cppe(), 0.5).pattern_matches, 0u);
+  EXPECT_EQ(run("SRD", presets::cppe(), 0.5).pattern_matches, 0u);  // untouch 0
+}
+
+TEST(System, CapacityFloorAppliedForTinyOversubscription) {
+  const auto wl = make_benchmark("STN");  // 1024 pages
+  UvmSystem sys(SystemConfig{}, presets::baseline(), *wl, 0.01);
+  const RunResult r = sys.run();
+  EXPECT_GE(r.capacity_pages, 16u * kChunkPages);
+  EXPECT_TRUE(r.completed);
+}
+
+class EveryBenchmarkCompletes
+    : public ::testing::TestWithParam<std::string> {};
+
+INSTANTIATE_TEST_SUITE_P(TableII, EveryBenchmarkCompletes,
+                         ::testing::ValuesIn(benchmark_abbrs()),
+                         [](const auto& pinfo) {
+                           std::string n = pinfo.param;
+                           for (char& c : n)
+                             if (c == '+') c = 'p';
+                           return n;
+                         });
+
+// Property sweep: every Table II workload completes under both headline
+// configurations at 50% oversubscription and satisfies the accounting
+// invariants.
+TEST_P(EveryBenchmarkCompletes, UnderBaselineAndCppe) {
+  for (const PolicyConfig& pol : {presets::baseline(), presets::cppe()}) {
+    const RunResult r = run(GetParam(), pol, 0.5);
+    ASSERT_TRUE(r.completed) << GetParam();
+    EXPECT_GT(r.cycles, 0u);
+    EXPECT_GT(r.driver.page_faults, 0u);
+    EXPECT_LE(r.driver.pages_migrated_in - r.driver.pages_evicted, r.capacity_pages);
+    EXPECT_EQ(r.driver.pages_demanded + r.driver.pages_prefetched,
+              r.driver.pages_migrated_in);
+  }
+}
+
+}  // namespace
+}  // namespace uvmsim

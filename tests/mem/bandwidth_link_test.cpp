@@ -1,0 +1,43 @@
+#include "mem/bandwidth_link.hpp"
+
+#include <gtest/gtest.h>
+
+namespace uvmsim {
+namespace {
+
+TEST(BandwidthLink, SingleTransfer) {
+  BandwidthLink link(100);
+  EXPECT_EQ(link.reserve(0, 1), 100u);
+  EXPECT_EQ(link.free_at(), 100u);
+}
+
+TEST(BandwidthLink, BackToBackTransfersQueue) {
+  BandwidthLink link(100);
+  EXPECT_EQ(link.reserve(0, 1), 100u);
+  EXPECT_EQ(link.reserve(0, 1), 200u);  // queued behind the first
+  EXPECT_EQ(link.reserve(50, 2), 400u);
+}
+
+TEST(BandwidthLink, IdleGapDoesNotAccumulateCredit) {
+  BandwidthLink link(10);
+  link.reserve(0, 1);               // busy [0,10)
+  EXPECT_EQ(link.reserve(1000, 1), 1010u);  // starts at request time
+}
+
+TEST(BandwidthLink, UnitsAndBusyAccounting) {
+  BandwidthLink link(10);
+  link.reserve(0, 3);
+  link.reserve(100, 2);
+  EXPECT_EQ(link.units_moved(), 5u);
+  EXPECT_EQ(link.busy_cycles(), 50u);
+  EXPECT_DOUBLE_EQ(link.utilisation(100), 0.5);
+}
+
+TEST(BandwidthLink, ZeroUnitsIsFree) {
+  BandwidthLink link(10);
+  EXPECT_EQ(link.reserve(5, 0), 5u);
+  EXPECT_EQ(link.units_moved(), 0u);
+}
+
+}  // namespace
+}  // namespace uvmsim

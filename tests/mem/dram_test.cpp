@@ -1,0 +1,46 @@
+#include "mem/dram.hpp"
+
+#include <gtest/gtest.h>
+
+namespace uvmsim {
+namespace {
+
+TEST(Dram, ConfiguredChannels) {
+  SystemConfig cfg;
+  Dram d(cfg);
+  EXPECT_EQ(d.num_channels(), cfg.dram_channels);
+}
+
+TEST(Dram, AccessPaysAtLeastLatency) {
+  SystemConfig cfg;
+  Dram d(cfg);
+  const Cycle done = d.access(1000, /*page=*/0);
+  EXPECT_GE(done, 1000 + cfg.dram_latency);
+}
+
+TEST(Dram, DistinctChannelsDoNotContend) {
+  SystemConfig cfg;
+  Dram d(cfg);
+  // Pages 0 and 1 land on different channels: both finish at the same time.
+  const Cycle a = d.access(0, 0);
+  const Cycle b = d.access(0, 1);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Dram, SameChannelQueues) {
+  SystemConfig cfg;
+  Dram d(cfg);
+  const Cycle a = d.access(0, 0);
+  const Cycle b = d.access(0, 0 + cfg.dram_channels);  // same channel
+  EXPECT_GT(b, a);
+}
+
+TEST(Dram, CountsTransactions) {
+  SystemConfig cfg;
+  Dram d(cfg);
+  for (int i = 0; i < 7; ++i) d.access(0, static_cast<PageId>(i));
+  EXPECT_EQ(d.transactions(), 7u);
+}
+
+}  // namespace
+}  // namespace uvmsim

@@ -1,0 +1,79 @@
+#include "mem/set_assoc_cache.hpp"
+
+#include <gtest/gtest.h>
+
+namespace uvmsim {
+namespace {
+
+TEST(SetAssocCache, MissThenHit) {
+  SetAssocCache c(16, 4);
+  EXPECT_FALSE(c.lookup(42));
+  c.insert(42);
+  EXPECT_TRUE(c.lookup(42));
+}
+
+TEST(SetAssocCache, LruEvictionWithinSet) {
+  SetAssocCache c(4, 4);  // one set, 4 ways
+  for (u64 t = 0; t < 4; ++t) c.insert(t);
+  c.lookup(0);              // refresh 0; LRU is now 1
+  EXPECT_EQ(c.insert(100), 1u);
+  EXPECT_TRUE(c.contains(0));
+  EXPECT_FALSE(c.contains(1));
+}
+
+TEST(SetAssocCache, InsertExistingRefreshes) {
+  SetAssocCache c(2, 2);
+  c.insert(0);
+  c.insert(2);                      // same set (2 % 1... both map to set 0)
+  EXPECT_EQ(c.insert(0), SetAssocCache::kNoEviction);  // refresh, no eviction
+  EXPECT_EQ(c.insert(4), 2u);       // 2 is now LRU
+}
+
+TEST(SetAssocCache, SetsIsolateTags) {
+  SetAssocCache c(8, 2);  // 4 sets
+  c.insert(0);
+  c.insert(1);
+  EXPECT_TRUE(c.contains(0));
+  EXPECT_TRUE(c.contains(1));
+  // Filling set 0 does not disturb set 1.
+  c.insert(4);
+  c.insert(8);
+  EXPECT_TRUE(c.contains(1));
+}
+
+TEST(SetAssocCache, Invalidate) {
+  SetAssocCache c(4, 2);
+  c.insert(9);
+  EXPECT_TRUE(c.invalidate(9));
+  EXPECT_FALSE(c.contains(9));
+  EXPECT_FALSE(c.invalidate(9));
+}
+
+TEST(SetAssocCache, InvalidateAll) {
+  SetAssocCache c(8, 2);
+  for (u64 t = 0; t < 8; ++t) c.insert(t);
+  EXPECT_GT(c.occupancy(), 0u);
+  c.invalidate_all();
+  EXPECT_EQ(c.occupancy(), 0u);
+}
+
+TEST(SetAssocCache, FullyAssociativeMode) {
+  SetAssocCache c(8, 0);  // ways=0 -> fully associative
+  EXPECT_EQ(c.sets(), 1u);
+  EXPECT_EQ(c.ways(), 8u);
+  for (u64 t = 0; t < 8; ++t) c.insert(t * 1000);
+  for (u64 t = 0; t < 8; ++t) EXPECT_TRUE(c.contains(t * 1000));
+  c.insert(9999);
+  EXPECT_EQ(c.occupancy(), 8u);
+}
+
+TEST(SetAssocCache, ContainsDoesNotRefresh) {
+  SetAssocCache c(2, 2);
+  c.insert(0);
+  c.insert(1);
+  (void)c.contains(0);     // probe must not refresh 0
+  EXPECT_EQ(c.insert(5), 0u);  // 0 is still LRU
+}
+
+}  // namespace
+}  // namespace uvmsim

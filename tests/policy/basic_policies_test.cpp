@@ -1,0 +1,113 @@
+// LRU, Random and reserved-LRU victim selection.
+#include <gtest/gtest.h>
+
+#include "policy/fifo.hpp"
+#include "policy/lru.hpp"
+#include "policy/random.hpp"
+#include "policy/reserved_lru.hpp"
+
+namespace uvmsim {
+namespace {
+
+ChunkChain make_chain(u32 n) {
+  ChunkChain chain;
+  for (ChunkId c = 0; c < n; ++c) chain.insert(c);
+  return chain;
+}
+
+TEST(Lru, SelectsHead) {
+  ChunkChain chain = make_chain(5);
+  LruPolicy lru(chain);
+  EXPECT_EQ(lru.select_victim(), 0u);
+  EXPECT_TRUE(lru.reorder_on_touch());
+}
+
+TEST(Lru, SkipsPinned) {
+  ChunkChain chain = make_chain(5);
+  ++chain.entry(0).pin_count;
+  ++chain.entry(1).pin_count;
+  LruPolicy lru(chain);
+  EXPECT_EQ(lru.select_victim(), 2u);
+}
+
+TEST(Lru, RecencyViaMoveToTail) {
+  ChunkChain chain = make_chain(3);
+  chain.move_to_tail(0);  // 0 becomes MRU
+  LruPolicy lru(chain);
+  EXPECT_EQ(lru.select_victim(), 1u);
+}
+
+TEST(Fifo, EvictsInArrivalOrderIgnoringTouches) {
+  ChunkChain chain = make_chain(4);
+  chain.move_to_tail(0);  // a touch-driven reorder would save chunk 0...
+  FifoPolicy fifo(chain);
+  EXPECT_FALSE(fifo.reorder_on_touch());  // ...but FIFO never reorders
+  // The chain was physically reordered above, so the head is now 1.
+  EXPECT_EQ(fifo.select_victim(), 1u);
+}
+
+TEST(Fifo, SkipsPinned) {
+  ChunkChain chain = make_chain(4);
+  ++chain.entry(0).pin_count;
+  FifoPolicy fifo(chain);
+  EXPECT_EQ(fifo.select_victim(), 1u);
+}
+
+TEST(Random, OnlyReturnsUnpinned) {
+  ChunkChain chain = make_chain(10);
+  for (ChunkId c = 0; c < 10; ++c)
+    if (c != 7) ++chain.entry(c).pin_count;
+  RandomPolicy rnd(chain, 1);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(rnd.select_victim(), 7u);
+}
+
+TEST(Random, IsDeterministicPerSeed) {
+  ChunkChain a = make_chain(100), b = make_chain(100);
+  RandomPolicy ra(a, 42), rb(b, 42);
+  for (int i = 0; i < 50; ++i) ASSERT_EQ(ra.select_victim(), rb.select_victim());
+}
+
+TEST(Random, CoversTheChain) {
+  ChunkChain chain = make_chain(8);
+  RandomPolicy rnd(chain, 3);
+  std::set<ChunkId> seen;
+  for (int i = 0; i < 400; ++i) seen.insert(rnd.select_victim());
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(ReservedLru, VictimAtReservedDepth) {
+  // 10 chunks, 20% reserved -> victim at depth 2 from the LRU end.
+  ChunkChain chain = make_chain(10);
+  ReservedLruPolicy pol(chain, 0.20);
+  EXPECT_EQ(pol.select_victim(), 2u);
+}
+
+TEST(ReservedLru, ZeroFractionDegeneratesToLru) {
+  ChunkChain chain = make_chain(10);
+  ReservedLruPolicy pol(chain, 0.0);
+  EXPECT_EQ(pol.select_victim(), 0u);
+}
+
+TEST(ReservedLru, SkipsPinnedBeyondDepth) {
+  ChunkChain chain = make_chain(10);
+  ++chain.entry(2).pin_count;
+  ReservedLruPolicy pol(chain, 0.20);
+  EXPECT_EQ(pol.select_victim(), 3u);
+}
+
+TEST(ReservedLru, AllReservedFallsBackToLru) {
+  ChunkChain chain = make_chain(4);
+  ReservedLruPolicy pol(chain, 0.95);  // depth 3 of 4
+  // Chunk 3 qualifies (depth 3); pin it and the policy degrades to LRU.
+  ++chain.entry(3).pin_count;
+  EXPECT_EQ(pol.select_victim(), 0u);
+}
+
+TEST(ReservedLru, NameReflectsFraction) {
+  ChunkChain chain = make_chain(1);
+  EXPECT_EQ(ReservedLruPolicy(chain, 0.10).name(), "LRU-10%");
+  EXPECT_EQ(ReservedLruPolicy(chain, 0.20).name(), "LRU-20%");
+}
+
+}  // namespace
+}  // namespace uvmsim

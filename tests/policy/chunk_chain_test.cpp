@@ -1,0 +1,142 @@
+#include "policy/chunk_chain.hpp"
+
+#include <gtest/gtest.h>
+
+namespace uvmsim {
+namespace {
+
+TEST(ChunkChain, InsertAtTailIsMru) {
+  ChunkChain chain;
+  chain.insert(1);
+  chain.insert(2);
+  chain.insert(3);
+  EXPECT_EQ(chain.begin()->id, 1u);    // head = LRU
+  EXPECT_EQ(chain.rbegin()->id, 3u);   // tail = MRU
+  EXPECT_EQ(chain.size(), 3u);
+}
+
+TEST(ChunkChain, InsertAtHeadIsLru) {
+  ChunkChain chain;
+  chain.insert(1);
+  chain.insert(2, /*at_head=*/true);
+  EXPECT_EQ(chain.begin()->id, 2u);
+}
+
+TEST(ChunkChain, EraseReturnsFinalMetadata) {
+  ChunkChain chain;
+  ChunkEntry& e = chain.insert(9);
+  e.touched.set(0);
+  e.resident = TouchBits::all();
+  const ChunkEntry out = chain.erase(9);
+  EXPECT_EQ(out.id, 9u);
+  EXPECT_EQ(out.untouch_level(), 15u);
+  EXPECT_FALSE(chain.contains(9));
+  EXPECT_TRUE(chain.empty());
+}
+
+TEST(ChunkChain, MoveToTailRefreshesRecency) {
+  ChunkChain chain;
+  chain.insert(1);
+  chain.insert(2);
+  chain.insert(3);
+  chain.move_to_tail(1);
+  EXPECT_EQ(chain.begin()->id, 2u);
+  EXPECT_EQ(chain.rbegin()->id, 1u);
+}
+
+TEST(ChunkChain, IntervalAdvancesPerMigratedPages) {
+  ChunkChain chain(/*interval_pages=*/64);
+  EXPECT_EQ(chain.current_interval(), 0u);
+  EXPECT_FALSE(chain.note_pages_migrated(63));
+  EXPECT_TRUE(chain.note_pages_migrated(1));  // 64 pages -> interval 1
+  EXPECT_EQ(chain.current_interval(), 1u);
+  // "Four chunks are prefetched in one interval": 4 x 16 pages = 64.
+  EXPECT_TRUE(chain.note_pages_migrated(4 * kChunkPages));
+  EXPECT_EQ(chain.current_interval(), 2u);
+}
+
+// Fig 2: the chain is partitioned into old / middle / new by interval stamp.
+TEST(ChunkChain, PartitionsFollowFig2) {
+  ChunkChain chain(64);
+  ChunkEntry& a = chain.insert(1);  // arrives in interval 0
+  chain.note_pages_migrated(64);    // -> interval 1
+  ChunkEntry& b = chain.insert(2);  // arrives in interval 1
+  chain.note_pages_migrated(64);    // -> interval 2
+  ChunkEntry& c = chain.insert(3);  // arrives in interval 2 (current)
+
+  EXPECT_EQ(chain.partition_of(a, false), Partition::kOld);
+  EXPECT_EQ(chain.partition_of(b, false), Partition::kMiddle);
+  EXPECT_EQ(chain.partition_of(c, false), Partition::kNew);
+}
+
+TEST(ChunkChain, TouchPartitionUsesTouchStamp) {
+  ChunkChain chain(64);
+  ChunkEntry& a = chain.insert(1);
+  chain.note_pages_migrated(128);  // -> interval 2; `a` is old by arrival
+  EXPECT_EQ(chain.partition_of(a, /*by_touch=*/true), Partition::kOld);
+  a.last_touch_interval = chain.current_interval();
+  EXPECT_EQ(chain.partition_of(a, /*by_touch=*/true), Partition::kNew);
+  EXPECT_EQ(chain.partition_of(a, /*by_touch=*/false), Partition::kOld);
+}
+
+// Fig 5: lifetime of eviction candidates. With chunks C1..C8 prefetched in
+// order, LRU selects C1; MRU over the old partition selects the most
+// recently arrived *old* chunk; skipping 2 from there reaches C2 when only
+// C1..C4 are old.
+TEST(ChunkChain, Fig5LifetimeExample) {
+  ChunkChain chain(64);
+  for (ChunkId c = 1; c <= 4; ++c) chain.insert(c);  // interval 0
+  chain.note_pages_migrated(64);
+  chain.note_pages_migrated(64);                     // -> interval 2
+  for (ChunkId c = 5; c <= 8; ++c) chain.insert(c);  // current interval
+
+  // LRU position: C1.
+  EXPECT_EQ(chain.begin()->id, 1u);
+  // MRU of the old partition: C4 (C5..C8 are new).
+  ChunkId mru_old = kInvalidChunk;
+  u32 skipped = 0;
+  ChunkId skip2 = kInvalidChunk;
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    if (chain.partition_of(*it, false) != Partition::kOld) continue;
+    if (mru_old == kInvalidChunk) mru_old = it->id;
+    if (skipped == 2 && skip2 == kInvalidChunk) skip2 = it->id;
+    ++skipped;
+  }
+  EXPECT_EQ(mru_old, 4u);
+  EXPECT_EQ(skip2, 2u);  // forward distance 2 evicts C2
+}
+
+TEST(ChunkChain, PinCounting) {
+  ChunkChain chain;
+  ChunkEntry& e = chain.insert(1);
+  EXPECT_FALSE(e.pinned());
+  ++e.pin_count;
+  ++e.pin_count;
+  EXPECT_TRUE(e.pinned());
+  --e.pin_count;
+  EXPECT_TRUE(e.pinned());
+  --e.pin_count;
+  EXPECT_FALSE(e.pinned());
+}
+
+TEST(ChunkChain, FindMissingReturnsNull) {
+  ChunkChain chain;
+  EXPECT_EQ(chain.find(42), nullptr);
+  chain.insert(42);
+  ASSERT_NE(chain.find(42), nullptr);
+  EXPECT_EQ(chain.find(42)->id, 42u);
+}
+
+TEST(ChunkEntry, UntouchLevelCountsResidentUntouched) {
+  ChunkEntry e;
+  // 12 resident, 4 of them touched -> untouch level 8.
+  for (u32 i = 0; i < 12; ++i) e.resident.set(i);
+  for (u32 i = 0; i < 4; ++i) e.touched.set(i);
+  EXPECT_EQ(e.untouch_level(), 8u);
+  // Touched-but-since-evicted pages never count negative.
+  e.touched.set(14);  // touched yet not resident (stale bit)
+  EXPECT_EQ(e.untouch_level(), 8u);
+}
+
+}  // namespace
+}  // namespace uvmsim

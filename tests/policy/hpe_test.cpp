@@ -1,0 +1,102 @@
+// HPE: counter-based classification and the prefetch-pollution failure mode
+// the paper's Inefficiency 1 describes.
+#include "policy/hpe.hpp"
+
+#include <gtest/gtest.h>
+
+namespace uvmsim {
+namespace {
+
+struct HpeFixture : ::testing::Test {
+  ChunkChain chain{64};
+  PolicyConfig cfg;
+
+  void fill(u32 n, u32 counter) {
+    for (ChunkId c = 0; c < n; ++c) {
+      ChunkEntry& e = chain.insert(c);
+      e.resident = TouchBits::all();
+      e.hpe_counter = counter;
+    }
+  }
+};
+
+TEST_F(HpeFixture, ClassifiesRegularWhenCountersHigh) {
+  fill(100, /*counter=*/16);
+  HpePolicy pol(chain, cfg);
+  (void)pol.select_victim();
+  EXPECT_EQ(pol.category(), HpePolicy::Category::kRegular);
+  EXPECT_EQ(pol.strategy(), HpePolicy::Strategy::kMruC);
+}
+
+TEST_F(HpeFixture, ClassifiesIrregular1WhenCountersLow) {
+  fill(100, /*counter=*/2);
+  HpePolicy pol(chain, cfg);
+  (void)pol.select_victim();
+  EXPECT_EQ(pol.category(), HpePolicy::Category::kIrregular1);
+  EXPECT_EQ(pol.strategy(), HpePolicy::Strategy::kLru);
+}
+
+TEST_F(HpeFixture, ClassifiesIrregular2InBetween) {
+  // Half the chunks qualified, half not -> irregular#2.
+  for (ChunkId c = 0; c < 100; ++c) {
+    ChunkEntry& e = chain.insert(c);
+    e.resident = TouchBits::all();
+    e.hpe_counter = (c % 2 == 0) ? 16 : 2;
+  }
+  HpePolicy pol(chain, cfg);
+  (void)pol.select_victim();
+  EXPECT_EQ(pol.category(), HpePolicy::Category::kIrregular2);
+}
+
+// Inefficiency 1: whole-chunk prefetching sets every counter to chunk size,
+// so an irregular application is misclassified as regular.
+TEST_F(HpeFixture, PrefetchPollutionMisclassifiesIrregular) {
+  // Irregular app: only 2 pages of each chunk were ever demanded, but
+  // prefetching migrated all 16 -> counter = 16 + touches.
+  fill(100, /*counter=*/16 + 2);
+  HpePolicy pol(chain, cfg);
+  (void)pol.select_victim();
+  EXPECT_EQ(pol.category(), HpePolicy::Category::kRegular);  // wrong on purpose
+}
+
+TEST_F(HpeFixture, MruCSelectsQualifiedFromOldPartitionMru) {
+  fill(50, /*counter=*/16);
+  chain.note_pages_migrated(128);         // everything old
+  chain.entry(49).hpe_counter = 3;        // MRU-most chunk not qualified
+  HpePolicy pol(chain, cfg);
+  EXPECT_EQ(pol.select_victim(), 48u);    // first qualified from the MRU end
+}
+
+TEST_F(HpeFixture, LruPathSelectsHead) {
+  fill(50, /*counter=*/2);
+  HpePolicy pol(chain, cfg);
+  EXPECT_EQ(pol.select_victim(), 0u);
+}
+
+TEST_F(HpeFixture, RegularAdjustsSearchSkipOnWrongEvictions) {
+  fill(100, 16);
+  chain.note_pages_migrated(128);
+  HpePolicy pol(chain, cfg);
+  // One interval where the single eviction is wrong -> skip grows.
+  const ChunkId v = pol.select_victim();
+  pol.on_chunk_evicted(chain.entry(v));
+  chain.erase(v);
+  pol.on_fault(first_page_of_chunk(v));
+  pol.on_interval_boundary();
+  EXPECT_EQ(pol.search_skip(), 1u);
+  // A clean interval relaxes it again.
+  const ChunkId v2 = pol.select_victim();
+  pol.on_chunk_evicted(chain.entry(v2));
+  chain.erase(v2);
+  pol.on_interval_boundary();
+  EXPECT_EQ(pol.search_skip(), 0u);
+}
+
+TEST_F(HpeFixture, ReordersOnTouch) {
+  fill(4, 16);
+  HpePolicy pol(chain, cfg);
+  EXPECT_TRUE(pol.reorder_on_touch());
+}
+
+}  // namespace
+}  // namespace uvmsim

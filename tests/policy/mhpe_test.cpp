@@ -1,0 +1,279 @@
+// MHPE (Algorithm 1) mechanics, driven directly against a chunk chain.
+#include "policy/mhpe.hpp"
+
+#include <gtest/gtest.h>
+
+namespace uvmsim {
+namespace {
+
+struct MhpeFixture : ::testing::Test {
+  ChunkChain chain{64};
+  PolicyConfig cfg;
+
+  /// Insert `n` fully-touched resident chunks (arrival order 0..n-1).
+  void fill(u32 n) {
+    for (ChunkId c = 0; c < n; ++c) {
+      ChunkEntry& e = chain.insert(c);
+      e.resident = TouchBits::all();
+      e.touched = TouchBits::all();
+    }
+  }
+
+  /// Simulate evicting `chunk` through the policy (caller picks it).
+  void evict(MhpePolicy& pol, ChunkId chunk) {
+    pol.on_chunk_evicted(chain.entry(chunk));
+    chain.erase(chunk);
+  }
+};
+
+TEST_F(MhpeFixture, UntouchBucketsMatchPaperRanges) {
+  // [0-3] [4-10] [11-17] [18-24] [25-31] for T1 = 32 (paper §VI-A).
+  EXPECT_EQ(MhpePolicy::untouch_bucket(0, 32), 0u);
+  EXPECT_EQ(MhpePolicy::untouch_bucket(3, 32), 0u);
+  EXPECT_EQ(MhpePolicy::untouch_bucket(4, 32), 1u);
+  EXPECT_EQ(MhpePolicy::untouch_bucket(10, 32), 1u);
+  EXPECT_EQ(MhpePolicy::untouch_bucket(11, 32), 2u);
+  EXPECT_EQ(MhpePolicy::untouch_bucket(17, 32), 2u);
+  EXPECT_EQ(MhpePolicy::untouch_bucket(18, 32), 3u);
+  EXPECT_EQ(MhpePolicy::untouch_bucket(24, 32), 3u);
+  EXPECT_EQ(MhpePolicy::untouch_bucket(25, 32), 4u);
+  EXPECT_EQ(MhpePolicy::untouch_bucket(31, 32), 4u);
+  EXPECT_EQ(MhpePolicy::untouch_bucket(40, 32), 4u);  // saturates above T1
+}
+
+TEST_F(MhpeFixture, StartsWithMruStrategy) {
+  fill(300);
+  MhpePolicy pol(chain, cfg);
+  EXPECT_EQ(pol.strategy(), MhpePolicy::Strategy::kMru);
+}
+
+TEST_F(MhpeFixture, InitialForwardDistanceFromChainLength) {
+  // chain/100 clamped to [2, 8].
+  {
+    fill(300);  // 300/100 = 3
+    MhpePolicy pol(chain, cfg);
+    (void)pol.select_victim();
+    EXPECT_EQ(pol.forward_distance(), 3u);
+  }
+  {
+    ChunkChain small(64);
+    for (ChunkId c = 0; c < 50; ++c) {
+      auto& e = small.insert(c);
+      e.resident = TouchBits::all();
+    }
+    MhpePolicy pol(small, cfg);
+    (void)pol.select_victim();
+    EXPECT_EQ(pol.forward_distance(), 2u);  // 0 clamps up to fd_min
+  }
+  {
+    ChunkChain big(64);
+    for (ChunkId c = 0; c < 2000; ++c) {
+      auto& e = big.insert(c);
+      e.resident = TouchBits::all();
+    }
+    MhpePolicy pol(big, cfg);
+    (void)pol.select_victim();
+    EXPECT_EQ(pol.forward_distance(), 8u);  // 20 clamps down to fd_max
+  }
+}
+
+TEST_F(MhpeFixture, MruSelectsFromOldPartitionWithForwardDistance) {
+  fill(300);                       // all arrive in interval 0
+  chain.note_pages_migrated(128);  // -> interval 2: all 300 now "old"
+  MhpePolicy pol(chain, cfg);
+  // fd = 3: skip chunks 299, 298, 297 from the MRU end -> victim 296.
+  EXPECT_EQ(pol.select_victim(), 296u);
+}
+
+TEST_F(MhpeFixture, MruSkipsNewAndMiddlePartitions) {
+  fill(200);                       // interval 0
+  chain.note_pages_migrated(64);   // interval 1
+  for (ChunkId c = 200; c < 204; ++c) {
+    auto& e = chain.insert(c);     // middle (after next advance)
+    e.resident = TouchBits::all();
+  }
+  chain.note_pages_migrated(64);   // interval 2
+  for (ChunkId c = 204; c < 208; ++c) {
+    auto& e = chain.insert(c);     // new
+    e.resident = TouchBits::all();
+  }
+  MhpePolicy pol(chain, cfg);
+  // fd = 208/100 = 2: victims come from the old partition (ids < 200),
+  // skipping 199 and 198.
+  EXPECT_EQ(pol.select_victim(), 197u);
+}
+
+TEST_F(MhpeFixture, SwitchesToLruWhenU1ReachesT1) {
+  fill(300);
+  chain.note_pages_migrated(128);
+  MhpePolicy pol(chain, cfg);
+  // Evict 4 chunks with untouch level 8 each -> U1 = 32 >= T1.
+  for (int i = 0; i < 4; ++i) {
+    const ChunkId v = pol.select_victim();
+    ChunkEntry& e = chain.entry(v);
+    e.touched = TouchBits(0x00FF);  // 8 touched, 8 untouched
+    evict(pol, v);
+  }
+  pol.on_interval_boundary();
+  EXPECT_EQ(pol.strategy(), MhpePolicy::Strategy::kLru);
+  // LRU victim is the head.
+  EXPECT_EQ(pol.select_victim(), chain.begin()->id);
+}
+
+TEST_F(MhpeFixture, StaysMruWhenUntouchLow) {
+  fill(300);
+  chain.note_pages_migrated(128);
+  MhpePolicy pol(chain, cfg);
+  for (int i = 0; i < 4; ++i) evict(pol, pol.select_victim());  // untouch 0
+  pol.on_interval_boundary();
+  EXPECT_EQ(pol.strategy(), MhpePolicy::Strategy::kMru);
+}
+
+TEST_F(MhpeFixture, SwitchesViaU2AtFourthInterval) {
+  fill(300);
+  chain.note_pages_migrated(128);
+  MhpePolicy pol(chain, cfg);
+  // Per interval: U1 = 12 (< T1 = 32) but cumulative over 4 intervals
+  // U2 = 48 >= T2 = 40 -> switch at the fourth boundary.
+  for (int interval = 0; interval < 4; ++interval) {
+    ASSERT_EQ(pol.strategy(), MhpePolicy::Strategy::kMru) << interval;
+    const ChunkId v = pol.select_victim();
+    ChunkEntry& e = chain.entry(v);
+    e.touched = TouchBits(0x000F);  // 4 touched -> untouch 12
+    evict(pol, v);
+    pol.on_interval_boundary();
+  }
+  EXPECT_EQ(pol.strategy(), MhpePolicy::Strategy::kLru);
+}
+
+TEST_F(MhpeFixture, SwitchIsOneWay) {
+  fill(300);
+  chain.note_pages_migrated(128);
+  MhpePolicy pol(chain, cfg);
+  const ChunkId v = pol.select_victim();
+  chain.entry(v).touched = TouchBits::none();  // untouch 16... exceeds ranges
+  chain.entry(v).touched = TouchBits(0x0001);
+  // Evict 3 chunks, untouch 15 each -> U1 = 45 >= 32.
+  for (int i = 0; i < 3; ++i) {
+    const ChunkId c = pol.select_victim();
+    chain.entry(c).touched = TouchBits(0x0001);
+    evict(pol, c);
+  }
+  pol.on_interval_boundary();
+  ASSERT_EQ(pol.strategy(), MhpePolicy::Strategy::kLru);
+  // Clean intervals afterwards never switch back.
+  for (int i = 0; i < 6; ++i) {
+    evict(pol, pol.select_victim());
+    pol.on_interval_boundary();
+    ASSERT_EQ(pol.strategy(), MhpePolicy::Strategy::kLru);
+  }
+}
+
+TEST_F(MhpeFixture, ForwardDistanceGrowsWithWrongEvictions) {
+  fill(300);
+  chain.note_pages_migrated(128);
+  MhpePolicy pol(chain, cfg);
+  (void)pol.select_victim();
+  const u32 fd0 = pol.forward_distance();
+  // Evict two chunks (fully touched: untouch 0), then fault back into both.
+  for (int i = 0; i < 2; ++i) {
+    const ChunkId v = pol.select_victim();
+    evict(pol, v);
+    pol.on_fault(first_page_of_chunk(v));  // wrong eviction
+  }
+  pol.on_interval_boundary();
+  EXPECT_EQ(pol.forward_distance(), fd0 + 2);  // max(bucket(0)=0, W=2)
+  EXPECT_EQ(pol.wrong_evictions_total(), 2u);
+}
+
+TEST_F(MhpeFixture, ForwardDistanceCapAtT3) {
+  cfg.t3_forward_limit = 4;
+  fill(300);
+  chain.note_pages_migrated(128);
+  MhpePolicy pol(chain, cfg);
+  (void)pol.select_victim();
+  // Push the distance past the cap: adjustments stop once fd > T3.
+  for (int round = 0; round < 10; ++round) {
+    for (int i = 0; i < 4; ++i) {
+      const ChunkId v = pol.select_victim();
+      evict(pol, v);
+      pol.on_fault(first_page_of_chunk(v));
+    }
+    pol.on_interval_boundary();
+  }
+  // fd can exceed T3 by at most one adjustment step (<= 4).
+  EXPECT_LE(pol.forward_distance(), cfg.t3_forward_limit + 4);
+  EXPECT_GT(pol.forward_distance(), cfg.t3_forward_limit);
+}
+
+TEST_F(MhpeFixture, WronglyEvictedChunkReinsertsAtHead) {
+  fill(300);
+  chain.note_pages_migrated(128);
+  MhpePolicy pol(chain, cfg);
+  const ChunkId v = pol.select_victim();
+  evict(pol, v);
+  pol.on_fault(first_page_of_chunk(v));
+  EXPECT_EQ(pol.insert_position(v), InsertPosition::kHead);
+  // The flag is consumed: a second migration of the same chunk is normal.
+  EXPECT_EQ(pol.insert_position(v), InsertPosition::kTail);
+  // Chunks never flagged go to the tail.
+  EXPECT_EQ(pol.insert_position(9999), InsertPosition::kTail);
+}
+
+TEST_F(MhpeFixture, WrongEvictionBufferIsBounded) {
+  cfg.wrong_evict_min_entries = 8;
+  fill(300);
+  chain.note_pages_migrated(128);
+  MhpePolicy pol(chain, cfg);
+  (void)pol.select_victim();
+  // 300/64 = 4 -> capacity 32.
+  EXPECT_EQ(pol.wrong_buffer_capacity(), 32u);
+
+  // Evict more chunks than the buffer holds; a fault on the oldest eviction
+  // is no longer a wrong eviction.
+  std::vector<ChunkId> victims;
+  for (int i = 0; i < 40; ++i) {
+    const ChunkId v = pol.select_victim();
+    victims.push_back(v);
+    evict(pol, v);
+  }
+  pol.on_fault(first_page_of_chunk(victims.front()));
+  EXPECT_EQ(pol.wrong_evictions_total(), 0u);
+  pol.on_fault(first_page_of_chunk(victims.back()));
+  EXPECT_EQ(pol.wrong_evictions_total(), 1u);
+}
+
+TEST_F(MhpeFixture, MhpeDoesNotReorderOnTouch) {
+  fill(10);
+  MhpePolicy pol(chain, cfg);
+  EXPECT_FALSE(pol.reorder_on_touch());
+}
+
+TEST_F(MhpeFixture, NeverSelectsPinned) {
+  fill(300);
+  chain.note_pages_migrated(128);
+  for (ChunkId c = 290; c < 300; ++c) ++chain.entry(c).pin_count;
+  MhpePolicy pol(chain, cfg);
+  for (int i = 0; i < 20; ++i) {
+    const ChunkId v = pol.select_victim();
+    ASSERT_FALSE(chain.entry(v).pinned());
+    evict(pol, v);
+  }
+}
+
+TEST_F(MhpeFixture, RecordsUntouchHistoryForTables) {
+  fill(300);
+  chain.note_pages_migrated(128);
+  MhpePolicy pol(chain, cfg);
+  for (int interval = 0; interval < 3; ++interval) {
+    const ChunkId v = pol.select_victim();
+    chain.entry(v).touched = TouchBits(0x0FFF);  // untouch 4
+    evict(pol, v);
+    pol.on_interval_boundary();
+  }
+  ASSERT_EQ(pol.interval_untouch_history().size(), 3u);
+  for (u32 u : pol.interval_untouch_history()) EXPECT_EQ(u, 4u);
+}
+
+}  // namespace
+}  // namespace uvmsim

@@ -1,0 +1,175 @@
+// Access-pattern-aware prefetcher: pattern recording, match/mismatch
+// behaviour, and a step-by-step reproduction of the paper's Fig 6 deletion-
+// scheme example (adapted from the figure's 4-page toy chunk to the real
+// 16-page chunk).
+#include "prefetch/pattern_aware.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace uvmsim {
+namespace {
+
+class TestView final : public ResidencyView {
+ public:
+  explicit TestView(PageId footprint) : footprint_(footprint) {}
+  void add(PageId p) { resident_.insert(p); }
+  void remove(PageId p) { resident_.erase(p); }
+  [[nodiscard]] bool is_resident(PageId p) const override { return resident_.contains(p); }
+  [[nodiscard]] PageId footprint_pages() const override { return footprint_; }
+
+ private:
+  std::set<PageId> resident_;
+  PageId footprint_;
+};
+
+PolicyConfig with_scheme(DeletionScheme s) {
+  PolicyConfig cfg;
+  cfg.deletion = s;
+  return cfg;
+}
+
+/// Stride-2 touch pattern: bits 0,2,4,...,14 -> untouch level 8.
+TouchBits stride2_pattern() {
+  TouchBits t;
+  for (u32 i = 0; i < kChunkPages; i += 2) t.set(i);
+  return t;
+}
+
+TEST(PatternAware, UnrecordedChunkFallsBackToWholeChunk) {
+  PatternAwarePrefetcher pf(with_scheme(DeletionScheme::kScheme2));
+  TestView view(1000);
+  EXPECT_EQ(pf.plan(0, view).size(), kChunkPages);
+}
+
+TEST(PatternAware, RecordsOnlySparseChunks) {
+  PatternAwarePrefetcher pf(with_scheme(DeletionScheme::kScheme2));
+  pf.on_chunk_evicted(1, stride2_pattern());          // untouch 8: recorded
+  TouchBits dense = TouchBits::all();
+  dense.clear(0);                                     // untouch 1: not recorded
+  pf.on_chunk_evicted(2, dense);
+  EXPECT_TRUE(pf.has_pattern(1));
+  EXPECT_FALSE(pf.has_pattern(2));
+  EXPECT_EQ(pf.records(), 1u);
+}
+
+TEST(PatternAware, EmptyPatternIsNeverRecorded) {
+  PatternAwarePrefetcher pf(with_scheme(DeletionScheme::kScheme2));
+  pf.on_chunk_evicted(1, TouchBits::none());
+  EXPECT_FALSE(pf.has_pattern(1));
+}
+
+TEST(PatternAware, DenseReEvictionLeavesPatternInPlace) {
+  // Paper semantics: entries are only removed by the deletion schemes, so a
+  // fully-used re-eviction does not clear an earlier sparse pattern. This is
+  // the mechanism behind Scheme-2's two-prefetch behaviour on slowly-
+  // populating chunks (§VI-B).
+  PatternAwarePrefetcher pf(with_scheme(DeletionScheme::kScheme2));
+  pf.on_chunk_evicted(1, stride2_pattern());
+  ASSERT_TRUE(pf.has_pattern(1));
+  pf.on_chunk_evicted(1, TouchBits::all());  // fully used this residency
+  EXPECT_TRUE(pf.has_pattern(1));            // stale pattern survives
+}
+
+TEST(PatternAware, MatchPrefetchesOnlyPatternedPages) {
+  PatternAwarePrefetcher pf(with_scheme(DeletionScheme::kScheme2));
+  TestView view(1000);
+  pf.on_chunk_evicted(0, stride2_pattern());
+  const auto plan = pf.plan(/*page=*/4, view);  // index 4 is patterned
+  EXPECT_EQ(plan.size(), 8u);
+  for (PageId p : plan) EXPECT_EQ(p % 2, 0u);
+  EXPECT_EQ(pf.matches(), 1u);
+}
+
+TEST(PatternAware, MatchSkipsAlreadyResidentPatternPages) {
+  PatternAwarePrefetcher pf(with_scheme(DeletionScheme::kScheme2));
+  TestView view(1000);
+  pf.on_chunk_evicted(0, stride2_pattern());
+  view.add(0);
+  view.add(2);
+  EXPECT_EQ(pf.plan(4, view).size(), 6u);
+}
+
+// --- Fig 6 walkthrough -------------------------------------------------------
+// Pattern: pages 1 and 3 of the chunk touched (plus nothing else).
+// Stream (1): fault on page 2 -> mismatch -> whole chunk, entry deleted
+//             under BOTH schemes (it was the first lookup).
+// Stream (2): fault on page 1 -> match (prefetch 1 and 3); then fault on
+//             page 2 -> mismatch -> rest of chunk; Scheme-1 deletes the
+//             entry, Scheme-2 keeps it (first lookup matched).
+TouchBits fig6_pattern() {
+  TouchBits t;
+  t.set(1);
+  t.set(3);
+  return t;
+}
+
+TEST(PatternAware, Fig6Stream1DeletesUnderBothSchemes) {
+  for (DeletionScheme s : {DeletionScheme::kScheme1, DeletionScheme::kScheme2}) {
+    PatternAwarePrefetcher pf(with_scheme(s));
+    TestView view(1000);
+    pf.on_chunk_evicted(0, fig6_pattern());
+    const auto plan = pf.plan(2, view);  // 80002: mismatch
+    EXPECT_EQ(plan.size(), kChunkPages);
+    EXPECT_FALSE(pf.has_pattern(0));
+    EXPECT_EQ(pf.deletions(), 1u);
+  }
+}
+
+TEST(PatternAware, Fig6Stream2Scheme1Deletes) {
+  PatternAwarePrefetcher pf(with_scheme(DeletionScheme::kScheme1));
+  TestView view(1000);
+  pf.on_chunk_evicted(0, fig6_pattern());
+
+  auto plan = pf.plan(1, view);  // 80001: match
+  EXPECT_EQ(plan.size(), 2u);    // pages 1 and 3
+  for (PageId p : plan) view.add(p);
+
+  plan = pf.plan(2, view);       // 80002: mismatch
+  // Whole chunk except the already-resident pages 1 and 3.
+  EXPECT_EQ(plan.size(), kChunkPages - 2);
+  EXPECT_FALSE(pf.has_pattern(0));  // Scheme-1: any mismatch deletes
+}
+
+TEST(PatternAware, Fig6Stream2Scheme2Keeps) {
+  PatternAwarePrefetcher pf(with_scheme(DeletionScheme::kScheme2));
+  TestView view(1000);
+  pf.on_chunk_evicted(0, fig6_pattern());
+
+  auto plan = pf.plan(1, view);  // first lookup: match
+  EXPECT_EQ(plan.size(), 2u);
+  for (PageId p : plan) view.add(p);
+
+  plan = pf.plan(2, view);       // later mismatch
+  EXPECT_EQ(plan.size(), kChunkPages - 2);
+  EXPECT_TRUE(pf.has_pattern(0));  // Scheme-2: kept, first lookup matched
+}
+
+TEST(PatternAware, ReRecordingResetsFirstLookupFlag) {
+  PatternAwarePrefetcher pf(with_scheme(DeletionScheme::kScheme2));
+  TestView view(1000);
+  pf.on_chunk_evicted(0, fig6_pattern());
+  (void)pf.plan(1, view);               // probe once (match)
+  pf.on_chunk_evicted(0, fig6_pattern());  // re-evicted, re-recorded
+  (void)pf.plan(2, view);               // mismatch on the NEW first lookup
+  EXPECT_FALSE(pf.has_pattern(0));
+}
+
+TEST(PatternAware, TracksPeakBufferSize) {
+  PatternAwarePrefetcher pf(with_scheme(DeletionScheme::kScheme2));
+  for (ChunkId c = 0; c < 30; ++c) pf.on_chunk_evicted(c, stride2_pattern());
+  EXPECT_EQ(pf.size(), 30u);
+  EXPECT_EQ(pf.peak_size(), 30u);
+}
+
+TEST(PatternAware, PlanNeverExceedsFootprint) {
+  PatternAwarePrefetcher pf(with_scheme(DeletionScheme::kScheme2));
+  TestView view(10);  // footprint ends inside chunk 0
+  pf.on_chunk_evicted(0, stride2_pattern());
+  for (PageId p : pf.plan(4, view)) EXPECT_LT(p, 10u);
+}
+
+}  // namespace
+}  // namespace uvmsim

@@ -1,0 +1,98 @@
+// NoPrefetcher / LocalityPrefetcher / TreeNeighborhoodPrefetcher planning.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "prefetch/prefetcher.hpp"
+#include "prefetch/tree_neighborhood.hpp"
+
+namespace uvmsim {
+namespace {
+
+/// Deterministic residency oracle for prefetcher tests.
+class TestView final : public ResidencyView {
+ public:
+  explicit TestView(PageId footprint) : footprint_(footprint) {}
+  void add(PageId p) { resident_.insert(p); }
+  [[nodiscard]] bool is_resident(PageId p) const override { return resident_.contains(p); }
+  [[nodiscard]] PageId footprint_pages() const override { return footprint_; }
+
+ private:
+  std::set<PageId> resident_;
+  PageId footprint_;
+};
+
+TEST(NoPrefetcher, OnlyFaultedPage) {
+  NoPrefetcher pf;
+  TestView view(1000);
+  EXPECT_EQ(pf.plan(42, view), std::vector<PageId>{42});
+}
+
+TEST(Locality, PrefetchesWholeChunk) {
+  LocalityPrefetcher pf;
+  TestView view(1000);
+  const auto plan = pf.plan(37, view);  // chunk 2 = pages 32..47
+  EXPECT_EQ(plan.size(), kChunkPages);
+  for (PageId p = 32; p < 48; ++p)
+    EXPECT_NE(std::find(plan.begin(), plan.end(), p), plan.end());
+}
+
+TEST(Locality, SkipsResidentPages) {
+  LocalityPrefetcher pf;
+  TestView view(1000);
+  view.add(32);
+  view.add(33);
+  const auto plan = pf.plan(37, view);
+  EXPECT_EQ(plan.size(), kChunkPages - 2);
+  EXPECT_EQ(std::find(plan.begin(), plan.end(), 32), plan.end());
+}
+
+TEST(Locality, ClipsToFootprint) {
+  LocalityPrefetcher pf;
+  TestView view(40);  // footprint ends mid-chunk-2
+  const auto plan = pf.plan(36, view);
+  EXPECT_EQ(plan.size(), 8u);  // pages 32..39 only
+  for (PageId p : plan) EXPECT_LT(p, 40u);
+}
+
+TEST(Tree, FetchesFaultingBlockWhenRegionCold) {
+  TreeNeighborhoodPrefetcher pf;
+  TestView view(4096);
+  const auto plan = pf.plan(0, view);
+  EXPECT_EQ(plan.size(), kChunkPages);  // nothing resident: no climb
+}
+
+TEST(Tree, ClimbsWhenNeighborMostlyResident) {
+  TreeNeighborhoodPrefetcher pf;
+  TestView view(4096);
+  // Make the sibling 16-page block fully resident: the 32-page parent node
+  // will be >50% resident once the faulting block is planned.
+  for (PageId p = 16; p < 32; ++p) view.add(p);
+  const auto plan = pf.plan(0, view);
+  // Fault block (16) + anything further up the tree that qualified.
+  EXPECT_GE(plan.size(), kChunkPages);
+  // The parent (pages 0..31) is 100% covered -> the climb continues to the
+  // 64-page node, which is now 32/64 = 50%: not strictly more than half, so
+  // the climb stops there.
+  std::set<PageId> s(plan.begin(), plan.end());
+  for (PageId p = 0; p < 16; ++p) EXPECT_TRUE(s.contains(p));
+  EXPECT_FALSE(s.contains(40));  // outside the qualified node
+}
+
+TEST(Tree, NeverPlansResidentOrOutOfRange) {
+  TreeNeighborhoodPrefetcher pf;
+  TestView view(100);
+  for (PageId p = 20; p < 40; ++p) view.add(p);
+  const auto plan = pf.plan(5, view);
+  for (PageId p : plan) {
+    EXPECT_LT(p, 100u);
+    EXPECT_FALSE(view.is_resident(p));
+  }
+  // No duplicates.
+  std::set<PageId> s(plan.begin(), plan.end());
+  EXPECT_EQ(s.size(), plan.size());
+}
+
+}  // namespace
+}  // namespace uvmsim

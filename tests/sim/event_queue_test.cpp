@@ -1,0 +1,71 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace uvmsim {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue eq;
+  std::vector<int> order;
+  eq.schedule_at(30, [&] { order.push_back(3); });
+  eq.schedule_at(10, [&] { order.push_back(1); });
+  eq.schedule_at(20, [&] { order.push_back(2); });
+  eq.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(eq.now(), 30u);
+}
+
+TEST(EventQueue, SameCycleFifo) {
+  EventQueue eq;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i)
+    eq.schedule_at(5, [&order, i] { order.push_back(i); });
+  eq.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, ScheduleInIsRelative) {
+  EventQueue eq;
+  Cycle seen = 0;
+  eq.schedule_at(100, [&] {
+    eq.schedule_in(50, [&] { seen = eq.now(); });
+  });
+  eq.run();
+  EXPECT_EQ(seen, 150u);
+}
+
+TEST(EventQueue, EventsMayScheduleMoreEvents) {
+  EventQueue eq;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 100) eq.schedule_in(1, chain);
+  };
+  eq.schedule_at(0, chain);
+  eq.run();
+  EXPECT_EQ(count, 100);
+  EXPECT_EQ(eq.now(), 99u);
+}
+
+TEST(EventQueue, RunRespectsMaxCycle) {
+  EventQueue eq;
+  int ran = 0;
+  eq.schedule_at(10, [&] { ++ran; });
+  eq.schedule_at(1000, [&] { ++ran; });
+  const u64 executed = eq.run(500);
+  EXPECT_EQ(executed, 1u);
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(eq.now(), 500u);  // clock advanced to the cap
+  EXPECT_EQ(eq.pending(), 1u);
+}
+
+TEST(EventQueue, StepOnEmptyReturnsFalse) {
+  EventQueue eq;
+  EXPECT_FALSE(eq.step());
+  EXPECT_TRUE(eq.empty());
+}
+
+}  // namespace
+}  // namespace uvmsim

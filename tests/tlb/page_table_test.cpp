@@ -1,0 +1,51 @@
+#include "tlb/page_table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace uvmsim {
+namespace {
+
+TEST(PageTable, MapUnmapRoundTrip) {
+  PageTable pt;
+  EXPECT_FALSE(pt.resident(7));
+  pt.map(7, 123);
+  EXPECT_TRUE(pt.resident(7));
+  EXPECT_EQ(pt.frame_of(7), 123u);
+  EXPECT_EQ(pt.unmap(7), 123u);
+  EXPECT_FALSE(pt.resident(7));
+}
+
+TEST(PageTable, FrameOfMissingIsInvalid) {
+  PageTable pt;
+  EXPECT_EQ(pt.frame_of(99), kInvalidFrame);
+}
+
+TEST(PageTable, CountsMappedPages) {
+  PageTable pt;
+  for (PageId p = 0; p < 10; ++p) pt.map(p, p);
+  EXPECT_EQ(pt.mapped_pages(), 10u);
+  pt.unmap(3);
+  EXPECT_EQ(pt.mapped_pages(), 9u);
+}
+
+TEST(PageTable, NodeTagsShareUpperLevels) {
+  // Pages in the same 512-page leaf region share the level-1..3 nodes but
+  // have distinct level-0 (PTE-level) tags only when 512 pages apart.
+  const PageId a = 0, b = 1, c = 512;
+  EXPECT_EQ(PageTable::node_tag(a, 1), PageTable::node_tag(b, 1));
+  EXPECT_EQ(PageTable::node_tag(a, 3), PageTable::node_tag(c, 3));
+  EXPECT_NE(PageTable::node_tag(a, 1), PageTable::node_tag(c, 1));
+}
+
+TEST(PageTable, NodeTagsNeverAliasAcrossLevels) {
+  // The level is encoded in the tag: the same VPN prefix at different levels
+  // must produce different tags.
+  for (PageId p : {PageId{0}, PageId{12345}, PageId{1} << 30}) {
+    for (u32 l1 = 0; l1 < PageTable::kLevels; ++l1)
+      for (u32 l2 = l1 + 1; l2 < PageTable::kLevels; ++l2)
+        EXPECT_NE(PageTable::node_tag(p, l1), PageTable::node_tag(p, l2));
+  }
+}
+
+}  // namespace
+}  // namespace uvmsim

@@ -1,0 +1,65 @@
+#include "tlb/tlb.hpp"
+
+#include <gtest/gtest.h>
+
+namespace uvmsim {
+namespace {
+
+TEST(Tlb, MissThenFillThenHit) {
+  Tlb tlb("t", 8, 0, 1);
+  EXPECT_FALSE(tlb.lookup(0, 5).hit);
+  tlb.fill(5);
+  EXPECT_TRUE(tlb.lookup(10, 5).hit);
+  EXPECT_EQ(tlb.hits(), 1u);
+  EXPECT_EQ(tlb.misses(), 1u);
+}
+
+TEST(Tlb, LatencyIsCharged) {
+  Tlb tlb("t", 8, 0, 10);
+  const auto r = tlb.lookup(100, 1);
+  EXPECT_EQ(r.ready_at, 110u);  // starts at 100, 10-cycle access
+}
+
+TEST(Tlb, SinglePortSerialises) {
+  Tlb tlb("t", 8, 0, 1, /*ports=*/1);
+  const auto a = tlb.lookup(0, 1);
+  const auto b = tlb.lookup(0, 2);  // same cycle: must queue behind a
+  EXPECT_GT(b.ready_at, a.ready_at);
+}
+
+TEST(Tlb, TwoPortsServeTwoPerCycle) {
+  Tlb tlb("t", 8, 0, 10, /*ports=*/2);
+  const auto a = tlb.lookup(0, 1);
+  const auto b = tlb.lookup(0, 2);
+  const auto c = tlb.lookup(0, 3);
+  EXPECT_EQ(a.ready_at, b.ready_at);  // parallel ports
+  EXPECT_GT(c.ready_at, b.ready_at);  // third lookup queues
+}
+
+TEST(Tlb, InvalidateRemovesTranslation) {
+  Tlb tlb("t", 8, 0, 1);
+  tlb.fill(9);
+  EXPECT_TRUE(tlb.invalidate(9));
+  EXPECT_FALSE(tlb.lookup(0, 9).hit);
+  EXPECT_FALSE(tlb.invalidate(9));
+}
+
+TEST(Tlb, CapacityEviction) {
+  Tlb tlb("t", 4, 0, 1);  // fully associative, 4 entries
+  for (PageId p = 0; p < 5; ++p) tlb.fill(p);
+  u32 hits = 0;
+  for (PageId p = 0; p < 5; ++p)
+    if (tlb.lookup(100, p).hit) ++hits;
+  EXPECT_EQ(hits, 4u);  // exactly one got evicted
+}
+
+TEST(Tlb, HitRate) {
+  Tlb tlb("t", 8, 0, 1);
+  tlb.fill(1);
+  tlb.lookup(0, 1);
+  tlb.lookup(0, 2);
+  EXPECT_DOUBLE_EQ(tlb.hit_rate(), 0.5);
+}
+
+}  // namespace
+}  // namespace uvmsim

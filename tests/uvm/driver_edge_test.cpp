@@ -1,0 +1,112 @@
+// Driver edge cases: admission backlog, fault absorption, the all-pinned
+// retry path, gating interaction with pre-eviction, and tiny capacities.
+#include <gtest/gtest.h>
+
+#include "policy/lru.hpp"
+#include "prefetch/prefetcher.hpp"
+#include "uvm/driver.hpp"
+
+namespace uvmsim {
+namespace {
+
+struct DriverEdgeFixture : ::testing::Test {
+  EventQueue eq;
+  SystemConfig sys;
+  PolicyConfig pol;
+
+  std::unique_ptr<UvmDriver> make_driver(u64 footprint, u64 capacity) {
+    auto d = std::make_unique<UvmDriver>(eq, sys, pol, footprint, capacity);
+    d->set_policy(std::make_unique<LruPolicy>(d->chain()));
+    d->set_prefetcher(std::make_unique<LocalityPrefetcher>());
+    return d;
+  }
+};
+
+TEST_F(DriverEdgeFixture, BacklogBeyondAdmissionLimitDrains) {
+  auto d = make_driver(64 * 16, 64 * 16);
+  int wakes = 0;
+  // 40 distinct chunks faulted at once: far more than the 8 driver slots.
+  for (ChunkId c = 0; c < 40; ++c)
+    d->fault(first_page_of_chunk(c), [&] { ++wakes; });
+  eq.run();
+  EXPECT_EQ(wakes, 40);
+  EXPECT_EQ(d->stats().migration_ops, 40u);
+  EXPECT_EQ(d->stats().pages_migrated_in, 40u * 16u);
+}
+
+TEST_F(DriverEdgeFixture, QueuedSiblingFaultsAreAbsorbedIntoOnePlan) {
+  auto d = make_driver(64 * 16, 64 * 16);
+  // Saturate the 8 admission slots with 8 distinct chunks...
+  int wakes = 0;
+  for (ChunkId c = 0; c < 8; ++c)
+    d->fault(first_page_of_chunk(c), [&] { ++wakes; });
+  // ...then raise 16 sibling faults for one further chunk. They queue, the
+  // first admitted one plans the whole chunk, the rest must be absorbed.
+  for (u32 i = 0; i < 16; ++i)
+    d->fault(first_page_of_chunk(9) + i, [&] { ++wakes; });
+  eq.run();
+  EXPECT_EQ(wakes, 24);
+  // 8 ops for the first chunks + exactly 1 op for chunk 9.
+  EXPECT_EQ(d->stats().migration_ops, 9u);
+  // All 16 sibling pages were demanded (each had a waiter).
+  EXPECT_EQ(d->stats().pages_demanded, 8u + 16u);
+}
+
+TEST_F(DriverEdgeFixture, SingleChunkCapacitySurvivesConcurrentFaults) {
+  // Capacity of ONE chunk and faults to many chunks: the all-pinned retry
+  // path must make progress without deadlock or capacity violation.
+  auto d = make_driver(8 * 16, 16);
+  int wakes = 0;
+  for (ChunkId c = 0; c < 8; ++c)
+    d->fault(first_page_of_chunk(c), [&] { ++wakes; });
+  eq.run();
+  EXPECT_EQ(wakes, 8);
+  EXPECT_LE(d->page_table().mapped_pages(), 16u);
+  EXPECT_EQ(d->free_frames() + d->page_table().mapped_pages(), 16u);
+}
+
+TEST_F(DriverEdgeFixture, GatingStaysOffOncePressureBegan) {
+  pol.prefetch_when_full = false;
+  pol.pre_evict_watermark_chunks = 2;  // pre-eviction keeps headroom free
+  auto d = make_driver(16 * 16, 4 * 16);
+  for (ChunkId c = 0; c < 4; ++c) {
+    d->fault(first_page_of_chunk(c), [] {});
+    eq.run();
+  }
+  ASSERT_TRUE(d->memory_full());  // pressure began (evictions happened)
+  const u64 before = d->stats().pages_migrated_in;
+  d->fault(first_page_of_chunk(6), [] {});
+  eq.run();
+  // Even though pre-eviction freed frames, the gate stays closed: only the
+  // faulted page moves.
+  EXPECT_EQ(d->stats().pages_migrated_in, before + 1);
+}
+
+TEST_F(DriverEdgeFixture, PreEvictionCountsSeparately) {
+  pol.pre_evict_watermark_chunks = 1;
+  auto d = make_driver(16 * 16, 4 * 16);
+  for (ChunkId c = 0; c < 8; ++c) {
+    d->fault(first_page_of_chunk(c), [] {});
+    eq.run();
+  }
+  const auto& st = d->stats();
+  EXPECT_GT(st.pre_evictions, 0u);
+  EXPECT_EQ(st.demand_evictions, 0u);  // watermark always kept one chunk free
+  EXPECT_EQ(st.pre_evictions + st.demand_evictions, st.chunks_evicted);
+}
+
+TEST_F(DriverEdgeFixture, InterleavedFaultAndTouchKeepMetadataConsistent) {
+  auto d = make_driver(256, 256);
+  d->fault(0, [] {});
+  eq.run();
+  for (u32 i = 0; i < 16; ++i) d->note_touch(i);
+  const ChunkEntry& e = d->chain().entry(0);
+  EXPECT_TRUE(e.touched.full());
+  EXPECT_EQ(e.untouch_level(), 0u);
+  // 16 migrated pages + 15 new touches (page 0's touch bit was already set
+  // when its demand fault completed, so re-touching it does not count).
+  EXPECT_EQ(e.hpe_counter, 16u + 15u);
+}
+
+}  // namespace
+}  // namespace uvmsim

@@ -1,0 +1,151 @@
+// Table II instantiation: all 23 benchmarks build, report the right pattern
+// types, stay inside their footprints, and distribute work across warps.
+#include "workloads/benchmarks.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workloads/patterns.hpp"
+
+namespace uvmsim {
+namespace {
+
+TEST(Benchmarks, TableHas23Entries) {
+  EXPECT_EQ(benchmark_table().size(), 23u);
+  EXPECT_EQ(benchmark_abbrs().size(), 23u);
+}
+
+TEST(Benchmarks, ScaledPagesHasFloor) {
+  EXPECT_EQ(scaled_pages(4.0), 1024u);    // 4 MB floors at 4 MB (1024 pages)
+  EXPECT_EQ(scaled_pages(128.0), 8192u);  // 128 MB -> 32 MB
+  EXPECT_EQ(scaled_pages(1.0), 1024u);
+}
+
+TEST(Benchmarks, UnknownAbbreviationThrows) {
+  EXPECT_THROW((void)make_benchmark("NOPE"), std::invalid_argument);
+}
+
+class AllBenchmarks : public ::testing::TestWithParam<std::string> {};
+
+INSTANTIATE_TEST_SUITE_P(TableII, AllBenchmarks,
+                         ::testing::ValuesIn(benchmark_abbrs()),
+                         [](const auto& pinfo) {
+                           std::string n = pinfo.param;
+                           for (char& c : n)
+                             if (c == '+') c = 'p';
+                           return n;
+                         });
+
+TEST_P(AllBenchmarks, InstantiatesWithTableMetadata) {
+  const auto wl = make_benchmark(GetParam());
+  ASSERT_NE(wl, nullptr);
+  EXPECT_EQ(wl->abbr(), GetParam());
+  for (const auto& info : benchmark_table()) {
+    if (info.abbr != GetParam()) continue;
+    EXPECT_EQ(wl->pattern(), info.type);
+    EXPECT_EQ(wl->footprint_pages(), scaled_pages(info.paper_mb));
+  }
+}
+
+TEST_P(AllBenchmarks, StreamsStayInsideFootprint) {
+  const auto wl = make_benchmark(GetParam());
+  const u32 total = 8;
+  for (u32 g : {0u, 3u, 7u}) {
+    auto stream = wl->make_stream({g, total, 1234 + g});
+    Access a;
+    u64 n = 0;
+    while (stream->next(a) && n < 200000) {
+      ASSERT_LT(a.page, wl->footprint_pages()) << GetParam();
+      ++n;
+    }
+    EXPECT_GT(n, 0u);
+  }
+}
+
+TEST_P(AllBenchmarks, StreamsAreFiniteAndDeterministic) {
+  const auto wl = make_benchmark(GetParam());
+  u64 counts[2] = {0, 0};
+  u64 sums[2] = {0, 0};
+  for (int rep = 0; rep < 2; ++rep) {
+    auto stream = wl->make_stream({0, 8, 42});
+    Access a;
+    while (stream->next(a) && counts[rep] < 5'000'000) {
+      ++counts[rep];
+      sums[rep] += a.page;
+    }
+    ASSERT_LT(counts[rep], 5'000'000u) << "stream did not terminate";
+  }
+  EXPECT_EQ(counts[0], counts[1]);
+  EXPECT_EQ(sums[0], sums[1]);
+}
+
+TEST_P(AllBenchmarks, WarpsPartitionTheWork) {
+  // Different warps must not emit identical streams (work is distributed).
+  const auto wl = make_benchmark(GetParam());
+  auto s0 = wl->make_stream({0, 8, 1});
+  auto s1 = wl->make_stream({1, 8, 2});
+  Access a0, a1;
+  bool differ = false;
+  for (int i = 0; i < 100; ++i) {
+    const bool h0 = s0->next(a0);
+    const bool h1 = s1->next(a1);
+    if (!h0 || !h1) break;
+    if (a0.page != a1.page) {
+      differ = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(Benchmarks, StridedWorkloadsMostlyTouchResidueClass) {
+  // NW (stride 2): the strided segment visits even pages, plus a small
+  // off-stride noise fraction (boundary accesses).
+  const auto wl = make_benchmark("NW");
+  auto stream = wl->make_stream({0, 8, 1});
+  Access a;
+  u64 on = 0, off = 0;
+  while (stream->next(a)) (a.page % 2 == 0 ? on : off) += 1;
+  EXPECT_GT(on, 20 * off);  // ~2% noise
+  EXPECT_GT(off, 0u);       // noise exists (drives Fig 7)
+}
+
+TEST(Benchmarks, Mvt4StridePreservedAcrossWrap) {
+  const auto wl = make_benchmark("MVT");
+  auto stream = wl->make_stream({3, 8, 1});
+  Access a;
+  u64 on = 0, off = 0;
+  while (stream->next(a)) (a.page % 4 == 0 ? on : off) += 1;
+  EXPECT_GT(on, 50 * off);  // ~1% noise
+}
+
+TEST(Benchmarks, ThrashingWorkloadRevisitsPages) {
+  const auto wl = make_benchmark("STN");  // 10 cyclic iterations
+  auto stream = wl->make_stream({0, 8, 1});
+  Access a;
+  std::set<PageId> uniq;
+  u64 visits = 0;
+  while (stream->next(a)) {
+    uniq.insert(a.page);
+    ++visits;
+  }
+  EXPECT_GT(visits, 5 * uniq.size());  // heavy reuse
+}
+
+TEST(Benchmarks, StreamingWorkloadDoesNotRevisit) {
+  const auto wl = make_benchmark("2DC");
+  auto stream = wl->make_stream({0, 8, 1});
+  Access a;
+  std::set<PageId> uniq;
+  u64 visits = 0;
+  while (stream->next(a)) {
+    uniq.insert(a.page);
+    ++visits;
+  }
+  // acc_per_page = 2 consecutive accesses, each page visited once.
+  EXPECT_EQ(visits, 2 * uniq.size());
+}
+
+}  // namespace
+}  // namespace uvmsim

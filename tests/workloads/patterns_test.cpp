@@ -1,0 +1,159 @@
+// Distinctive properties of each access-pattern family — the behaviours the
+// policies key on must actually be present in the generators.
+#include "workloads/patterns.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace uvmsim {
+namespace {
+
+std::vector<PageId> drain(const Workload& wl, u32 g, u32 total, u64 seed = 1) {
+  std::vector<PageId> pages;
+  auto s = wl.make_stream({g, total, seed});
+  Access a;
+  while (s->next(a)) pages.push_back(a.page);
+  return pages;
+}
+
+TEST(Patterns, StreamingVisitsEveryPageExactlyOnce) {
+  StreamingWorkload wl("s", "S", 512, 1.0);
+  std::set<PageId> seen;
+  u64 visits = 0;
+  for (u32 g = 0; g < 8; ++g) {
+    for (PageId p : drain(wl, g, 8)) {
+      seen.insert(p);
+      ++visits;
+    }
+  }
+  EXPECT_EQ(seen.size(), 512u);
+  EXPECT_EQ(visits, 2u * 512u);  // acc_per_page = 2
+}
+
+TEST(Patterns, PartlyRepetitiveReusesHotPrefix) {
+  PartlyRepetitiveWorkload wl("p", "P", 1000, 1.0, 0.2, 3.0);
+  std::map<PageId, int> counts;
+  for (PageId p : drain(wl, 0, 1)) ++counts[p];
+  // Hot prefix (first 200 pages) visited ~4x; tail once.
+  EXPECT_GT(counts[0], counts[900]);
+  EXPECT_GE(counts[0], 4);
+}
+
+TEST(Patterns, ThrashingCyclesFullFootprint) {
+  ThrashingWorkload wl("t", "T", 256, 4.0);
+  std::map<PageId, int> counts;
+  for (u32 g = 0; g < 4; ++g)
+    for (PageId p : drain(wl, g, 4)) ++counts[p];
+  EXPECT_EQ(counts.size(), 256u);
+  for (const auto& [p, n] : counts) ASSERT_EQ(n, 4 * 2) << p;  // 4 iters x acc 2
+}
+
+TEST(Patterns, SharedThrashingTouchesPagesFromTwoWarps) {
+  ThrashingWorkload wl("t", "T", 256, 2.0, 0, /*shared_pages=*/true);
+  // With alternating offsets, page 0 is visited by warp 0 (iter 0) and by
+  // warp total/2... verify two distinct warps hit the same page.
+  std::map<PageId, std::set<u32>> owners;
+  const u32 total = 8;
+  for (u32 g = 0; g < total; ++g)
+    for (PageId p : drain(wl, g, total)) owners[p].insert(g);
+  u64 shared = 0;
+  for (const auto& [p, o] : owners)
+    if (o.size() >= 2) ++shared;
+  EXPECT_GT(shared, 200u);  // nearly all pages shared across warps
+}
+
+TEST(Patterns, BacktrackStaysInRegion) {
+  ThrashingWorkload wl("t", "T", 100, 2.0, 0, false, /*backtrack_prob=*/0.2,
+                       /*backtrack_pages=*/30);
+  for (PageId p : drain(wl, 0, 2)) ASSERT_LT(p, 100u);
+}
+
+TEST(Patterns, RepetitiveThrashingHitsHotAndCold) {
+  RepetitiveThrashingWorkload wl("r", "R", 1000, 0.3, 4.0, 2.0,
+                                 ColdTraffic::kStream);
+  std::map<PageId, int> counts;
+  for (u32 g = 0; g < 4; ++g)
+    for (PageId p : drain(wl, g, 4)) ++counts[p];
+  // Hot region (first 300 pages) is revisited more than the cold remainder.
+  EXPECT_GT(counts[0], counts[800]);
+  EXPECT_GT(counts[800], 0);
+}
+
+TEST(Patterns, FixedSparseColdIsStableAcrossEpochs) {
+  // The kFixedSparse cold traffic must visit the SAME page subset in both
+  // epochs — that stability is what the pattern buffer exploits for SPV.
+  RepetitiveThrashingWorkload wl("r", "R", 1000, 0.2, 2.0, 1.0,
+                                 ColdTraffic::kFixedSparse);
+  const u64 hot = 200;
+  const auto pages = drain(wl, 2, 8);
+  // Segments: hot, cold, hot, cold. Collect the two cold sets.
+  std::set<PageId> epoch1, epoch2;
+  bool seen_cold_gap = false;
+  std::set<PageId>* current = &epoch1;
+  for (std::size_t i = 0; i < pages.size(); ++i) {
+    if (pages[i] < hot) {
+      if (!epoch1.empty()) seen_cold_gap = true;
+      continue;
+    }
+    if (seen_cold_gap) current = &epoch2;
+    current->insert(pages[i]);
+  }
+  ASSERT_FALSE(epoch1.empty());
+  ASSERT_FALSE(epoch2.empty());
+  EXPECT_EQ(epoch1, epoch2);
+}
+
+TEST(Patterns, RandomColdDiffersAcrossEpochs) {
+  RepetitiveThrashingWorkload wl("r", "R", 4000, 0.1, 2.0, 2.0,
+                                 ColdTraffic::kRandom);
+  const u64 hot = 400;
+  std::vector<PageId> cold;
+  for (PageId p : drain(wl, 0, 4))
+    if (p >= hot) cold.push_back(p);
+  // Two epochs of draws: the halves should not be identical sequences.
+  ASSERT_GT(cold.size(), 10u);
+  const std::vector<PageId> first(cold.begin(), cold.begin() + cold.size() / 2);
+  const std::vector<PageId> second(cold.begin() + cold.size() / 2, cold.end());
+  EXPECT_NE(first, std::vector<PageId>(second.begin(),
+                                       second.begin() + first.size()));
+}
+
+TEST(Patterns, RegionMovingWindowSlides) {
+  RegionMovingWorkload wl("m", "M", 2000, 0.2, 0.5);
+  const auto pages = drain(wl, 0, 4);
+  ASSERT_FALSE(pages.empty());
+  // Early accesses live near the start, late accesses near the end.
+  u64 early_max = 0, late_min = ~u64{0};
+  for (std::size_t i = 0; i < pages.size() / 8; ++i)
+    early_max = std::max(early_max, pages[i]);
+  for (std::size_t i = pages.size() - pages.size() / 8; i < pages.size(); ++i)
+    late_min = std::min(late_min, pages[i]);
+  // Early accesses stay within the first couple of region positions; late
+  // accesses within the last (regions are 400 pages, sliding by 200).
+  EXPECT_LT(early_max, 700u);
+  EXPECT_GT(late_min, 1200u);
+}
+
+TEST(Patterns, IrregularSparseCoversFootprintOverEpochs) {
+  IrregularSparseWorkload wl("i", "I", 1000, 8, 1.0);
+  std::set<PageId> seen;
+  for (u32 g = 0; g < 8; ++g)
+    for (PageId p : drain(wl, g, 8, 100 + g)) seen.insert(p);
+  // Uniform random over 8 epochs x 8 warps covers most of the footprint.
+  EXPECT_GT(seen.size(), 900u);
+}
+
+TEST(Patterns, StridedFullPassThenStridedRounds) {
+  StridedWorkload wl("s", "S", 640, 4, 2.0, /*full_rounds=*/1.0);
+  std::map<PageId, int> counts;
+  for (u32 g = 0; g < 4; ++g)
+    for (PageId p : drain(wl, g, 4)) ++counts[p];
+  // Off-stride pages visited once (full pass); on-stride pages more.
+  EXPECT_GT(counts[0], counts[1]);
+  EXPECT_GT(counts[1], 0);
+}
+
+}  // namespace
+}  // namespace uvmsim

@@ -1,0 +1,93 @@
+#include "workloads/segment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace uvmsim {
+namespace {
+
+std::vector<PageId> drain(AccessStream& s) {
+  std::vector<PageId> pages;
+  Access a;
+  while (s.next(a)) pages.push_back(a.page);
+  return pages;
+}
+
+TEST(Segment, SequentialWalkCoversRegionOnce) {
+  SegmentStream s({Segment::walk(0, 10, 0, 1, 1.0, /*acc=*/1)}, 1);
+  const auto pages = drain(s);
+  ASSERT_EQ(pages.size(), 10u);
+  for (u64 i = 0; i < 10; ++i) EXPECT_EQ(pages[i], i);
+}
+
+TEST(Segment, WalkWrapsCyclically) {
+  SegmentStream s({Segment::walk(0, 4, 0, 1, 2.0, 1)}, 1);
+  const auto pages = drain(s);
+  EXPECT_EQ(pages, (std::vector<PageId>{0, 1, 2, 3, 0, 1, 2, 3}));
+}
+
+TEST(Segment, StridedWalkVisitsResidueClass) {
+  // stride 4 over 16 pages: 0, 4, 8, 12.
+  SegmentStream s({Segment::walk(0, 16, 0, 4, 1.0, 1)}, 1);
+  EXPECT_EQ(drain(s), (std::vector<PageId>{0, 4, 8, 12}));
+}
+
+TEST(Segment, AccPerPageRepeatsEachVisit) {
+  SegmentStream s({Segment::walk(0, 3, 0, 1, 1.0, /*acc=*/3)}, 1);
+  EXPECT_EQ(drain(s), (std::vector<PageId>{0, 0, 0, 1, 1, 1, 2, 2, 2}));
+}
+
+TEST(Segment, BaseOffsetsRegion) {
+  SegmentStream s({Segment::walk(100, 4, 0, 1, 1.0, 1)}, 1);
+  for (PageId p : drain(s)) {
+    EXPECT_GE(p, 100u);
+    EXPECT_LT(p, 104u);
+  }
+}
+
+TEST(Segment, RandomStaysInRegionAndIsDeterministic) {
+  SegmentStream a({Segment::random(50, 20, 100, 1)}, 9);
+  SegmentStream b({Segment::random(50, 20, 100, 1)}, 9);
+  const auto pa = drain(a), pb = drain(b);
+  EXPECT_EQ(pa, pb);
+  ASSERT_EQ(pa.size(), 100u);
+  for (PageId p : pa) {
+    EXPECT_GE(p, 50u);
+    EXPECT_LT(p, 70u);
+  }
+}
+
+TEST(Segment, SegmentsRunInOrder) {
+  SegmentStream s({Segment::walk(0, 2, 0, 1, 1.0, 1),
+                   Segment::walk(10, 2, 0, 1, 1.0, 1)},
+                  1);
+  EXPECT_EQ(drain(s), (std::vector<PageId>{0, 1, 10, 11}));
+}
+
+TEST(Segment, ThinkJitterStaysBounded) {
+  Segment seg = Segment::walk(0, 100, 0, 1, 1.0, 1, /*think=*/100);
+  seg.think_jitter = 30;
+  SegmentStream s({seg}, 3);
+  Access a;
+  while (s.next(a)) {
+    EXPECT_GE(a.think, 70u);
+    EXPECT_LE(a.think, 130u);
+  }
+}
+
+TEST(Segment, EmptyStreamEndsImmediately) {
+  SegmentStream s({}, 1);
+  Access a;
+  EXPECT_FALSE(s.next(a));
+}
+
+TEST(Segment, WalkHelperComputesVisitsFromRounds) {
+  const Segment s = Segment::walk(0, 100, 0, 7, 2.0);
+  // ceil(100/7) = 15 visits per round, 2 rounds.
+  EXPECT_EQ(s.visits, 30u);
+}
+
+}  // namespace
+}  // namespace uvmsim

@@ -1,0 +1,156 @@
+// uvmsim_analyze — offline analysis of sweep CSVs (from uvmsim_sweep):
+// normalise every configuration against a baseline label and print per-
+// workload speedups, per-pattern-type geomeans, and a bar chart.
+//
+//   uvmsim_sweep --policies baseline,cppe,random --out r.csv
+//   uvmsim_analyze --csv r.csv --baseline baseline
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "harness/ascii_chart.hpp"
+#include "harness/cli.hpp"
+#include "harness/report.hpp"
+#include "workloads/benchmarks.hpp"
+
+using namespace uvmsim;
+
+namespace {
+
+/// Minimal CSV row split (fields produced by results_io contain no embedded
+/// commas except quoted labels, which we handle).
+std::vector<std::string> split_csv(const std::string& line) {
+  std::vector<std::string> out;
+  std::string cur;
+  bool quoted = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (quoted) {
+      if (c == '"' && i + 1 < line.size() && line[i + 1] == '"') {
+        cur += '"';
+        ++i;
+      } else if (c == '"') {
+        quoted = false;
+      } else {
+        cur += c;
+      }
+    } else if (c == '"') {
+      quoted = true;
+    } else if (c == ',') {
+      out.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  out.push_back(std::move(cur));
+  return out;
+}
+
+struct Row {
+  std::string workload, label;
+  double oversub = 0.0;
+  double cycles = 0.0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli("uvmsim_analyze — summarise a sweep CSV");
+  cli.add_option("csv", "input CSV from uvmsim_sweep");
+  cli.add_option("baseline", "label to normalise against", "baseline");
+  if (!cli.parse(argc, argv)) return cli.error().empty() ? 0 : 2;
+  if (!cli.was_set("csv")) {
+    std::cerr << "need --csv\n";
+    return 2;
+  }
+
+  std::ifstream is(cli.get("csv"));
+  if (!is) {
+    std::cerr << "cannot open " << cli.get("csv") << "\n";
+    return 2;
+  }
+  std::string header_line;
+  std::getline(is, header_line);
+  const auto headers = split_csv(header_line);
+  std::map<std::string, std::size_t> col;
+  for (std::size_t i = 0; i < headers.size(); ++i) col[headers[i]] = i;
+  for (const char* required : {"workload", "label", "oversub", "cycles"}) {
+    if (!col.contains(required)) {
+      std::cerr << "CSV missing column: " << required << "\n";
+      return 2;
+    }
+  }
+
+  std::vector<Row> rows;
+  std::set<std::string> labels;
+  std::set<double> rates;
+  for (std::string line; std::getline(is, line);) {
+    if (line.empty()) continue;
+    const auto f = split_csv(line);
+    Row r;
+    r.workload = f[col["workload"]];
+    r.label = f[col["label"]];
+    r.oversub = std::stod(f[col["oversub"]]);
+    r.cycles = std::stod(f[col["cycles"]]);
+    labels.insert(r.label);
+    rates.insert(r.oversub);
+    rows.push_back(std::move(r));
+  }
+  const std::string base = cli.get("baseline");
+  if (!labels.contains(base)) {
+    std::cerr << "baseline label '" << base << "' not present; labels:";
+    for (const auto& l : labels) std::cerr << ' ' << l;
+    std::cerr << "\n";
+    return 2;
+  }
+
+  const auto find_cycles = [&](const std::string& w, const std::string& l,
+                               double ov) -> double {
+    for (const auto& r : rows)
+      if (r.workload == w && r.label == l && r.oversub == ov) return r.cycles;
+    return 0.0;
+  };
+
+  for (double ov : rates) {
+    std::cout << "=== " << fmt(ov * 100, 0) << "% of footprint fits ===\n";
+    std::vector<std::string> hs = {"workload", "type"};
+    for (const auto& l : labels)
+      if (l != base) hs.push_back(l);
+    TextTable t(hs);
+
+    std::map<std::string, std::map<std::string, std::vector<double>>> by_type;
+    std::set<std::string> workloads;
+    for (const auto& r : rows)
+      if (r.oversub == ov) workloads.insert(r.workload);
+
+    for (const auto& w : workloads) {
+      const double bc = find_cycles(w, base, ov);
+      if (bc <= 0.0) continue;
+      std::string type = "?";
+      for (const auto& b : benchmark_table())
+        if (b.abbr == w) type = to_string(b.type);
+      std::vector<std::string> cells = {w, type};
+      for (const auto& l : labels) {
+        if (l == base) continue;
+        const double c = find_cycles(w, l, ov);
+        const double sp = c > 0.0 ? bc / c : 0.0;
+        by_type[type][l].push_back(sp);
+        cells.push_back(fmt(sp) + "x");
+      }
+      t.add_row(std::move(cells));
+    }
+    for (const auto& [type, per_label] : by_type) {
+      std::vector<std::string> cells = {"geomean", type};
+      for (const auto& l : labels) {
+        if (l == base) continue;
+        cells.push_back(fmt(geomean(per_label.at(l))) + "x");
+      }
+      t.add_row(std::move(cells));
+    }
+    std::cout << t.str() << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,178 @@
+// uvmsim — command-line front end for single simulations.
+//
+// Run any Table II workload (or a recorded trace) under any eviction policy
+// / prefetcher combination, with every paper threshold overridable:
+//
+//   uvmsim --workload NW --oversub 0.5 --eviction mhpe --prefetch pattern
+//   uvmsim --workload SRD --eviction reserved --reserved 0.1
+//   uvmsim --workload MVT --record-trace mvt.trc
+//   uvmsim --trace mvt.trc --eviction lru --prefetch locality --csv
+//   uvmsim --list
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "core/policy_factory.hpp"
+#include "core/uvm_system.hpp"
+#include "harness/cli.hpp"
+#include "harness/report.hpp"
+#include "trace/trace_io.hpp"
+#include "trace/trace_workload.hpp"
+#include "workloads/benchmarks.hpp"
+
+using namespace uvmsim;
+
+namespace {
+
+bool parse_eviction(const std::string& s, EvictionKind& out) {
+  if (s == "lru") out = EvictionKind::kLru;
+  else if (s == "fifo") out = EvictionKind::kFifo;
+  else if (s == "random") out = EvictionKind::kRandom;
+  else if (s == "reserved") out = EvictionKind::kReservedLru;
+  else if (s == "hpe") out = EvictionKind::kHpe;
+  else if (s == "mhpe") out = EvictionKind::kMhpe;
+  else return false;
+  return true;
+}
+
+bool parse_prefetch(const std::string& s, PrefetchKind& out) {
+  if (s == "none") out = PrefetchKind::kNone;
+  else if (s == "locality") out = PrefetchKind::kLocality;
+  else if (s == "tree") out = PrefetchKind::kTreeNeighborhood;
+  else if (s == "pattern") out = PrefetchKind::kPatternAware;
+  else return false;
+  return true;
+}
+
+void print_text(const RunResult& r) {
+  TextTable t({"metric", "value"});
+  t.add_row({"workload", r.workload});
+  t.add_row({"eviction / prefetcher", r.eviction_name + " / " + r.prefetcher_name});
+  t.add_row({"oversubscription", fmt(r.oversub * 100, 0) + "% of footprint fits"});
+  t.add_row({"footprint / capacity (pages)",
+             std::to_string(r.footprint_pages) + " / " + std::to_string(r.capacity_pages)});
+  t.add_row({"cycles", std::to_string(r.cycles)});
+  t.add_row({"completed", r.completed ? "yes" : "NO (cycle cap hit)"});
+  t.add_row({"page faults (coalesced)", std::to_string(r.driver.page_faults) + " (" +
+                                            std::to_string(r.driver.faults_coalesced) + ")"});
+  t.add_row({"driver migration ops", std::to_string(r.driver.migration_ops)});
+  t.add_row({"pages in (demand/prefetch)",
+             std::to_string(r.driver.pages_migrated_in) + " (" +
+                 std::to_string(r.driver.pages_demanded) + "/" +
+                 std::to_string(r.driver.pages_prefetched) + ")"});
+  t.add_row({"pages evicted", std::to_string(r.driver.pages_evicted)});
+  t.add_row({"H2D link utilisation", fmt(r.h2d_utilisation * 100, 1) + "%"});
+  if (r.mhpe_used) {
+    t.add_row({"MHPE strategy", r.mhpe_switched_to_lru ? "switched to LRU" : "stayed MRU"});
+    t.add_row({"MHPE forward distance", std::to_string(r.mhpe_forward_distance)});
+    t.add_row({"MHPE wrong evictions", std::to_string(r.mhpe_wrong_evictions)});
+  }
+  if (r.pattern_buffer_peak > 0) {
+    t.add_row({"pattern buffer peak", std::to_string(r.pattern_buffer_peak)});
+    t.add_row({"pattern match/mismatch", std::to_string(r.pattern_matches) + "/" +
+                                             std::to_string(r.pattern_mismatches)});
+  }
+  std::cout << t.str();
+}
+
+void print_csv(const RunResult& r) {
+  std::cout << "workload,eviction,prefetcher,oversub,cycles,completed,faults,"
+               "migration_ops,pages_in,pages_demanded,pages_prefetched,"
+               "pages_evicted,mhpe_switched,pattern_matches,pattern_mismatches\n"
+            << r.workload << ',' << r.eviction_name << ',' << r.prefetcher_name
+            << ',' << r.oversub << ',' << r.cycles << ',' << r.completed << ','
+            << r.driver.page_faults << ',' << r.driver.migration_ops << ','
+            << r.driver.pages_migrated_in << ',' << r.driver.pages_demanded << ','
+            << r.driver.pages_prefetched << ',' << r.driver.pages_evicted << ','
+            << r.mhpe_switched_to_lru << ',' << r.pattern_matches << ','
+            << r.pattern_mismatches << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli(
+      "uvmsim — GPU unified-memory oversubscription simulator (CPPE, IPDPS'20)");
+  cli.add_option("workload", "Table II abbreviation (see --list)", "NW");
+  cli.add_option("trace", "replay a recorded trace file instead of a workload");
+  cli.add_option("record-trace", "record the workload's streams to a file and exit");
+  cli.add_option("oversub", "fraction of the footprint that fits in memory", "0.5");
+  cli.add_option("eviction", "lru | fifo | random | reserved | hpe | mhpe", "mhpe");
+  cli.add_option("prefetch", "none | locality | tree | pattern", "pattern");
+  cli.add_option("deletion", "pattern-buffer deletion: scheme1 | scheme2", "scheme2");
+  cli.add_option("reserved", "reserved-LRU protected fraction", "0.2");
+  cli.add_option("t1", "MHPE per-interval untouch switch threshold", "32");
+  cli.add_option("t2", "MHPE first-four-intervals switch threshold", "40");
+  cli.add_option("t3", "MHPE forward-distance limit", "32");
+  cli.add_option("interval", "interval length in migrated pages", "64");
+  cli.add_option("sms", "number of SMs", "28");
+  cli.add_option("warps", "warps per SM", "8");
+  cli.add_option("seed", "experiment seed", "24301");
+  cli.add_flag("no-prefetch-when-full", "disable prefetching once memory fills");
+  cli.add_flag("csv", "emit one CSV row instead of the text report");
+  cli.add_flag("list", "list the Table II workloads and exit");
+  if (!cli.parse(argc, argv)) return cli.error().empty() ? 0 : 2;
+
+  if (cli.get_flag("list")) {
+    TextTable t({"abbr", "name", "suite", "type", "pages (scaled)"});
+    for (const auto& b : benchmark_table())
+      t.add_row({b.abbr, b.name, b.suite, to_string(b.type),
+                 std::to_string(scaled_pages(b.paper_mb))});
+    std::cout << t.str();
+    return 0;
+  }
+
+  PolicyConfig pol;
+  if (!parse_eviction(cli.get("eviction"), pol.eviction)) {
+    std::cerr << "unknown eviction policy: " << cli.get("eviction") << "\n";
+    return 2;
+  }
+  if (!parse_prefetch(cli.get("prefetch"), pol.prefetch)) {
+    std::cerr << "unknown prefetcher: " << cli.get("prefetch") << "\n";
+    return 2;
+  }
+  pol.deletion = cli.get("deletion") == "scheme1" ? DeletionScheme::kScheme1
+                                                  : DeletionScheme::kScheme2;
+  pol.reserved_fraction = cli.get_double("reserved");
+  pol.t1_untouch = static_cast<u32>(cli.get_int("t1"));
+  pol.t2_untouch_first4 = static_cast<u32>(cli.get_int("t2"));
+  pol.t3_forward_limit = static_cast<u32>(cli.get_int("t3"));
+  pol.interval_faults = static_cast<u32>(cli.get_int("interval"));
+  pol.seed = static_cast<u64>(cli.get_int("seed"));
+  pol.prefetch_when_full = !cli.get_flag("no-prefetch-when-full");
+
+  SystemConfig sys;
+  sys.num_sms = static_cast<u32>(cli.get_int("sms"));
+  sys.warps_per_sm = static_cast<u32>(cli.get_int("warps"));
+
+  try {
+    std::unique_ptr<Workload> workload;
+    if (cli.was_set("trace")) {
+      workload = std::make_unique<TraceWorkload>(load_trace(cli.get("trace")));
+    } else {
+      workload = make_benchmark(cli.get("workload"));
+    }
+
+    if (cli.was_set("record-trace")) {
+      const Trace t =
+          record_trace(*workload, sys.num_sms * sys.warps_per_sm, pol.seed);
+      save_trace(cli.get("record-trace"), t);
+      u64 total = 0;
+      for (const auto& s : t.streams) total += s.accesses.size();
+      std::cout << "recorded " << t.streams.size() << " warp streams, " << total
+                << " accesses -> " << cli.get("record-trace") << "\n";
+      return 0;
+    }
+
+    UvmSystem system(sys, pol, *workload, cli.get_double("oversub"));
+    const RunResult r = system.run();
+    if (cli.get_flag("csv"))
+      print_csv(r);
+    else
+      print_text(r);
+    return r.completed ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+}

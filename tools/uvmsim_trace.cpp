@@ -1,0 +1,79 @@
+// uvmsim_trace — inspect and convert trace files.
+//
+//   uvmsim_trace --info t.trc                 header + per-stream summary
+//   uvmsim_trace --to-text t.trc --out t.txt  binary -> text
+//   uvmsim_trace --from-text t.txt --out t.trc  text -> binary
+#include <fstream>
+#include <iostream>
+#include <map>
+
+#include "harness/cli.hpp"
+#include "harness/report.hpp"
+#include "trace/trace_io.hpp"
+
+using namespace uvmsim;
+
+int main(int argc, char** argv) {
+  CliParser cli("uvmsim_trace — inspect/convert recorded page-access traces");
+  cli.add_option("info", "print a summary of a binary trace file");
+  cli.add_option("to-text", "convert a binary trace to text form");
+  cli.add_option("from-text", "convert a text trace to binary form");
+  cli.add_option("out", "output path for conversions");
+  if (!cli.parse(argc, argv)) return cli.error().empty() ? 0 : 2;
+
+  try {
+    if (cli.was_set("info")) {
+      const Trace t = load_trace(cli.get("info"));
+      u64 total = 0;
+      PageId min_p = ~PageId{0}, max_p = 0;
+      std::map<ChunkId, u64> chunk_hist;
+      for (const auto& s : t.streams)
+        for (const Access& a : s.accesses) {
+          ++total;
+          min_p = std::min(min_p, a.page);
+          max_p = std::max(max_p, a.page);
+          ++chunk_hist[chunk_of_page(a.page)];
+        }
+      TextTable info({"field", "value"});
+      info.add_row({"name", t.name});
+      info.add_row({"pattern", to_string(t.pattern)});
+      info.add_row({"footprint", std::to_string(t.footprint_pages) + " pages (" +
+                                     fmt(static_cast<double>(t.footprint_pages) * 4 / 1024, 1) +
+                                     " MB)"});
+      info.add_row({"streams (warps)", std::to_string(t.streams.size())});
+      info.add_row({"accesses", std::to_string(total)});
+      if (total > 0) {
+        info.add_row({"page range", std::to_string(min_p) + " .. " + std::to_string(max_p)});
+        info.add_row({"distinct chunks touched", std::to_string(chunk_hist.size())});
+        info.add_row({"accesses per touched chunk",
+                      fmt(static_cast<double>(total) / static_cast<double>(chunk_hist.size()), 1)});
+      }
+      std::cout << info.str();
+      return 0;
+    }
+    if (cli.was_set("to-text")) {
+      if (!cli.was_set("out")) throw std::runtime_error("--to-text needs --out");
+      const Trace t = load_trace(cli.get("to-text"));
+      std::ofstream os(cli.get("out"));
+      if (!os) throw std::runtime_error("cannot open " + cli.get("out"));
+      write_text_trace(os, t);
+      std::cerr << "wrote " << cli.get("out") << "\n";
+      return 0;
+    }
+    if (cli.was_set("from-text")) {
+      if (!cli.was_set("out")) throw std::runtime_error("--from-text needs --out");
+      std::ifstream is(cli.get("from-text"));
+      if (!is) throw std::runtime_error("cannot open " + cli.get("from-text"));
+      const Trace t = read_text_trace(is);
+      save_trace(cli.get("out"), t);
+      std::cerr << "wrote " << cli.get("out") << " (" << t.streams.size()
+                << " streams)\n";
+      return 0;
+    }
+    std::cout << cli.help();
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+}
