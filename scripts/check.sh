@@ -11,6 +11,18 @@ cmake --build "$BUILD"
 ctest --test-dir "$BUILD" -j"$(nproc)" --output-on-failure
 
 echo
+echo "== traced uvmsim run (flight recorder end-to-end) =="
+TRACE_DIR="$(mktemp -d)"
+trap 'rm -rf "$TRACE_DIR"' EXIT
+"$BUILD"/tools/uvmsim --workload NW --oversub 0.5 \
+  --trace-out "$TRACE_DIR/a.jsonl" --interval-metrics "$TRACE_DIR/a.csv" >/dev/null
+"$BUILD"/tools/uvmsim --workload NW --oversub 0.5 \
+  --trace-out "$TRACE_DIR/b.jsonl" >/dev/null
+head -1 "$TRACE_DIR/a.jsonl" | grep -q '"schema":"uvmsim-trace"'
+cmp "$TRACE_DIR/a.jsonl" "$TRACE_DIR/b.jsonl"
+echo "trace OK: $(wc -l < "$TRACE_DIR/a.jsonl") events, byte-identical rerun"
+
+echo
 echo "== bench binaries =="
 for b in "$BUILD"/bench/*; do
   [ -x "$b" ] || continue

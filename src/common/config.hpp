@@ -117,6 +117,11 @@ struct PolicyConfig {
   u32 wrong_evict_chain_divisor = 64;///< buffer = max(8, 8 * chain/64)
 
   u32 pattern_min_untouch = 8;     ///< only record evicted chunks with >= 8 untouched pages
+  /// Pattern-buffer capacity in entries. The §VI-C overhead analysis treats
+  /// the buffer as a small fixed structure (hundreds of entries at the
+  /// paper's footprints), so the implementation enforces a hard bound with
+  /// deterministic FIFO replacement of the oldest recorded entry.
+  u32 pattern_buffer_entries = 1024;
   DeletionScheme deletion = DeletionScheme::kScheme2;
 
   double reserved_fraction = 0.2;  ///< reserved-LRU protected fraction (LRU-20%)

@@ -22,6 +22,7 @@ UvmSystem::UvmSystem(const SystemConfig& sys, const PolicyConfig& pol,
                     static_cast<u64>(std::ceil(oversub * static_cast<double>(footprint)))));
 
   driver_ = std::make_unique<UvmDriver>(eq_, sys_cfg_, pol_cfg_, footprint, capacity);
+  driver_->set_recorder(&recorder_);
   driver_->set_policy(make_eviction_policy(pol_cfg_, driver_->chain()));
   driver_->set_prefetcher(make_prefetcher(pol_cfg_));
   gpu_ = std::make_unique<Gpu>(eq_, sys_cfg_, *driver_, workload_, pol_cfg_.seed);
@@ -57,9 +58,13 @@ RunResult UvmSystem::run(Cycle max_cycles) {
   }
   if (const auto* pa = dynamic_cast<const PatternAwarePrefetcher*>(&driver_->prefetcher())) {
     r.pattern_buffer_peak = pa->peak_size();
+    r.pattern_buffer_capacity = pa->capacity();
     r.pattern_matches = pa->matches();
     r.pattern_mismatches = pa->mismatches();
+    r.pattern_capacity_evictions = pa->capacity_evictions();
   }
+  r.trace_events_recorded = recorder_.events_recorded();
+  recorder_.flush();
   return r;
 }
 

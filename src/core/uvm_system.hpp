@@ -19,6 +19,7 @@
 
 #include "common/config.hpp"
 #include "gpu/gpu.hpp"
+#include "obs/flight_recorder.hpp"
 #include "sim/event_queue.hpp"
 #include "uvm/driver.hpp"
 #include "workloads/workload.hpp"
@@ -51,8 +52,12 @@ struct RunResult {
 
   // Pattern-buffer introspection (CPPE overhead analysis, §VI-C).
   std::size_t pattern_buffer_peak = 0;
+  std::size_t pattern_buffer_capacity = 0;
   u64 pattern_matches = 0;
   u64 pattern_mismatches = 0;
+  u64 pattern_capacity_evictions = 0;  ///< entries FIFO-replaced at the cap
+
+  u64 trace_events_recorded = 0;  ///< flight-recorder events this run emitted
 
   std::size_t final_chain_length = 0;
   std::size_t wrong_buffer_capacity = 0;
@@ -78,6 +83,9 @@ class UvmSystem {
   [[nodiscard]] UvmDriver& driver() noexcept { return *driver_; }
   [[nodiscard]] Gpu& gpu() noexcept { return *gpu_; }
   [[nodiscard]] EventQueue& queue() noexcept { return eq_; }
+  /// The run's flight recorder. Attach sinks (JsonlSink, RingSink,
+  /// IntervalMetricsSink) before run(); sinks outlive the system.
+  [[nodiscard]] FlightRecorder& recorder() noexcept { return recorder_; }
 
  private:
   SystemConfig sys_cfg_;
@@ -85,6 +93,7 @@ class UvmSystem {
   const Workload& workload_;
   double oversub_;
   EventQueue eq_;
+  FlightRecorder recorder_{eq_};
   std::unique_ptr<UvmDriver> driver_;
   std::unique_ptr<Gpu> gpu_;
 };

@@ -1,5 +1,9 @@
 #include "harness/experiment.hpp"
 
+#include <fstream>
+#include <stdexcept>
+
+#include "obs/trace_sink.hpp"
 #include "workloads/benchmarks.hpp"
 
 namespace uvmsim {
@@ -7,7 +11,21 @@ namespace uvmsim {
 LabelledResult run_experiment(const ExperimentSpec& spec) {
   const auto workload = make_benchmark(spec.workload);
   UvmSystem system(spec.system, spec.policy, *workload, spec.oversub);
+
+  // Observability: stream the run's events to disk when requested. The sink
+  // must outlive run(); the recorder only borrows it.
+  std::ofstream trace_file;
+  std::unique_ptr<JsonlSink> trace_sink;
+  if (!spec.trace_out.empty()) {
+    trace_file.open(spec.trace_out);
+    if (!trace_file) throw std::runtime_error("cannot open trace file: " + spec.trace_out);
+    trace_sink = std::make_unique<JsonlSink>(trace_file);
+    system.recorder().set_event_mask(spec.trace_event_mask);
+    system.recorder().add_sink(trace_sink.get());
+  }
+
   LabelledResult out{spec, system.run(spec.max_cycles)};
+  if (spec.post_run) spec.post_run(system, out.result);
   return out;
 }
 

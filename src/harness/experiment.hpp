@@ -3,6 +3,7 @@
 // deterministic, so any sweep can be distributed over threads freely.
 #pragma once
 
+#include <functional>
 #include <string>
 
 #include "common/config.hpp"
@@ -17,6 +18,17 @@ struct ExperimentSpec {
   double oversub = 0.5;       ///< fraction of footprint that fits (0.75 / 0.5)
   SystemConfig system;
   Cycle max_cycles = 20'000'000'000ull;  ///< runaway-simulation safety net
+
+  // --- Observability hooks (src/obs) ---------------------------------------
+  /// When non-empty, the run's full event stream is written here as JSONL
+  /// (filtered by trace_event_mask) — any bench can dump a timeline by
+  /// setting a path.
+  std::string trace_out;
+  u32 trace_event_mask = kAllEventsMask;
+  /// Invoked after run() with the still-live system (recorder, driver and
+  /// policy introspection available) and the result — the harness's generic
+  /// post-run dump point for custom timelines.
+  std::function<void(UvmSystem&, const RunResult&)> post_run;
 };
 
 /// Result annotated with its spec label.

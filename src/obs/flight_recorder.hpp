@@ -1,0 +1,66 @@
+// FlightRecorder: the one emit point every subsystem shares.
+//
+// The recorder stamps events with the owning EventQueue's simulation time,
+// applies the event-type filter, and fans out to the attached sinks. It is
+// zero-overhead-when-off in two tiers:
+//   * components hold a `FlightRecorder*` that is nullptr until observability
+//     is requested — the hot path then pays one pointer test (see emit());
+//   * a recorder with no sinks short-circuits before building the event.
+// Sinks are borrowed, never owned: the CLI/harness owns file streams and
+// their lifetimes.
+#pragma once
+
+#include <vector>
+
+#include "obs/trace_sink.hpp"
+#include "sim/event_queue.hpp"
+
+namespace uvmsim {
+
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(const EventQueue& eq) : eq_(&eq) {}
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  void add_sink(TraceSink* sink) {
+    if (sink != nullptr) sinks_.push_back(sink);
+  }
+  void clear_sinks() { sinks_.clear(); }
+  void set_event_mask(u32 mask) { mask_ = mask & kAllEventsMask; }
+  [[nodiscard]] u32 event_mask() const noexcept { return mask_; }
+  [[nodiscard]] bool active() const noexcept { return !sinks_.empty(); }
+
+  [[nodiscard]] bool wants(EventType t) const noexcept {
+    return !sinks_.empty() && (mask_ & event_bit(t)) != 0;
+  }
+
+  void record(EventType t, u64 a = 0, u64 b = 0, u64 c = 0) {
+    if (!wants(t)) return;
+    const TraceEvent e{eq_->now(), t, a, b, c};
+    for (TraceSink* s : sinks_) s->emit(e);
+    ++recorded_;
+  }
+
+  [[nodiscard]] u64 events_recorded() const noexcept { return recorded_; }
+
+  void flush() {
+    for (TraceSink* s : sinks_) s->flush();
+  }
+
+ private:
+  const EventQueue* eq_;
+  std::vector<TraceSink*> sinks_;
+  u32 mask_ = kAllEventsMask;
+  u64 recorded_ = 0;
+};
+
+/// Null-tolerant emit: instrumented components keep a possibly-null recorder
+/// pointer and pay one branch when tracing is off.
+inline void record_event(FlightRecorder* rec, EventType t, u64 a = 0, u64 b = 0,
+                         u64 c = 0) {
+  if (rec != nullptr) rec->record(t, a, b, c);
+}
+
+}  // namespace uvmsim

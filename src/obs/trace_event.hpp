@@ -1,0 +1,101 @@
+// Flight-recorder event taxonomy: the typed, fixed-size records that trace
+// the full far-fault lifecycle (docs/observability.md has the schema).
+//
+// Every event carries the simulation time of the EventQueue that produced
+// it, so two identical runs emit byte-identical streams — the trace doubles
+// as a determinism checker. Payload fields a/b/c are u64s whose meaning is
+// per-type (see field_names / docs/observability.md); keeping the record
+// POD keeps the ring sink a memcpy and the hot path branch-cheap.
+#pragma once
+
+#include <string_view>
+
+#include "common/types.hpp"
+
+namespace uvmsim {
+
+/// Bump when an event's field meaning or the JSONL framing changes.
+inline constexpr u32 kTraceSchemaVersion = 1;
+
+enum class EventType : u8 {
+  kFaultRaised = 0,        ///< a: page, b: chunk
+  kFaultCoalesced,         ///< a: page, b: 0 = joined pending, 1 = joined inflight
+  kMigrationPlanned,       ///< a: faulted page, b: plan pages, c: H2D busy cycles
+  kEvictionChosen,         ///< a: chunk, b: untouch level, c: pages written back
+  kWrongEvictionDetected,  ///< a: chunk, b: cumulative wrong evictions
+  kPatternHit,             ///< a: chunk, b: planned pages, c: pattern popcount
+  kPatternMiss,            ///< a: chunk, b: 1 = first lookup of this entry
+  kPatternDeleted,         ///< a: chunk, b: reason (see PatternDeleteReason)
+  kIntervalBoundary,       ///< a: interval just entered, b: total pages migrated
+  kPreEvictionTriggered,   ///< a: free frames, b: watermark frames
+  kShootdownIssued,        ///< a: page, b: physical frame
+};
+
+inline constexpr u32 kNumEventTypes = 11;
+
+/// Reasons carried in kPatternDeleted's `b` field.
+enum class PatternDeleteReason : u8 {
+  kScheme1Mismatch = 1,     ///< Scheme-1: any mismatch
+  kScheme2FirstMiss = 2,    ///< Scheme-2: mismatch on the entry's first lookup
+  kCapacityReplaced = 3,    ///< bounded buffer replaced the FIFO-oldest entry
+};
+
+struct TraceEvent {
+  Cycle t = 0;
+  EventType type = EventType::kFaultRaised;
+  u64 a = 0;
+  u64 b = 0;
+  u64 c = 0;
+
+  friend constexpr bool operator==(const TraceEvent&, const TraceEvent&) = default;
+};
+
+/// Stable snake_case names: the JSONL "ev" values and the --trace-events
+/// vocabulary. Order matches EventType.
+[[nodiscard]] constexpr std::string_view to_string(EventType t) noexcept {
+  switch (t) {
+    case EventType::kFaultRaised: return "fault_raised";
+    case EventType::kFaultCoalesced: return "fault_coalesced";
+    case EventType::kMigrationPlanned: return "migration_planned";
+    case EventType::kEvictionChosen: return "eviction_chosen";
+    case EventType::kWrongEvictionDetected: return "wrong_eviction_detected";
+    case EventType::kPatternHit: return "pattern_hit";
+    case EventType::kPatternMiss: return "pattern_miss";
+    case EventType::kPatternDeleted: return "pattern_deleted";
+    case EventType::kIntervalBoundary: return "interval_boundary";
+    case EventType::kPreEvictionTriggered: return "pre_eviction_triggered";
+    case EventType::kShootdownIssued: return "shootdown_issued";
+  }
+  return "?";
+}
+
+/// JSONL key names for the a/b/c payload of each event type (nullptr-
+/// terminated is not needed: exactly three entries, unused ones empty).
+struct EventFieldNames {
+  std::string_view a, b, c;
+};
+
+[[nodiscard]] constexpr EventFieldNames field_names(EventType t) noexcept {
+  switch (t) {
+    case EventType::kFaultRaised: return {"page", "chunk", {}};
+    case EventType::kFaultCoalesced: return {"page", "stage", {}};
+    case EventType::kMigrationPlanned: return {"page", "pages", "busy"};
+    case EventType::kEvictionChosen: return {"chunk", "untouch", "pages"};
+    case EventType::kWrongEvictionDetected: return {"chunk", "total", {}};
+    case EventType::kPatternHit: return {"chunk", "pages", "popcount"};
+    case EventType::kPatternMiss: return {"chunk", "first", {}};
+    case EventType::kPatternDeleted: return {"chunk", "reason", {}};
+    case EventType::kIntervalBoundary: return {"interval", "pages_migrated", {}};
+    case EventType::kPreEvictionTriggered: return {"free_frames", "watermark", {}};
+    case EventType::kShootdownIssued: return {"page", "frame", {}};
+  }
+  return {{}, {}, {}};
+}
+
+/// Bitmask helpers for event filtering (--trace-events).
+[[nodiscard]] constexpr u32 event_bit(EventType t) noexcept {
+  return 1u << static_cast<u32>(t);
+}
+inline constexpr u32 kAllEventsMask = (1u << kNumEventTypes) - 1;
+
+}  // namespace uvmsim

@@ -62,12 +62,22 @@ class ChunkChain {
 
   /// Insert a new chunk. `at_head` places it at the LRU position (used for
   /// wrongly-evicted chunks under MHPE); default is the MRU tail.
+  ///
+  /// Head inserts are stamped as if they arrived two intervals ago — the
+  /// oldest stamp partition_of() distinguishes — not with the current
+  /// interval. Stamping them "current" would file a chunk sitting at the LRU
+  /// head into the `new` partition, breaking Fig 2's invariant that
+  /// partitions are contiguous chain segments (old at head, new at tail) and
+  /// hiding the reinserted chunk from MHPE's old-partition MRU search.
   ChunkEntry& insert(ChunkId id, bool at_head = false) {
     assert(!contains(id));
     ChunkEntry e;
     e.id = id;
-    e.arrival_interval = current_interval_;
-    e.last_touch_interval = current_interval_;
+    const u64 stamp =
+        at_head ? (current_interval_ >= 2 ? current_interval_ - 2 : 0)
+                : current_interval_;
+    e.arrival_interval = stamp;
+    e.last_touch_interval = stamp;
     Iter it = at_head ? chain_.insert(chain_.begin(), e)
                       : chain_.insert(chain_.end(), e);
     index_.emplace(id, it);
@@ -108,16 +118,17 @@ class ChunkChain {
     chain_.splice(chain_.end(), chain_, it->second);
   }
 
-  /// Advance the interval clock by `n` migrated pages. Returns true when one
-  /// or more interval boundaries were crossed.
-  bool note_pages_migrated(u64 n) {
+  /// Advance the interval clock by `n` migrated pages. Returns the number of
+  /// interval boundaries crossed (0 when none): a batch larger than
+  /// `interval_pages_` crosses several at once, and callers that fire
+  /// per-interval work (MHPE's threshold checks, partition restamping) must
+  /// run it once per boundary, not once per batch.
+  u64 note_pages_migrated(u64 n) {
     pages_migrated_ += n;
     const u64 new_interval = pages_migrated_ / interval_pages_;
-    if (new_interval != current_interval_) {
-      current_interval_ = new_interval;
-      return true;
-    }
-    return false;
+    const u64 crossed = new_interval - current_interval_;
+    current_interval_ = new_interval;
+    return crossed;
   }
 
   [[nodiscard]] u64 current_interval() const noexcept { return current_interval_; }

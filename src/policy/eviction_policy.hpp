@@ -9,6 +9,7 @@
 #include <string>
 
 #include "common/types.hpp"
+#include "obs/flight_recorder.hpp"
 #include "policy/chunk_chain.hpp"
 
 namespace uvmsim {
@@ -59,7 +60,12 @@ class EvictionPolicy {
 
   [[nodiscard]] virtual std::string name() const = 0;
 
+  /// Attach the flight recorder (nullptr = tracing off). Policies emit the
+  /// decision events only they can see (e.g. MHPE's wrong-eviction hits).
+  void set_recorder(FlightRecorder* rec) noexcept { recorder_ = rec; }
+
  protected:
+  [[nodiscard]] FlightRecorder* recorder() const noexcept { return recorder_; }
   [[nodiscard]] ChunkChain& chain() noexcept { return chain_; }
   [[nodiscard]] const ChunkChain& chain() const noexcept { return chain_; }
 
@@ -72,6 +78,7 @@ class EvictionPolicy {
 
  private:
   ChunkChain& chain_;
+  FlightRecorder* recorder_ = nullptr;
 };
 
 }  // namespace uvmsim

@@ -35,6 +35,7 @@ void HpePolicy::on_fault(PageId page) {
     recent_lookup_.erase(it);
     ++w_;
     ++wrong_total_;
+    record_event(recorder(), EventType::kWrongEvictionDetected, c, wrong_total_);
   }
 }
 

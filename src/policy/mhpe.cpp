@@ -41,6 +41,7 @@ void MhpePolicy::on_fault(PageId page) {
     ++w_;
     ++wrong_total_;
     reinsert_at_head_.insert(c);
+    record_event(recorder(), EventType::kWrongEvictionDetected, c, wrong_total_);
     // The stale id stays in the FIFO and is skipped when it ages out.
   }
 }
@@ -48,6 +49,8 @@ void MhpePolicy::on_fault(PageId page) {
 void MhpePolicy::on_chunk_evicted(const ChunkEntry& e) {
   lazy_init();
   ++evictions_;
+  head_protected_cur_.erase(e.id);
+  head_protected_prev_.erase(e.id);
   const u32 untouch = e.untouch_level();
   u1_ += untouch;
   if (intervals_seen_ < 4) u2_ += untouch;
@@ -65,6 +68,11 @@ void MhpePolicy::on_interval_boundary() {
   if (!initialised_) return;  // no evictions yet -> nothing to adapt
   ++intervals_seen_;
   untouch_history_.push_back(u1_);
+
+  // Age the reinsert protection: chunks brought back last interval stay
+  // shielded for this one, then fend for themselves.
+  head_protected_prev_ = std::move(head_protected_cur_);
+  head_protected_cur_.clear();
 
   if (strategy_ == Strategy::kMru) {
     // Algorithm 1 line 11: U1 >= T1 (any interval), or U2 >= T2 checked once
@@ -98,6 +106,12 @@ ChunkId MhpePolicy::select_mru() const {
       if (old_only &&
           chain().partition_of(e, /*by_touch=*/false) != Partition::kOld)
         continue;
+      // Freshly reinserted wrongly-evicted chunks are off limits to the MRU
+      // search (§IV-B); the whole-chain fallback may still take them so the
+      // policy can always produce a victim.
+      if (old_only && (head_protected_cur_.contains(e.id) ||
+                       head_protected_prev_.contains(e.id)))
+        continue;
       deepest = e.id;
       if (skipped == forward_distance_) return e.id;
       ++skipped;
@@ -117,8 +131,13 @@ ChunkId MhpePolicy::select_victim() {
 
 InsertPosition MhpePolicy::insert_position(ChunkId chunk) {
   // Wrongly-evicted chunks re-enter at the chain head (LRU position) so the
-  // MRU search cannot immediately re-victimise them (paper §IV-B).
-  if (reinsert_at_head_.erase(chunk) > 0) return InsertPosition::kHead;
+  // MRU search cannot immediately re-victimise them (paper §IV-B). The head
+  // stamp files them into the old partition (Fig 2 contiguity), so the
+  // protection window below is what actually keeps the MRU search off them.
+  if (reinsert_at_head_.erase(chunk) > 0) {
+    head_protected_cur_.insert(chunk);
+    return InsertPosition::kHead;
+  }
   return InsertPosition::kTail;
 }
 

@@ -82,6 +82,17 @@ class MhpePolicy final : public EvictionPolicy {
   std::size_t wrong_capacity_ = 0;
   std::unordered_set<ChunkId> reinsert_at_head_;
 
+  // §IV-B's reinsert-at-head guarantee ("not immediately re-victimised by
+  // the MRU search") made explicit: reinserted chunks are exempt from the
+  // old-partition MRU search for the remainder of the current interval and
+  // the next one. The head position alone is not enough — when the old
+  // partition is shorter than the forward distance, select_mru's fallback
+  // takes the LRU-most candidate, which would be exactly the chunk just
+  // brought back. Two sets, aged at interval boundaries; never iterated, so
+  // unordered lookup keeps determinism.
+  std::unordered_set<ChunkId> head_protected_cur_;
+  std::unordered_set<ChunkId> head_protected_prev_;
+
   u64 evictions_ = 0;
   u64 wrong_total_ = 0;
   std::vector<u32> untouch_history_;

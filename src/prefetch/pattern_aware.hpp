@@ -12,8 +12,14 @@
 //       Scheme-2: delete only if the mismatch happens on the entry's FIRST
 //                 lookup (a chunk whose first probe matched has demonstrated
 //                 a stable pattern and is kept).
+//
+// The buffer is bounded (PolicyConfig::pattern_buffer_entries) — the paper's
+// §VI-C overhead analysis assumes a small fixed structure, so growth past
+// the cap replaces the oldest entry by recording order (deterministic FIFO).
+// Re-recording a live entry refreshes its pattern but keeps its FIFO age.
 #pragma once
 
+#include <deque>
 #include <unordered_map>
 
 #include "common/config.hpp"
@@ -24,7 +30,9 @@ namespace uvmsim {
 class PatternAwarePrefetcher final : public Prefetcher {
  public:
   explicit PatternAwarePrefetcher(const PolicyConfig& cfg)
-      : min_untouch_(cfg.pattern_min_untouch), scheme_(cfg.deletion) {}
+      : min_untouch_(cfg.pattern_min_untouch),
+        capacity_(cfg.pattern_buffer_entries > 0 ? cfg.pattern_buffer_entries : 1),
+        scheme_(cfg.deletion) {}
 
   [[nodiscard]] std::vector<PageId> plan(PageId faulted,
                                          const ResidencyView& view) override {
@@ -51,15 +59,20 @@ class PatternAwarePrefetcher final : public Prefetcher {
         if (e.pattern.test(i) && p < view.footprint_pages() && !view.is_resident(p))
           out.push_back(p);
       }
+      record_event(recorder(), EventType::kPatternHit, c, out.size(),
+                   e.pattern.count());
       return out;
     }
 
     // Mismatch: fall back to the whole chunk, minus anything resident.
     ++mismatches_;
+    record_event(recorder(), EventType::kPatternMiss, c, first_lookup ? 1 : 0);
     append_chunk(c, view, out);
     if (scheme_ == DeletionScheme::kScheme1 ||
         (scheme_ == DeletionScheme::kScheme2 && first_lookup)) {
-      buffer_.erase(it);
+      erase_entry(it, scheme_ == DeletionScheme::kScheme1
+                          ? PatternDeleteReason::kScheme1Mismatch
+                          : PatternDeleteReason::kScheme2FirstMiss);
       ++deletions_;
     }
     return out;
@@ -67,14 +80,25 @@ class PatternAwarePrefetcher final : public Prefetcher {
 
   void on_chunk_evicted(ChunkId chunk, TouchBits touched) override {
     // Record only sparse chunks (untouch level >= 8); a mostly-touched chunk
-    // carries no prefetch-narrowing signal. Entries are *only* removed by
-    // the deletion schemes — a dense re-eviction leaves an existing pattern
-    // in place, which is exactly why Scheme-2 "usually required two
-    // prefetches" for slowly-populating chunks (paper §VI-B).
+    // carries no prefetch-narrowing signal. Entries leave via the deletion
+    // schemes or FIFO capacity replacement — a dense re-eviction leaves an
+    // existing pattern in place, which is exactly why Scheme-2 "usually
+    // required two prefetches" for slowly-populating chunks (paper §VI-B).
     if (touched.untouched() < min_untouch_) return;
     // Never record an empty pattern: it could prefetch zero pages.
     if (touched.empty()) return;
-    buffer_[chunk] = Entry{touched, /*probed=*/false};
+    auto [it, inserted] = buffer_.try_emplace(chunk, Entry{touched, false});
+    if (!inserted) {
+      it->second = Entry{touched, /*probed=*/false};  // refresh, keep FIFO age
+    } else {
+      fifo_.push_back(chunk);
+      while (buffer_.size() > capacity_) {
+        // fifo_ mirrors the live key set exactly, so the front is the oldest.
+        auto victim = buffer_.find(fifo_.front());
+        erase_entry(victim, PatternDeleteReason::kCapacityReplaced);
+        ++capacity_evictions_;
+      }
+    }
     ++records_;
     peak_size_ = std::max(peak_size_, buffer_.size());
   }
@@ -85,13 +109,24 @@ class PatternAwarePrefetcher final : public Prefetcher {
 
   // --- Overhead / behaviour introspection (§VI-C, Fig 7) --------------------
   [[nodiscard]] std::size_t size() const noexcept { return buffer_.size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
   [[nodiscard]] std::size_t peak_size() const noexcept { return peak_size_; }
+  /// Current occupancy as a fraction of the configured capacity.
+  [[nodiscard]] double occupancy() const noexcept {
+    return static_cast<double>(buffer_.size()) / static_cast<double>(capacity_);
+  }
   [[nodiscard]] u64 lookups() const noexcept { return lookups_; }
   [[nodiscard]] u64 matches() const noexcept { return matches_; }
   [[nodiscard]] u64 mismatches() const noexcept { return mismatches_; }
   [[nodiscard]] u64 records() const noexcept { return records_; }
   [[nodiscard]] u64 deletions() const noexcept { return deletions_; }
+  [[nodiscard]] u64 capacity_evictions() const noexcept { return capacity_evictions_; }
   [[nodiscard]] bool has_pattern(ChunkId c) const { return buffer_.contains(c); }
+  /// FIFO-oldest live entry (kInvalidChunk when empty): the next capacity
+  /// replacement victim, exposed for determinism tests.
+  [[nodiscard]] ChunkId oldest_entry() const noexcept {
+    return fifo_.empty() ? kInvalidChunk : fifo_.front();
+  }
 
  private:
   struct Entry {
@@ -99,11 +134,25 @@ class PatternAwarePrefetcher final : public Prefetcher {
     bool probed = false;  ///< has this entry been looked up since recording?
   };
 
-  std::unordered_map<ChunkId, Entry> buffer_;
+  using Buffer = std::unordered_map<ChunkId, Entry>;
+
+  void erase_entry(Buffer::iterator it, PatternDeleteReason reason) {
+    record_event(recorder(), EventType::kPatternDeleted, it->first,
+                 static_cast<u64>(reason));
+    // Keep fifo_ an exact mirror of the live keys so capacity replacement
+    // never has to skip stale ids (O(capacity) erase, deletions are rare).
+    std::erase(fifo_, it->first);
+    buffer_.erase(it);
+  }
+
+  Buffer buffer_;
+  std::deque<ChunkId> fifo_;  ///< live keys in recording order, oldest first
   u32 min_untouch_;
+  std::size_t capacity_;
   DeletionScheme scheme_;
   std::size_t peak_size_ = 0;
   u64 lookups_ = 0, matches_ = 0, mismatches_ = 0, records_ = 0, deletions_ = 0;
+  u64 capacity_evictions_ = 0;
 };
 
 }  // namespace uvmsim

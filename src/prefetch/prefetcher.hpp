@@ -9,6 +9,7 @@
 
 #include "common/touch_bits.hpp"
 #include "common/types.hpp"
+#include "obs/flight_recorder.hpp"
 
 namespace uvmsim {
 
@@ -40,7 +41,13 @@ class Prefetcher {
 
   [[nodiscard]] virtual std::string name() const = 0;
 
+  /// Attach the flight recorder (nullptr = tracing off). The pattern-aware
+  /// prefetcher emits pattern hit/miss/delete events through it.
+  void set_recorder(FlightRecorder* rec) noexcept { recorder_ = rec; }
+
  protected:
+  [[nodiscard]] FlightRecorder* recorder() const noexcept { return recorder_; }
+
   /// Append every valid, non-resident page of `chunk` to `out`.
   static void append_chunk(ChunkId chunk, const ResidencyView& view,
                            std::vector<PageId>& out) {
@@ -50,6 +57,9 @@ class Prefetcher {
       if (p < view.footprint_pages() && !view.is_resident(p)) out.push_back(p);
     }
   }
+
+ private:
+  FlightRecorder* recorder_ = nullptr;
 };
 
 /// Demand paging only: migrate exactly the faulting page.

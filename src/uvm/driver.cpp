@@ -24,9 +24,16 @@ UvmDriver::~UvmDriver() = default;
 
 void UvmDriver::set_policy(std::unique_ptr<EvictionPolicy> policy) {
   policy_ = std::move(policy);
+  if (policy_) policy_->set_recorder(rec_);
 }
 void UvmDriver::set_prefetcher(std::unique_ptr<Prefetcher> prefetcher) {
   prefetcher_ = std::move(prefetcher);
+  if (prefetcher_) prefetcher_->set_recorder(rec_);
+}
+void UvmDriver::set_recorder(FlightRecorder* rec) {
+  rec_ = rec;
+  if (policy_) policy_->set_recorder(rec_);
+  if (prefetcher_) prefetcher_->set_recorder(rec_);
 }
 
 void UvmDriver::note_touch(PageId p) {
@@ -53,15 +60,18 @@ void UvmDriver::fault(PageId p, WakeCallback wake) {
     // A migration covering this page is in flight: the fault coalesces
     // (replayable far faults simply replay once the page lands).
     ++stats_.faults_coalesced;
+    record_event(rec_, EventType::kFaultCoalesced, p, 1);
     it->second.push_back(std::move(wake));
     return;
   }
   if (auto it = pending_.find(p); it != pending_.end()) {
     ++stats_.faults_coalesced;  // fault already raised, not yet serviced
+    record_event(rec_, EventType::kFaultCoalesced, p, 0);
     it->second.push_back(std::move(wake));
     return;
   }
   ++stats_.page_faults;
+  record_event(rec_, EventType::kFaultRaised, p, chunk_of_page(p));
   policy_->on_fault(p);  // wrong-eviction detection happens per fault event
   pending_[p].push_back(std::move(wake));
   if (active_migrations_ < max_concurrent_migrations_) {
@@ -165,6 +175,8 @@ void UvmDriver::service_fault(PageId p) {
   const Cycle service_done = eq_.now() + sys_.fault_latency_cycles() +
                              demand_evictions * sys_.evict_service_cycles();
   const Cycle transfer_done = h2d_.reserve(service_done, m.pages.size());
+  record_event(rec_, EventType::kMigrationPlanned, p, m.pages.size(),
+               transfer_done - service_done);
   eq_.schedule_at(transfer_done,
                   [this, mig = std::move(m)]() mutable { complete_migration(std::move(mig)); });
 }
@@ -189,8 +201,11 @@ bool UvmDriver::evict_one_chunk() {
     frame_pool_.push_back(frame);
     ++free_frames_;
     ++pages_out;
+    record_event(rec_, EventType::kShootdownIssued, page, frame);
     if (shootdown_) shootdown_(page, frame);
   }
+  record_event(rec_, EventType::kEvictionChosen, victim, e.untouch_level(),
+               pages_out);
   d2h_.reserve(eq_.now(), pages_out);  // write-back occupancy (full duplex)
   chain_.erase(victim);
   ++stats_.chunks_evicted;
@@ -245,8 +260,18 @@ void UvmDriver::complete_migration(Migration m) {
   }
 
   // Advance the interval clock by migrated pages (64 pages = 4 chunks per
-  // interval with whole-chunk prefetch, matching §IV-B).
-  if (chain_.note_pages_migrated(m.pages.size())) policy_->on_interval_boundary();
+  // interval with whole-chunk prefetch, matching §IV-B). A batch larger than
+  // one interval crosses several boundaries at once (a 512-page tree-
+  // prefetch plan crosses 8): the policy's per-interval work (threshold
+  // checks, accumulator resets) must run once per boundary, not once per
+  // batch.
+  const u64 crossed = chain_.note_pages_migrated(m.pages.size());
+  for (u64 i = 0; i < crossed; ++i) {
+    record_event(rec_, EventType::kIntervalBoundary,
+                 chain_.current_interval() - crossed + i + 1,
+                 chain_.pages_migrated());
+    policy_->on_interval_boundary();
+  }
 
   // Pre-evict ahead of the next fault: keep the configured watermark of
   // frames free so eviction work stays off fault critical paths. Only
@@ -254,6 +279,8 @@ void UvmDriver::complete_migration(Migration m) {
   // fully cacheable nothing will ever need the headroom.
   if (capacity_pages_ < footprint_pages_) {
     const u64 watermark = u64{pol_.pre_evict_watermark_chunks} * kChunkPages;
+    if (free_frames_ < watermark)
+      record_event(rec_, EventType::kPreEvictionTriggered, free_frames_, watermark);
     while (free_frames_ < watermark) {
       if (!evict_one_chunk()) break;  // everything pinned right now
       ++stats_.pre_evictions;

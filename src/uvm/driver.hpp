@@ -29,6 +29,7 @@
 #include "common/config.hpp"
 #include "common/stats.hpp"
 #include "mem/bandwidth_link.hpp"
+#include "obs/flight_recorder.hpp"
 #include "policy/eviction_policy.hpp"
 #include "prefetch/prefetcher.hpp"
 #include "sim/event_queue.hpp"
@@ -56,6 +57,9 @@ class UvmDriver final : public ResidencyView {
   void set_policy(std::unique_ptr<EvictionPolicy> policy);
   void set_prefetcher(std::unique_ptr<Prefetcher> prefetcher);
   void set_shootdown_handler(ShootdownHandler h) { shootdown_ = std::move(h); }
+  /// Attach the flight recorder (nullptr = tracing off); forwarded to the
+  /// installed policy and prefetcher, in whichever order they arrive.
+  void set_recorder(FlightRecorder* rec);
 
   // --- GPU-side interface ----------------------------------------------------
   /// Is the page mapped right now (TLB-fillable)?
@@ -132,6 +136,7 @@ class UvmDriver final : public ResidencyView {
   std::unique_ptr<EvictionPolicy> policy_;
   std::unique_ptr<Prefetcher> prefetcher_;
   ShootdownHandler shootdown_;
+  FlightRecorder* rec_ = nullptr;
 
   BandwidthLink h2d_;  ///< host -> device page migrations
   BandwidthLink d2h_;  ///< device -> host eviction writebacks

@@ -127,6 +127,43 @@ TEST(ChunkChain, FindMissingReturnsNull) {
   EXPECT_EQ(chain.find(42)->id, 42u);
 }
 
+// Regression: a batch larger than one interval used to collapse all crossed
+// boundaries into a single `true`, so per-interval work (MHPE threshold
+// checks) ran once instead of once per boundary. A tree prefetcher can plan
+// hundreds of pages in one migration.
+TEST(ChunkChain, LargeBatchReportsEveryBoundaryCrossed) {
+  ChunkChain chain(/*interval_pages=*/64);
+  EXPECT_EQ(chain.note_pages_migrated(300), 4u);  // 300/64 -> interval 4
+  EXPECT_EQ(chain.current_interval(), 4u);
+  EXPECT_EQ(chain.pages_migrated(), 300u);
+  EXPECT_EQ(chain.note_pages_migrated(20), 1u);   // 320 -> interval 5
+  EXPECT_EQ(chain.note_pages_migrated(10), 0u);   // 330: same interval
+  EXPECT_EQ(chain.current_interval(), 5u);
+}
+
+// Regression: reinserting a wrongly-evicted chunk at the LRU head used to
+// stamp it with the *current* interval, filing it into the `new` partition
+// despite sitting at the old end of the chain — breaking Fig 2's invariant
+// that partitions are contiguous segments and hiding the chunk from MHPE's
+// old-partition MRU search.
+TEST(ChunkChain, HeadReinsertLandsInOldPartition) {
+  ChunkChain chain(64);
+  chain.note_pages_migrated(64 * 5);  // -> interval 5
+  ChunkEntry& back = chain.insert(7, /*at_head=*/true);
+  EXPECT_EQ(chain.partition_of(back, /*by_touch=*/false), Partition::kOld);
+  EXPECT_EQ(chain.partition_of(back, /*by_touch=*/true), Partition::kOld);
+  // A normal tail insert in the same interval is still `new`.
+  ChunkEntry& fresh = chain.insert(8);
+  EXPECT_EQ(chain.partition_of(fresh, /*by_touch=*/false), Partition::kNew);
+}
+
+TEST(ChunkChain, HeadReinsertStampSaturatesAtIntervalZero) {
+  ChunkChain chain(64);
+  EXPECT_EQ(chain.insert(1, /*at_head=*/true).arrival_interval, 0u);
+  chain.note_pages_migrated(64);  // -> interval 1
+  EXPECT_EQ(chain.insert(2, /*at_head=*/true).arrival_interval, 0u);
+}
+
 TEST(ChunkEntry, UntouchLevelCountsResidentUntouched) {
   ChunkEntry e;
   // 12 resident, 4 of them touched -> untouch level 8.

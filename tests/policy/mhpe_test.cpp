@@ -220,6 +220,47 @@ TEST_F(MhpeFixture, WronglyEvictedChunkReinsertsAtHead) {
   EXPECT_EQ(pol.insert_position(9999), InsertPosition::kTail);
 }
 
+// §IV-B: a reinserted wrongly-evicted chunk must not be immediately
+// re-victimised by the MRU search — even though its head stamp files it into
+// the old partition, where a short partition would otherwise make it the
+// search's fallback pick.
+TEST_F(MhpeFixture, ReinsertedChunkIsShieldedFromMruSearch) {
+  fill(3);
+  chain.note_pages_migrated(128);  // -> interval 2: all three chunks are old
+  MhpePolicy pol(chain, cfg);      // fd = clamp(3/100, 2, 8) = 2
+  const ChunkId v = pol.select_victim();
+  EXPECT_EQ(v, 0u);                // skip fd over {2, 1}, take the head
+  evict(pol, v);
+  pol.on_fault(first_page_of_chunk(v));         // wrong eviction detected
+  ASSERT_EQ(pol.insert_position(v), InsertPosition::kHead);
+  chain.insert(v, /*at_head=*/true);
+
+  // Reinserted at the head and stamped old — but shielded: the search must
+  // settle for another old chunk.
+  EXPECT_EQ(chain.partition_of(chain.entry(v), false), Partition::kOld);
+  EXPECT_EQ(pol.select_victim(), 1u);
+
+  // The shield ages out after the next full interval.
+  pol.on_interval_boundary();
+  EXPECT_EQ(pol.select_victim(), 1u);
+  pol.on_interval_boundary();
+  EXPECT_EQ(pol.select_victim(), v);
+}
+
+TEST_F(MhpeFixture, ShieldYieldsWhenNoOtherCandidateExists) {
+  fill(2);
+  chain.note_pages_migrated(128);
+  MhpePolicy pol(chain, cfg);
+  evict(pol, 1);
+  pol.on_fault(first_page_of_chunk(1));
+  ASSERT_EQ(pol.insert_position(1), InsertPosition::kHead);
+  chain.insert(1, /*at_head=*/true);
+  evict(pol, 0);
+  // Chunk 1 is shielded but is the only chunk left: the whole-chain fallback
+  // still produces it rather than deadlocking the eviction path.
+  EXPECT_EQ(pol.select_victim(), 1u);
+}
+
 TEST_F(MhpeFixture, WrongEvictionBufferIsBounded) {
   cfg.wrong_evict_min_entries = 8;
   fill(300);

@@ -164,6 +164,72 @@ TEST(PatternAware, TracksPeakBufferSize) {
   EXPECT_EQ(pf.peak_size(), 30u);
 }
 
+PolicyConfig with_capacity(u32 entries) {
+  PolicyConfig cfg;
+  cfg.deletion = DeletionScheme::kScheme2;
+  cfg.pattern_buffer_entries = entries;
+  return cfg;
+}
+
+// Regression: the buffer used to grow without bound. §VI-C sizes it as a
+// small fixed structure; overflow must replace the oldest recording, and
+// deterministically so.
+TEST(PatternAware, CapacityBoundsBufferWithFifoReplacement) {
+  PatternAwarePrefetcher pf(with_capacity(4));
+  EXPECT_EQ(pf.capacity(), 4u);
+  for (ChunkId c = 0; c < 4; ++c) pf.on_chunk_evicted(c, stride2_pattern());
+  EXPECT_EQ(pf.size(), 4u);
+  EXPECT_DOUBLE_EQ(pf.occupancy(), 1.0);
+  EXPECT_EQ(pf.oldest_entry(), 0u);
+
+  pf.on_chunk_evicted(100, stride2_pattern());  // evicts chunk 0 (oldest)
+  EXPECT_EQ(pf.size(), 4u);
+  EXPECT_FALSE(pf.has_pattern(0));
+  EXPECT_TRUE(pf.has_pattern(1));
+  EXPECT_TRUE(pf.has_pattern(100));
+  EXPECT_EQ(pf.oldest_entry(), 1u);
+  EXPECT_EQ(pf.capacity_evictions(), 1u);
+  EXPECT_EQ(pf.peak_size(), 4u);  // never exceeded the cap
+}
+
+TEST(PatternAware, ReRecordingKeepsFifoAge) {
+  PatternAwarePrefetcher pf(with_capacity(3));
+  for (ChunkId c = 0; c < 3; ++c) pf.on_chunk_evicted(c, stride2_pattern());
+  // Re-record the oldest entry: pattern refreshes, FIFO position does not.
+  pf.on_chunk_evicted(0, fig6_pattern());
+  EXPECT_EQ(pf.size(), 3u);
+  EXPECT_EQ(pf.capacity_evictions(), 0u);
+  EXPECT_EQ(pf.oldest_entry(), 0u);
+  pf.on_chunk_evicted(9, stride2_pattern());  // chunk 0 is still first out
+  EXPECT_FALSE(pf.has_pattern(0));
+  EXPECT_EQ(pf.oldest_entry(), 1u);
+}
+
+TEST(PatternAware, SchemeDeletionFreesCapacitySlot) {
+  PatternAwarePrefetcher pf(with_capacity(2));
+  TestView view(1000);
+  pf.on_chunk_evicted(0, stride2_pattern());
+  pf.on_chunk_evicted(1, stride2_pattern());
+  (void)pf.plan(first_page_of_chunk(0) + 1, view);  // page 1: Scheme-2 first miss
+  EXPECT_FALSE(pf.has_pattern(0));
+  EXPECT_EQ(pf.size(), 1u);
+  EXPECT_EQ(pf.oldest_entry(), 1u);
+  // The freed slot is reusable without a capacity eviction.
+  pf.on_chunk_evicted(5, stride2_pattern());
+  EXPECT_EQ(pf.size(), 2u);
+  EXPECT_EQ(pf.capacity_evictions(), 0u);
+}
+
+TEST(PatternAware, ZeroConfiguredCapacityClampsToOne) {
+  PatternAwarePrefetcher pf(with_capacity(0));
+  EXPECT_EQ(pf.capacity(), 1u);
+  pf.on_chunk_evicted(0, stride2_pattern());
+  pf.on_chunk_evicted(1, stride2_pattern());
+  EXPECT_EQ(pf.size(), 1u);
+  EXPECT_TRUE(pf.has_pattern(1));
+  EXPECT_EQ(pf.capacity_evictions(), 1u);
+}
+
 TEST(PatternAware, PlanNeverExceedsFootprint) {
   PatternAwarePrefetcher pf(with_scheme(DeletionScheme::kScheme2));
   TestView view(10);  // footprint ends inside chunk 0

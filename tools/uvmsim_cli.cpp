@@ -8,6 +8,13 @@
 //   uvmsim --workload MVT --record-trace mvt.trc
 //   uvmsim --trace mvt.trc --eviction lru --prefetch locality --csv
 //   uvmsim --list
+//
+// Observability (docs/observability.md):
+//
+//   uvmsim --workload NW --oversub 0.5 --trace-out t.jsonl
+//   uvmsim --workload NW --trace-out t.jsonl --trace-events fault_raised,eviction_chosen
+//   uvmsim --workload NW --interval-metrics intervals.csv
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -16,6 +23,8 @@
 #include "core/uvm_system.hpp"
 #include "harness/cli.hpp"
 #include "harness/report.hpp"
+#include "obs/interval_metrics.hpp"
+#include "obs/trace_sink.hpp"
 #include "trace/trace_io.hpp"
 #include "trace/trace_workload.hpp"
 #include "workloads/benchmarks.hpp"
@@ -68,10 +77,17 @@ void print_text(const RunResult& r) {
     t.add_row({"MHPE wrong evictions", std::to_string(r.mhpe_wrong_evictions)});
   }
   if (r.pattern_buffer_peak > 0) {
-    t.add_row({"pattern buffer peak", std::to_string(r.pattern_buffer_peak)});
+    t.add_row({"pattern buffer peak/capacity",
+               std::to_string(r.pattern_buffer_peak) + "/" +
+                   std::to_string(r.pattern_buffer_capacity)});
     t.add_row({"pattern match/mismatch", std::to_string(r.pattern_matches) + "/" +
                                              std::to_string(r.pattern_mismatches)});
+    if (r.pattern_capacity_evictions > 0)
+      t.add_row({"pattern capacity evictions",
+                 std::to_string(r.pattern_capacity_evictions)});
   }
+  if (r.trace_events_recorded > 0)
+    t.add_row({"trace events recorded", std::to_string(r.trace_events_recorded)});
   std::cout << t.str();
 }
 
@@ -108,6 +124,12 @@ int main(int argc, char** argv) {
   cli.add_option("sms", "number of SMs", "28");
   cli.add_option("warps", "warps per SM", "8");
   cli.add_option("seed", "experiment seed", "24301");
+  cli.add_option("pattern-capacity", "pattern-buffer capacity in entries", "1024");
+  cli.add_option("trace-out", "write the flight-recorder event stream (JSONL) here");
+  cli.add_option("trace-events",
+                 "comma-separated event names to trace, or 'all' (see docs)", "all");
+  cli.add_option("interval-metrics",
+                 "write per-interval metrics here (.jsonl extension = JSONL, else CSV)");
   cli.add_flag("no-prefetch-when-full", "disable prefetching once memory fills");
   cli.add_flag("csv", "emit one CSV row instead of the text report");
   cli.add_flag("list", "list the Table II workloads and exit");
@@ -138,8 +160,16 @@ int main(int argc, char** argv) {
   pol.t2_untouch_first4 = static_cast<u32>(cli.get_int("t2"));
   pol.t3_forward_limit = static_cast<u32>(cli.get_int("t3"));
   pol.interval_faults = static_cast<u32>(cli.get_int("interval"));
+  pol.pattern_buffer_entries = static_cast<u32>(cli.get_int("pattern-capacity"));
   pol.seed = static_cast<u64>(cli.get_int("seed"));
   pol.prefetch_when_full = !cli.get_flag("no-prefetch-when-full");
+
+  const auto event_mask = parse_event_mask(cli.get("trace-events"));
+  if (!event_mask) {
+    std::cerr << "unknown event name in --trace-events: " << cli.get("trace-events")
+              << "\n";
+    return 2;
+  }
 
   SystemConfig sys;
   sys.num_sms = static_cast<u32>(cli.get_int("sms"));
@@ -165,7 +195,40 @@ int main(int argc, char** argv) {
     }
 
     UvmSystem system(sys, pol, *workload, cli.get_double("oversub"));
+
+    // Flight-recorder sinks must outlive run(); the recorder borrows them.
+    std::ofstream trace_file;
+    std::unique_ptr<JsonlSink> trace_sink;
+    IntervalMetricsSink interval_sink;
+    system.recorder().set_event_mask(*event_mask);
+    if (cli.was_set("trace-out")) {
+      trace_file.open(cli.get("trace-out"));
+      if (!trace_file) {
+        std::cerr << "error: cannot open " << cli.get("trace-out") << "\n";
+        return 2;
+      }
+      trace_sink = std::make_unique<JsonlSink>(trace_file);
+      system.recorder().add_sink(trace_sink.get());
+    }
+    if (cli.was_set("interval-metrics"))
+      system.recorder().add_sink(&interval_sink);
+
     const RunResult r = system.run();
+
+    if (cli.was_set("interval-metrics")) {
+      const std::string path = cli.get("interval-metrics");
+      interval_sink.finalize(system.queue().now());
+      std::ofstream mf(path);
+      if (!mf) {
+        std::cerr << "error: cannot open " << path << "\n";
+        return 2;
+      }
+      if (path.size() >= 6 && path.compare(path.size() - 6, 6, ".jsonl") == 0)
+        interval_sink.write_jsonl(mf);
+      else
+        interval_sink.write_csv(mf);
+    }
+
     if (cli.get_flag("csv"))
       print_csv(r);
     else
