@@ -136,6 +136,12 @@ struct PolicyConfig {
   /// (its fault-batch parallelism). Excess faults queue and are absorbed
   /// into running plans where possible.
   u32 driver_concurrency = 8;
+  /// Batch window: pending faults drained per driver wakeup and serviced as
+  /// one merged migration (the real driver drains its whole fault buffer
+  /// per wakeup). 1 = classic one-fault-per-operation behaviour,
+  /// bit-for-bit. Larger windows amortise the 20 us service cost across
+  /// queued faults (bench/abl_fault_batch).
+  u32 fault_batch = 1;
   u64 seed = 0x5EED;               ///< experiment RNG seed
 
   // HPE-specific knobs (counter-based classification; see policy/hpe.hpp).

@@ -100,5 +100,10 @@ PolicyConfig demand_only() {
   return c;
 }
 
+PolicyConfig with_fault_batch(PolicyConfig base, u32 window) {
+  base.fault_batch = window;
+  return base;
+}
+
 }  // namespace presets
 }  // namespace uvmsim

@@ -44,6 +44,10 @@ namespace presets {
 /// Demand paging only (no prefetcher) with LRU.
 [[nodiscard]] PolicyConfig demand_only();
 
+/// Any preset with the driver's fault-batch window widened to `window`
+/// (bench/abl_fault_batch; window 1 = the preset unchanged).
+[[nodiscard]] PolicyConfig with_fault_batch(PolicyConfig base, u32 window);
+
 }  // namespace presets
 
 }  // namespace uvmsim

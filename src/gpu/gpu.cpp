@@ -36,7 +36,10 @@ Gpu::Gpu(EventQueue& eq, const SystemConfig& cfg, UvmDriver& driver,
     }
   }
   // Evictions invalidate translations everywhere (TLB shootdown) and the
-  // physically-indexed cache lines of the departing frame.
+  // physically-indexed cache lines of the departing frame. The driver's
+  // EvictionEngine (uvm/eviction_engine.hpp) invokes this synchronously,
+  // once per evicted page, before the page's frame is recycled — so the
+  // frame number still uniquely identifies the departing lines.
   driver_.set_shootdown_handler([this](PageId p, FrameId f) {
     l2_tlb_.invalidate(p);
     for (auto& sm : sms_) sm.l1_tlb->invalidate(p);

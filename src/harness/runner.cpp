@@ -1,6 +1,7 @@
 #include "harness/runner.hpp"
 
 #include <atomic>
+#include <exception>
 #include <thread>
 
 namespace uvmsim {
@@ -11,24 +12,35 @@ std::vector<LabelledResult> run_sweep(const std::vector<ExperimentSpec>& specs,
   threads = std::min<unsigned>(threads, specs.empty() ? 1 : static_cast<unsigned>(specs.size()));
 
   std::vector<LabelledResult> results(specs.size());
+  // run_experiment can throw (unopenable trace_out, bad workload): an
+  // exception escaping a worker thread would std::terminate the process, so
+  // each experiment's exception is captured and the first (in spec order) is
+  // rethrown on the calling thread after all workers have joined.
+  std::vector<std::exception_ptr> errors(specs.size());
   std::atomic<std::size_t> next{0};
 
   const auto worker = [&] {
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= specs.size()) return;
-      results[i] = run_experiment(specs[i]);
+      try {
+        results[i] = run_experiment(specs[i]);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
     }
   };
 
   if (threads <= 1) {
     worker();
-    return results;
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (auto& th : pool) th.join();
   }
-  std::vector<std::thread> pool;
-  pool.reserve(threads);
-  for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
-  for (auto& th : pool) th.join();
+  for (const auto& e : errors)
+    if (e) std::rethrow_exception(e);
   return results;
 }
 

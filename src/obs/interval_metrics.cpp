@@ -45,6 +45,11 @@ void IntervalMetricsSink::emit(const TraceEvent& e) {
       // e.a is the interval just entered; the closing row covered e.a - 1.
       close_row(e.a, e.t);
       return;
+    case EventType::kFaultBatchFormed:
+    case EventType::kBatchServiced:
+      // Batch bookkeeping (fault_batch > 1 only); per-interval counters
+      // already capture the underlying faults and migrations.
+      break;
   }
   cur_dirty_ = true;
 }

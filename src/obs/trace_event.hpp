@@ -29,9 +29,13 @@ enum class EventType : u8 {
   kIntervalBoundary,       ///< a: interval just entered, b: total pages migrated
   kPreEvictionTriggered,   ///< a: free frames, b: watermark frames
   kShootdownIssued,        ///< a: page, b: physical frame
+  // Batched fault service (emitted only when fault_batch > 1, so classic
+  // window=1 traces stay byte-identical across schema revisions).
+  kFaultBatchFormed,       ///< a: lead page, b: faults in batch, c: backlog left
+  kBatchServiced,          ///< a: lead page, b: faults in batch, c: cycles/fault
 };
 
-inline constexpr u32 kNumEventTypes = 11;
+inline constexpr u32 kNumEventTypes = 13;
 
 /// Reasons carried in kPatternDeleted's `b` field.
 enum class PatternDeleteReason : u8 {
@@ -65,6 +69,8 @@ struct TraceEvent {
     case EventType::kIntervalBoundary: return "interval_boundary";
     case EventType::kPreEvictionTriggered: return "pre_eviction_triggered";
     case EventType::kShootdownIssued: return "shootdown_issued";
+    case EventType::kFaultBatchFormed: return "fault_batch_formed";
+    case EventType::kBatchServiced: return "batch_serviced";
   }
   return "?";
 }
@@ -88,6 +94,8 @@ struct EventFieldNames {
     case EventType::kIntervalBoundary: return {"interval", "pages_migrated", {}};
     case EventType::kPreEvictionTriggered: return {"free_frames", "watermark", {}};
     case EventType::kShootdownIssued: return {"page", "frame", {}};
+    case EventType::kFaultBatchFormed: return {"page", "faults", "backlog"};
+    case EventType::kBatchServiced: return {"page", "faults", "amortised"};
   }
   return {{}, {}, {}};
 }

@@ -5,8 +5,10 @@
 // (chunk arrivals, demand touches, faults, interval boundaries, evictions).
 #pragma once
 
+#include <algorithm>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/types.hpp"
 #include "obs/flight_recorder.hpp"
@@ -45,6 +47,22 @@ class EvictionPolicy {
   /// one unpinned entry. Must not return a pinned chunk.
   [[nodiscard]] virtual ChunkId select_victim() = 0;
 
+  /// Batched victim selection (uvm/eviction_engine): propose up to
+  /// `max_victims` distinct unpinned chunks, best victim first. Selection
+  /// must be side-effect free — the engine evicts candidates in order,
+  /// re-checks its free-frame target after each one and discards the rest,
+  /// then calls on_chunk_evicted per chunk actually evicted. The default
+  /// forwards to select_victim(): policies whose choice depends on
+  /// per-eviction state (Random's RNG draw, MHPE's forwarded MRU search)
+  /// keep exact single-step semantics; stateless chain scans (LRU, FIFO)
+  /// override to return a run of victims in one pass.
+  [[nodiscard]] virtual std::vector<ChunkId> select_victims(u64 max_victims) {
+    if (max_victims == 0) return {};
+    const ChunkId v = select_victim();
+    if (v == kInvalidChunk) return {};
+    return {v};
+  }
+
   /// The selected chunk is about to be evicted; final metadata available.
   virtual void on_chunk_evicted(const ChunkEntry& /*e*/) {}
 
@@ -74,6 +92,22 @@ class EvictionPolicy {
     for (const auto& e : chain_)
       if (!e.pinned()) return e.id;
     return kInvalidChunk;
+  }
+
+  /// First `n` unpinned chunks from the LRU end, head first (the batched
+  /// form of lru_unpinned, shared by the LRU and FIFO select_victims
+  /// overrides — both evict in chain order, so one scan yields the same
+  /// victim sequence as n single selections).
+  [[nodiscard]] std::vector<ChunkId> lru_unpinned_batch(u64 n) const {
+    std::vector<ChunkId> out;
+    if (n == 0) return out;
+    out.reserve(static_cast<std::size_t>(std::min<u64>(n, chain_.size())));
+    for (const auto& e : chain_) {
+      if (e.pinned()) continue;
+      out.push_back(e.id);
+      if (out.size() == n) break;
+    }
+    return out;
   }
 
  private:

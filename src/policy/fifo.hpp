@@ -15,6 +15,9 @@ class FifoPolicy final : public EvictionPolicy {
   using EvictionPolicy::EvictionPolicy;
 
   [[nodiscard]] ChunkId select_victim() override { return lru_unpinned(); }
+  [[nodiscard]] std::vector<ChunkId> select_victims(u64 max_victims) override {
+    return lru_unpinned_batch(max_victims);
+  }
   [[nodiscard]] bool reorder_on_touch() const override { return false; }
   [[nodiscard]] std::string name() const override { return "FIFO"; }
 };

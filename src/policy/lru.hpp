@@ -12,6 +12,9 @@ class LruPolicy final : public EvictionPolicy {
   using EvictionPolicy::EvictionPolicy;
 
   [[nodiscard]] ChunkId select_victim() override { return lru_unpinned(); }
+  [[nodiscard]] std::vector<ChunkId> select_victims(u64 max_victims) override {
+    return lru_unpinned_batch(max_victims);
+  }
   [[nodiscard]] bool reorder_on_touch() const override { return true; }
   [[nodiscard]] std::string name() const override { return "LRU"; }
 };

@@ -11,27 +11,31 @@ UvmDriver::UvmDriver(EventQueue& eq, const SystemConfig& sys,
       sys_(sys),
       pol_(pol),
       footprint_pages_(footprint_pages),
-      capacity_pages_(capacity_pages),
-      free_frames_(capacity_pages),
       chain_(pol.interval_faults),
-      h2d_(sys.pcie_page_cycles()),
-      d2h_(sys.pcie_page_cycles()),
-      max_concurrent_migrations_(std::max(1u, pol.driver_concurrency)) {
-  assert(capacity_pages_ > 0);
+      frames_(capacity_pages, u64{pol.pre_evict_watermark_chunks} * kChunkPages),
+      batcher_(pol.fault_batch),
+      evictor_(eq, chain_, pt_, frames_, sys.pcie_page_cycles(), stats_),
+      scheduler_(eq, sys, pol, frames_, pt_, chain_, stats_) {
+  scheduler_.set_completion_hook([this] { post_migration(); });
 }
 
 UvmDriver::~UvmDriver() = default;
 
 void UvmDriver::set_policy(std::unique_ptr<EvictionPolicy> policy) {
   policy_ = std::move(policy);
+  evictor_.set_policy(policy_.get());
+  scheduler_.set_policy(policy_.get());
   if (policy_) policy_->set_recorder(rec_);
 }
 void UvmDriver::set_prefetcher(std::unique_ptr<Prefetcher> prefetcher) {
   prefetcher_ = std::move(prefetcher);
+  evictor_.set_prefetcher(prefetcher_.get());
   if (prefetcher_) prefetcher_->set_recorder(rec_);
 }
 void UvmDriver::set_recorder(FlightRecorder* rec) {
   rec_ = rec;
+  evictor_.set_recorder(rec_);
+  scheduler_.set_recorder(rec_);
   if (policy_) policy_->set_recorder(rec_);
   if (prefetcher_) prefetcher_->set_recorder(rec_);
 }
@@ -56,68 +60,80 @@ void UvmDriver::fault(PageId p, WakeCallback wake) {
     wake();
     return;
   }
-  if (auto it = inflight_.find(p); it != inflight_.end()) {
+  if (scheduler_.in_flight(p)) {
     // A migration covering this page is in flight: the fault coalesces
     // (replayable far faults simply replay once the page lands).
     ++stats_.faults_coalesced;
     record_event(rec_, EventType::kFaultCoalesced, p, 1);
-    it->second.push_back(std::move(wake));
+    scheduler_.add_waiter(p, std::move(wake));
     return;
   }
-  if (auto it = pending_.find(p); it != pending_.end()) {
+  if (batcher_.coalesce(p, std::move(wake))) {
     ++stats_.faults_coalesced;  // fault already raised, not yet serviced
     record_event(rec_, EventType::kFaultCoalesced, p, 0);
-    it->second.push_back(std::move(wake));
     return;
   }
   ++stats_.page_faults;
   record_event(rec_, EventType::kFaultRaised, p, chunk_of_page(p));
   policy_->on_fault(p);  // wrong-eviction detection happens per fault event
-  pending_[p].push_back(std::move(wake));
-  if (active_migrations_ < max_concurrent_migrations_) {
-    ++active_migrations_;
-    service_fault(p);
-  } else {
-    fault_queue_.push_back(p);
-  }
+  batcher_.raise(p, std::move(wake), eq_.now());
+  dispatch_pending();
 }
 
-void UvmDriver::service_fault(PageId p) {
-  // The fault may have been absorbed into another plan (or even completed)
-  // between queueing/retry and now; if so, release the slot and move on.
-  if (!pending_.contains(p)) {
-    --active_migrations_;
-    admit_next();
+void UvmDriver::service_batch(std::vector<PageId> leads) {
+  // Any of the batch's faults may have been absorbed into another plan (or
+  // even completed) between formation/retry and now; if none are left,
+  // release the slot and move on.
+  std::erase_if(leads, [&](PageId p) { return !batcher_.pending(p); });
+  if (leads.empty()) {
+    scheduler_.release_slot();
+    dispatch_pending();
     return;
   }
+  if (pol_.fault_batch > 1)
+    record_event(rec_, EventType::kFaultBatchFormed, leads.front(),
+                 leads.size(), batcher_.queued());
 
-  // 1. Let the prefetcher plan the migration set. When prefetching under
-  //    oversubscription is disabled (Fig 10's variant), a full memory demands
-  //    the faulted page only.
-  Migration m;
-  if (!pol_.prefetch_when_full && memory_full()) {
-    m.pages.push_back(p);
-  } else {
-    m.pages = prefetcher_->plan(p, *this);
+  // 1. Let the prefetcher plan the migration set, one plan per fault in the
+  //    batch, merged and deduped. A lead page already swept into an earlier
+  //    lead's plan is absorbed intra-batch (its waiters ride along). When
+  //    prefetching under oversubscription is disabled (Fig 10's variant), a
+  //    full memory demands the faulted pages only.
+  MigrationBatch m;
+  m.formed_at = eq_.now();
+  const bool gated = !pol_.prefetch_when_full && memory_full();
+  for (const PageId p : leads) {
+    if (std::find(m.pages.begin(), m.pages.end(), p) != m.pages.end()) continue;
+    if (gated) {
+      m.pages.push_back(p);
+      continue;
+    }
+    std::vector<PageId> plan = prefetcher_->plan(p, *this);
     // Defensive: guarantee the faulted page is transferred even if a
     // prefetcher mis-plans around it.
-    if (std::find(m.pages.begin(), m.pages.end(), p) == m.pages.end())
-      m.pages.push_back(p);
+    if (std::find(plan.begin(), plan.end(), p) == plan.end())
+      plan.push_back(p);
+    MigrationScheduler::merge_plan(m.pages, plan);
   }
 
-  // Keep the faulted page at the front so plan trimming never drops it, and
-  // clamp oversized plans (the tree prefetcher can request up to 2 MB) to
-  // the physical capacity.
-  {
-    auto it = std::find(m.pages.begin(), m.pages.end(), p);
+  // Keep the faulted pages at the front (in batch order) so plan trimming
+  // never drops them first, and clamp oversized plans (the tree prefetcher
+  // can request up to 2 MB) to the physical capacity.
+  for (std::size_t i = 0; i < leads.size(); ++i) {
+    auto it = std::find(m.pages.begin() + static_cast<std::ptrdiff_t>(i),
+                        m.pages.end(), leads[i]);
     assert(it != m.pages.end());
-    std::iter_swap(m.pages.begin(), it);
-    if (m.pages.size() > capacity_pages_) m.pages.resize(capacity_pages_);
+    std::iter_swap(m.pages.begin() + static_cast<std::ptrdiff_t>(i), it);
+  }
+  if (m.pages.size() > capacity_pages()) m.pages.resize(capacity_pages());
+  while (leads.size() > m.pages.size()) {  // window wider than capacity
+    batcher_.requeue_front(leads.back());
+    leads.pop_back();
   }
 
   // 2. Make room. Chunks touched by this plan are pinned before any eviction
   //    so a victim search can never select what we are about to fill.
-  for (PageId page : m.pages) {
+  for (const PageId page : m.pages) {
     if (ChunkEntry* e = chain_.find(chunk_of_page(page))) {
       ++e->pin_count;
       m.pinned.push_back(e->id);
@@ -132,175 +148,73 @@ void UvmDriver::service_fault(PageId p) {
       }
     }
   };
-  u64 demand_evictions = 0;  // evictions on this fault's critical path
-  while (free_frames_ < m.pages.size()) {
-    if (evict_one_chunk()) {
-      ++demand_evictions;
-      continue;
-    }
+  const auto room = evictor_.make_room(m.pages.size());
+  if (room.starved) {
     // Every chunk is pinned by concurrent migrations. If even the faulted
-    // page cannot fit, release our pins and retry once a concurrent
+    // pages cannot fit, release our pins and retry once a concurrent
     // migration has completed (one must exist — pins come only from active
-    // migrations). Otherwise shrink the plan to what fits now.
-    if (free_frames_ == 0) {
-      for (ChunkId c : m.pinned) --chain_.entry(c).pin_count;
+    // migrations). Otherwise shrink the plan to what fits now; a trimmed
+    // lead fault goes back to the front of the backlog.
+    if (frames_.free_frames() == 0) {
+      for (const ChunkId c : m.pinned) --chain_.entry(c).pin_count;
       eq_.schedule_in(sys_.fault_latency_cycles() / 4 + 1,
-                      [this, p] { service_fault(p); });
+                      [this, ls = std::move(leads)]() mutable {
+                        service_batch(std::move(ls));
+                      });
       return;
     }
-    while (m.pages.size() > free_frames_) {
-      unpin_page(m.pages.back());
+    while (m.pages.size() > frames_.free_frames()) {
+      const PageId dropped = m.pages.back();
+      unpin_page(dropped);
       m.pages.pop_back();
+      if (m.pages.size() < leads.size()) {
+        assert(leads.back() == dropped);
+        batcher_.requeue_front(dropped);
+        leads.pop_back();
+      }
     }
-    break;
   }
-  assert(free_frames_ >= m.pages.size());
-  free_frames_ -= m.pages.size();
+  assert(frames_.free_frames() >= m.pages.size());
+  frames_.reserve(m.pages.size());
 
   // 3. Mark every planned page in flight, absorbing pending faults: their
-  //    waiters ride this migration and their queue entries will be skipped.
-  for (PageId page : m.pages) {
-    if (auto node = pending_.extract(page); !node.empty())
-      inflight_.insert(std::move(node));
-    else
-      inflight_.try_emplace(page);
-  }
+  //    waiters ride this migration and their backlog entries will be
+  //    skipped at batch formation.
+  for (const PageId page : m.pages)
+    scheduler_.mark_in_flight(page, batcher_.extract(page));
 
-  // 4. Timing: the 20 us fault service happens first (driver round trips and
-  //    page-table manipulation), lengthened by any eviction work that had to
-  //    run synchronously on this fault's critical path (pre-eviction exists
-  //    to keep demand_evictions at zero), then the pages occupy the H2D link.
+  // 4. Hand over to the scheduler for timing and completion.
+  m.lead = leads.front();
+  m.faults = static_cast<u32>(leads.size());
   ++stats_.migration_ops;
-  stats_.demand_evictions += demand_evictions;
-  const Cycle service_done = eq_.now() + sys_.fault_latency_cycles() +
-                             demand_evictions * sys_.evict_service_cycles();
-  const Cycle transfer_done = h2d_.reserve(service_done, m.pages.size());
-  record_event(rec_, EventType::kMigrationPlanned, p, m.pages.size(),
-               transfer_done - service_done);
-  eq_.schedule_at(transfer_done,
-                  [this, mig = std::move(m)]() mutable { complete_migration(std::move(mig)); });
+  stats_.demand_evictions += room.evicted;
+  scheduler_.dispatch(std::move(m), room.evicted);
 }
 
-bool UvmDriver::evict_one_chunk() {
-  const ChunkId victim = policy_->select_victim();
-  if (victim == kInvalidChunk) return false;
-  ChunkEntry& e = chain_.entry(victim);
-  assert(!e.pinned());
-
-  policy_->on_chunk_evicted(e);
-  // CPPE coordination point: the evicted chunk's demand-touch pattern flows
-  // to the prefetcher (pattern buffer) — §IV-A's fine-grained interplay.
-  prefetcher_->on_chunk_evicted(victim, e.touched);
-
-  u64 pages_out = 0;
-  const PageId base = first_page_of_chunk(victim);
-  for (u32 i = 0; i < kChunkPages; ++i) {
-    if (!e.resident.test(i)) continue;
-    const PageId page = base + i;
-    const FrameId frame = pt_.unmap(page);
-    frame_pool_.push_back(frame);
-    ++free_frames_;
-    ++pages_out;
-    record_event(rec_, EventType::kShootdownIssued, page, frame);
-    if (shootdown_) shootdown_(page, frame);
-  }
-  record_event(rec_, EventType::kEvictionChosen, victim, e.untouch_level(),
-               pages_out);
-  d2h_.reserve(eq_.now(), pages_out);  // write-back occupancy (full duplex)
-  chain_.erase(victim);
-  ++stats_.chunks_evicted;
-  stats_.pages_evicted += pages_out;
-  return true;
-}
-
-void UvmDriver::complete_migration(Migration m) {
-  for (PageId page : m.pages) {
-    // Allocate a physical frame (accounting was done at service time).
-    FrameId f;
-    if (!frame_pool_.empty()) {
-      f = frame_pool_.back();
-      frame_pool_.pop_back();
-    } else {
-      assert(next_frame_ < capacity_pages_);
-      f = next_frame_++;
-    }
-    pt_.map(page, f);
-
-    const ChunkId c = chunk_of_page(page);
-    ChunkEntry* e = chain_.find(c);
-    if (e == nullptr) {
-      const bool at_head = policy_->insert_position(c) == InsertPosition::kHead;
-      e = &chain_.insert(c, at_head);
-      policy_->on_chunk_inserted(*e);
-    }
-    const u32 idx = page_index_in_chunk(page);
-    e->resident.set(idx);
-    ++e->hpe_counter;  // HPE's counter counts *migrated* pages — the
-                       // prefetch pollution the paper's Inefficiency 1 describes
-
-    // Wake any warps that faulted on this page; their presence marks the
-    // page as demanded (touched) rather than purely prefetched.
-    if (auto node = inflight_.extract(page); !node.empty() && !node.mapped().empty()) {
-      e->touched.set(idx);
-      e->last_touch_interval = chain_.current_interval();
-      ++stats_.pages_demanded;
-      policy_->on_page_touched(*e, idx);
-      for (auto& wake : node.mapped()) wake();
-    } else {
-      ++stats_.pages_prefetched;
-    }
-  }
-  stats_.pages_migrated_in += m.pages.size();
-
-  // Release service-time pins.
-  for (ChunkId c : m.pinned) {
-    ChunkEntry& e = chain_.entry(c);  // pinned chunks cannot have been evicted
-    assert(e.pin_count > 0);
-    --e.pin_count;
-  }
-
-  // Advance the interval clock by migrated pages (64 pages = 4 chunks per
-  // interval with whole-chunk prefetch, matching §IV-B). A batch larger than
-  // one interval crosses several boundaries at once (a 512-page tree-
-  // prefetch plan crosses 8): the policy's per-interval work (threshold
-  // checks, accumulator resets) must run once per boundary, not once per
-  // batch.
-  const u64 crossed = chain_.note_pages_migrated(m.pages.size());
-  for (u64 i = 0; i < crossed; ++i) {
-    record_event(rec_, EventType::kIntervalBoundary,
-                 chain_.current_interval() - crossed + i + 1,
-                 chain_.pages_migrated());
-    policy_->on_interval_boundary();
-  }
-
+void UvmDriver::post_migration() {
   // Pre-evict ahead of the next fault: keep the configured watermark of
   // frames free so eviction work stays off fault critical paths. Only
   // meaningful when memory is actually oversubscribed — with the footprint
   // fully cacheable nothing will ever need the headroom.
-  if (capacity_pages_ < footprint_pages_) {
-    const u64 watermark = u64{pol_.pre_evict_watermark_chunks} * kChunkPages;
-    if (free_frames_ < watermark)
-      record_event(rec_, EventType::kPreEvictionTriggered, free_frames_, watermark);
-    while (free_frames_ < watermark) {
-      if (!evict_one_chunk()) break;  // everything pinned right now
-      ++stats_.pre_evictions;
-    }
+  if (frames_.capacity() < footprint_pages_) {
+    const u64 watermark = frames_.watermark_pages();
+    if (frames_.free_frames() < watermark)
+      record_event(rec_, EventType::kPreEvictionTriggered,
+                   frames_.free_frames(), watermark);
+    stats_.pre_evictions += evictor_.make_room(watermark).evicted;
   }
 
   // Admit backlogged faults into the freed driver slot.
-  --active_migrations_;
-  admit_next();
+  scheduler_.release_slot();
+  dispatch_pending();
 }
 
-void UvmDriver::admit_next() {
-  while (!fault_queue_.empty() && active_migrations_ < max_concurrent_migrations_) {
-    const PageId next = fault_queue_.front();
-    fault_queue_.pop_front();
-    if (!pending_.contains(next)) continue;  // absorbed by an earlier plan
-    ++active_migrations_;
-    service_fault(next);
-    return;
-  }
+void UvmDriver::dispatch_pending() {
+  if (!scheduler_.has_free_slot()) return;
+  std::vector<PageId> leads = batcher_.take_batch();
+  if (leads.empty()) return;
+  scheduler_.acquire_slot();
+  service_batch(std::move(leads));
 }
 
 }  // namespace uvmsim

@@ -1,13 +1,21 @@
 // UvmDriver: the GPU software runtime + GMMU pair that manages unified
-// memory (paper §II-A). It owns the page table, the physical frame pool
-// (sized for the experiment's oversubscription rate), the chunk chain, the
-// eviction policy, and the prefetcher, and it orchestrates the full far-
-// fault lifecycle:
+// memory (paper §II-A) — now a thin facade wiring the four layers of the
+// fault-service pipeline (docs/architecture.md):
 //
-//   fault -> (coalesce with in-flight?) -> admission queue ->
-//   prefetcher plans the migration set -> evict chunks until frames free ->
-//   20 us fault service + PCIe H2D occupancy -> map pages, fill chain,
-//   wake stalled warps.
+//   FaultBatcher        intake, coalescing, batch formation (--fault-batch)
+//   FramePool           frame accounting, oversubscription cap, live pressure
+//   EvictionEngine      room-making: demand eviction + pre-eviction
+//   MigrationScheduler  plan timing, PCIe scheduling, completion + wake
+//
+// The facade keeps what genuinely spans the layers: the far-fault entry
+// point, merging the batch's prefetch plans into one migration, pinning the
+// chunks a plan touches, and the post-completion step (pre-evict, free the
+// slot, admit the next batch):
+//
+//   fault -> (coalesce with in-flight?) -> admission backlog ->
+//   batch of <= fault_batch faults -> prefetcher plans merged/deduped ->
+//   evict chunks until frames free -> 20 us fault service + PCIe H2D
+//   occupancy -> map pages, fill chain, wake stalled warps.
 //
 // Evictions write back over the D2H direction of the link (PCIe is full
 // duplex) and invalidate TLBs through a registered shootdown handler.
@@ -20,31 +28,30 @@
 #pragma once
 
 #include <cassert>
-#include <deque>
-#include <functional>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "common/config.hpp"
-#include "common/stats.hpp"
 #include "mem/bandwidth_link.hpp"
 #include "obs/flight_recorder.hpp"
 #include "policy/eviction_policy.hpp"
 #include "prefetch/prefetcher.hpp"
 #include "sim/event_queue.hpp"
 #include "tlb/page_table.hpp"
+#include "uvm/driver_types.hpp"
+#include "uvm/eviction_engine.hpp"
+#include "uvm/fault_batcher.hpp"
+#include "uvm/frame_pool.hpp"
+#include "uvm/migration_scheduler.hpp"
 
 namespace uvmsim {
 
 class UvmDriver final : public ResidencyView {
  public:
-  /// Fires when the faulted page has become resident (warp replay point).
-  using WakeCallback = std::function<void()>;
-  /// TLB/cache shootdown hook, invoked for every page unmapped by an
-  /// eviction with the physical frame it occupied (caches are physically
-  /// indexed).
-  using ShootdownHandler = std::function<void(PageId, FrameId)>;
+  using WakeCallback = uvmsim::WakeCallback;
+  using ShootdownHandler = uvmsim::ShootdownHandler;
+  /// Driver-wide counters (kept under the historical name).
+  using Stats = DriverStats;
 
   UvmDriver(EventQueue& eq, const SystemConfig& sys, const PolicyConfig& pol,
             u64 footprint_pages, u64 capacity_pages);
@@ -56,9 +63,12 @@ class UvmDriver final : public ResidencyView {
   /// Install the policy/prefetcher pair (see core/policy_factory).
   void set_policy(std::unique_ptr<EvictionPolicy> policy);
   void set_prefetcher(std::unique_ptr<Prefetcher> prefetcher);
-  void set_shootdown_handler(ShootdownHandler h) { shootdown_ = std::move(h); }
-  /// Attach the flight recorder (nullptr = tracing off); forwarded to the
-  /// installed policy and prefetcher, in whichever order they arrive.
+  void set_shootdown_handler(ShootdownHandler h) {
+    evictor_.set_shootdown_handler(std::move(h));
+  }
+  /// Attach the flight recorder (nullptr = tracing off); forwarded to every
+  /// layer and to the installed policy and prefetcher, in whichever order
+  /// they arrive.
   void set_recorder(FlightRecorder* rec);
 
   // --- GPU-side interface ----------------------------------------------------
@@ -73,7 +83,7 @@ class UvmDriver final : public ResidencyView {
 
   // --- ResidencyView (prefetcher oracle: resident OR already in flight) ------
   [[nodiscard]] bool is_resident(PageId p) const override {
-    return pt_.resident(p) || inflight_.contains(p);
+    return pt_.resident(p) || scheduler_.in_flight(p);
   }
   [[nodiscard]] PageId footprint_pages() const override { return footprint_pages_; }
 
@@ -83,77 +93,47 @@ class UvmDriver final : public ResidencyView {
   [[nodiscard]] EvictionPolicy& policy() noexcept { return *policy_; }
   [[nodiscard]] Prefetcher& prefetcher() noexcept { return *prefetcher_; }
   [[nodiscard]] const PageTable& page_table() const noexcept { return pt_; }
-  [[nodiscard]] u64 capacity_pages() const noexcept { return capacity_pages_; }
-  [[nodiscard]] u64 free_frames() const noexcept { return free_frames_; }
-  /// "Memory full" in the paper's sense: oversubscription pressure has set
-  /// in — either eviction has begun (pre-eviction may since keep a small
-  /// headroom free) or a whole-chunk migration no longer fits.
+  [[nodiscard]] const FramePool& frame_pool() const noexcept { return frames_; }
+  [[nodiscard]] u64 capacity_pages() const noexcept { return frames_.capacity(); }
+  [[nodiscard]] u64 free_frames() const noexcept { return frames_.free_frames(); }
+  /// "Memory full" in the paper's sense: live oversubscription pressure
+  /// (FramePool::under_pressure) — a whole-chunk migration no longer fits
+  /// beyond the pre-eviction headroom. Clears again if frames free up.
   [[nodiscard]] bool memory_full() const noexcept {
-    return stats_.chunks_evicted > 0 || free_frames_ < kChunkPages;
+    return frames_.under_pressure();
   }
 
-  struct Stats {
-    u64 page_faults = 0;        ///< distinct far-fault events (post-coalescing)
-    u64 faults_coalesced = 0;   ///< faults that joined an in-flight migration
-    u64 pages_migrated_in = 0;  ///< total pages moved host -> device
-    u64 pages_demanded = 0;     ///< migrated pages that had a waiting fault
-    u64 pages_prefetched = 0;   ///< migrated pages moved speculatively
-    u64 pages_evicted = 0;      ///< pages moved device -> host (Fig 4 metric)
-    u64 chunks_evicted = 0;
-    u64 migration_ops = 0;      ///< driver service operations
-    u64 demand_evictions = 0;   ///< chunk evictions on a fault's critical path
-    u64 pre_evictions = 0;      ///< chunk evictions performed ahead of need
-  };
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
-  [[nodiscard]] const BandwidthLink& h2d() const noexcept { return h2d_; }
-  [[nodiscard]] const BandwidthLink& d2h() const noexcept { return d2h_; }
+  [[nodiscard]] const BandwidthLink& h2d() const noexcept { return scheduler_.h2d(); }
+  [[nodiscard]] const BandwidthLink& d2h() const noexcept { return evictor_.d2h(); }
 
  private:
-  struct Migration {
-    std::vector<PageId> pages;
-    std::vector<ChunkId> pinned;  ///< one entry per pin placed at service time
-  };
-
-  void service_fault(PageId p);
-  void complete_migration(Migration m);
-  /// Evict one chunk; returns false when every chunk is pinned.
-  bool evict_one_chunk();
-  /// Hand the freed driver slot to the next queued fault that was not
-  /// already absorbed into an earlier migration plan.
-  void admit_next();
+  /// Service a formed batch of still-pending faults: merge the prefetcher's
+  /// plans, pin, make room (retrying later if every chunk is pinned), then
+  /// hand the migration to the scheduler.
+  void service_batch(std::vector<PageId> leads);
+  /// Post-completion: pre-evict back to the watermark, free the driver slot
+  /// and admit the next batch from the backlog.
+  void post_migration();
+  /// Hand a free driver slot to the next formed batch, if any.
+  void dispatch_pending();
 
   EventQueue& eq_;
   SystemConfig sys_;
   PolicyConfig pol_;
   u64 footprint_pages_;
-  u64 capacity_pages_;
-  u64 free_frames_;
-  FrameId next_frame_ = 0;
-  std::vector<FrameId> frame_pool_;  ///< recycled frames
 
   PageTable pt_;
   ChunkChain chain_;
   std::unique_ptr<EvictionPolicy> policy_;
   std::unique_ptr<Prefetcher> prefetcher_;
-  ShootdownHandler shootdown_;
   FlightRecorder* rec_ = nullptr;
-
-  BandwidthLink h2d_;  ///< host -> device page migrations
-  BandwidthLink d2h_;  ///< device -> host eviction writebacks
-
-  /// Faults raised but not yet covered by a migration plan (page -> waiters).
-  /// A queued fault whose page gets swept into another fault's chunk plan is
-  /// "absorbed": its waiters move to inflight_ and its queue entry is skipped
-  /// on admission — this is how one driver operation serves a whole batch of
-  /// faults, the amortisation prefetching exists to provide.
-  std::unordered_map<PageId, std::vector<WakeCallback>> pending_;
-  /// page -> warps waiting for it (migration underway).
-  std::unordered_map<PageId, std::vector<WakeCallback>> inflight_;
-  std::deque<PageId> fault_queue_;  ///< admission-controlled backlog
-  u32 active_migrations_ = 0;
-  u32 max_concurrent_migrations_;  ///< PolicyConfig::driver_concurrency
-
   Stats stats_;
+
+  FramePool frames_;
+  FaultBatcher batcher_;
+  EvictionEngine evictor_;
+  MigrationScheduler scheduler_;
 };
 
 }  // namespace uvmsim

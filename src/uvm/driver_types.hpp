@@ -1,0 +1,58 @@
+// Shared vocabulary of the layered fault-service pipeline (FramePool,
+// FaultBatcher, EvictionEngine, MigrationScheduler — see
+// docs/architecture.md). Kept in one small header so the layers can talk
+// about faults, batches and statistics without including each other.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace uvmsim {
+
+/// Fires when a faulted page has become resident (warp replay point).
+using WakeCallback = std::function<void()>;
+
+/// TLB/cache shootdown hook, invoked for every page unmapped by an eviction
+/// with the physical frame it occupied (caches are physically indexed).
+using ShootdownHandler = std::function<void(PageId, FrameId)>;
+
+/// A raised-but-unserviced (or in-flight) far fault: the warps waiting on
+/// the page, plus when the first fault for it was raised (post-coalescing),
+/// which feeds the fault-service-latency statistic.
+struct PendingFault {
+  std::vector<WakeCallback> waiters;
+  Cycle raised_at = 0;
+  bool faulted = false;  ///< true when this entry stems from a raised fault
+};
+
+/// One driver service operation: the merged migration plan of a batch of
+/// faults. `pages[0..faults)` are the faulted (lead) pages, in batch order —
+/// plan trimming works from the back, so leads are dropped last.
+struct MigrationBatch {
+  std::vector<PageId> pages;
+  std::vector<ChunkId> pinned;  ///< one entry per pin placed at service time
+  PageId lead = 0;              ///< first faulted page (event payloads)
+  u32 faults = 1;               ///< distinct faults serviced by this operation
+  Cycle formed_at = 0;          ///< cycle the batch entered service
+};
+
+/// Driver-wide counters, updated by all four layers.
+struct DriverStats {
+  u64 page_faults = 0;        ///< distinct far-fault events (post-coalescing)
+  u64 faults_coalesced = 0;   ///< faults that joined an in-flight migration
+  u64 pages_migrated_in = 0;  ///< total pages moved host -> device
+  u64 pages_demanded = 0;     ///< migrated pages that had a waiting fault
+  u64 pages_prefetched = 0;   ///< migrated pages moved speculatively
+  u64 pages_evicted = 0;      ///< pages moved device -> host (Fig 4 metric)
+  u64 chunks_evicted = 0;
+  u64 migration_ops = 0;      ///< driver service operations
+  u64 demand_evictions = 0;   ///< chunk evictions on a fault's critical path
+  u64 pre_evictions = 0;      ///< chunk evictions performed ahead of need
+  /// Sum over raised faults of raise -> wake delay; divided by page_faults
+  /// this is the mean fault-service latency (bench/abl_fault_batch).
+  u64 fault_wait_cycles = 0;
+};
+
+}  // namespace uvmsim

@@ -1,0 +1,55 @@
+#include "uvm/eviction_engine.hpp"
+
+#include <cassert>
+
+namespace uvmsim {
+
+EvictionEngine::RoomResult EvictionEngine::make_room(u64 target_free_pages) {
+  assert(policy_ != nullptr && prefetcher_ != nullptr);
+  RoomResult r;
+  while (frames_.free_frames() < target_free_pages) {
+    const u64 deficit = target_free_pages - frames_.free_frames();
+    const std::vector<ChunkId> victims =
+        policy_->select_victims((deficit + kChunkPages - 1) / kChunkPages);
+    if (victims.empty()) {
+      r.starved = true;
+      return r;
+    }
+    for (const ChunkId v : victims) {
+      if (frames_.free_frames() >= target_free_pages) break;
+      evict_chunk(v);
+      ++r.evicted;
+    }
+  }
+  return r;
+}
+
+void EvictionEngine::evict_chunk(ChunkId victim) {
+  ChunkEntry& e = chain_.entry(victim);
+  assert(!e.pinned());
+
+  policy_->on_chunk_evicted(e);
+  // CPPE coordination point: the evicted chunk's demand-touch pattern flows
+  // to the prefetcher (pattern buffer) — §IV-A's fine-grained interplay.
+  prefetcher_->on_chunk_evicted(victim, e.touched);
+
+  u64 pages_out = 0;
+  const PageId base = first_page_of_chunk(victim);
+  for (u32 i = 0; i < kChunkPages; ++i) {
+    if (!e.resident.test(i)) continue;
+    const PageId page = base + i;
+    const FrameId frame = pt_.unmap(page);
+    frames_.release(frame);
+    ++pages_out;
+    record_event(rec_, EventType::kShootdownIssued, page, frame);
+    if (shootdown_) shootdown_(page, frame);
+  }
+  record_event(rec_, EventType::kEvictionChosen, victim, e.untouch_level(),
+               pages_out);
+  d2h_.reserve(eq_.now(), pages_out);  // write-back occupancy (full duplex)
+  chain_.erase(victim);
+  ++stats_.chunks_evicted;
+  stats_.pages_evicted += pages_out;
+}
+
+}  // namespace uvmsim

@@ -1,0 +1,67 @@
+// EvictionEngine: room-making. Drives the eviction policy's victim
+// selection (batched through EvictionPolicy::select_victims), unmaps and
+// recycles the victims' frames, issues TLB/cache shootdowns, reserves D2H
+// write-back occupancy and keeps the eviction statistics. Serves both
+// demand eviction (make room for an admitted plan, on the fault's critical
+// path) and pre-eviction (restore the free-frame watermark ahead of need).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "mem/bandwidth_link.hpp"
+#include "obs/flight_recorder.hpp"
+#include "policy/eviction_policy.hpp"
+#include "prefetch/prefetcher.hpp"
+#include "sim/event_queue.hpp"
+#include "tlb/page_table.hpp"
+#include "uvm/driver_types.hpp"
+#include "uvm/frame_pool.hpp"
+
+namespace uvmsim {
+
+class EvictionEngine {
+ public:
+  EvictionEngine(EventQueue& eq, ChunkChain& chain, PageTable& pt,
+                 FramePool& frames, Cycle pcie_page_cycles, DriverStats& stats)
+      : eq_(eq), chain_(chain), pt_(pt), frames_(frames),
+        d2h_(pcie_page_cycles), stats_(stats) {}
+
+  EvictionEngine(const EvictionEngine&) = delete;
+  EvictionEngine& operator=(const EvictionEngine&) = delete;
+
+  void set_policy(EvictionPolicy* p) noexcept { policy_ = p; }
+  void set_prefetcher(Prefetcher* p) noexcept { prefetcher_ = p; }
+  void set_shootdown_handler(ShootdownHandler h) { shootdown_ = std::move(h); }
+  void set_recorder(FlightRecorder* rec) noexcept { rec_ = rec; }
+
+  [[nodiscard]] const BandwidthLink& d2h() const noexcept { return d2h_; }
+
+  struct RoomResult {
+    u64 evicted = 0;     ///< chunks evicted by this call
+    bool starved = false;  ///< stopped early: every chunk is pinned
+  };
+
+  /// Evict until at least `target_free_pages` frames are free, asking the
+  /// policy for up to ceil(deficit / chunk) victims per round. Candidates
+  /// beyond the target are discarded unused (selection has no side
+  /// effects); `starved` is set when the policy runs out of unpinned
+  /// victims first.
+  RoomResult make_room(u64 target_free_pages);
+
+ private:
+  void evict_chunk(ChunkId victim);
+
+  EventQueue& eq_;
+  ChunkChain& chain_;
+  PageTable& pt_;
+  FramePool& frames_;
+  BandwidthLink d2h_;  ///< device -> host eviction write-backs
+  DriverStats& stats_;
+  EvictionPolicy* policy_ = nullptr;
+  Prefetcher* prefetcher_ = nullptr;
+  ShootdownHandler shootdown_;
+  FlightRecorder* rec_ = nullptr;
+};
+
+}  // namespace uvmsim

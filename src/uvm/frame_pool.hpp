@@ -1,0 +1,84 @@
+// FramePool: physical-frame accounting under an oversubscription cap.
+//
+// The pool hands out frame numbers in two tiers — never-used frames in
+// ascending order, then recycled frames LIFO — and tracks the free-frame
+// count that admission/eviction decisions key off. Reservation (accounting
+// at fault-service time) is deliberately split from allocation (frame
+// numbers handed out at migration-completion time): the driver reserves
+// room the moment a plan is admitted so concurrent services cannot
+// over-commit, but the concrete frames are bound only when pages land.
+//
+// The pool also owns the "memory full" definition. Pressure is *live*:
+// a whole-chunk migration no longer fits within the free frames, plus —
+// once eviction has begun — the pre-eviction watermark's headroom, which
+// the driver keeps free on purpose and which therefore must not read as
+// available. Unlike the old `chunks_evicted > 0` rule, pressure clears if
+// frames ever free back up past that threshold.
+#pragma once
+
+#include <cassert>
+#include <vector>
+
+#include "common/types.hpp"
+#include "tlb/page_table.hpp"  // FrameId
+
+namespace uvmsim {
+
+class FramePool {
+ public:
+  FramePool(u64 capacity_pages, u64 watermark_pages)
+      : capacity_(capacity_pages),
+        watermark_pages_(watermark_pages),
+        free_frames_(capacity_pages) {
+    assert(capacity_ > 0);
+  }
+
+  [[nodiscard]] u64 capacity() const noexcept { return capacity_; }
+  [[nodiscard]] u64 free_frames() const noexcept { return free_frames_; }
+  [[nodiscard]] u64 watermark_pages() const noexcept { return watermark_pages_; }
+  /// Has any frame ever been released by an eviction?
+  [[nodiscard]] bool evictions_seen() const noexcept { return evictions_seen_; }
+
+  /// "Memory full" in the paper's sense — oversubscription pressure right
+  /// now: a whole-chunk migration does not fit in the free frames beyond
+  /// the pre-eviction headroom (counted only once eviction has begun;
+  /// before that the watermark is not yet being maintained).
+  [[nodiscard]] bool under_pressure() const noexcept {
+    return free_frames_ < kChunkPages + (evictions_seen_ ? watermark_pages_ : 0);
+  }
+
+  /// Account for `n` pages admitted into migration (frames bound later).
+  void reserve(u64 n) {
+    assert(free_frames_ >= n);
+    free_frames_ -= n;
+  }
+
+  /// Bind one frame for a landing page (accounting already done by
+  /// reserve()): recycled frames LIFO first, then fresh frames in order.
+  [[nodiscard]] FrameId allocate() {
+    if (!recycled_.empty()) {
+      const FrameId f = recycled_.back();
+      recycled_.pop_back();
+      return f;
+    }
+    assert(next_frame_ < capacity_);
+    return next_frame_++;
+  }
+
+  /// Return an evicted page's frame to the pool.
+  void release(FrameId f) {
+    recycled_.push_back(f);
+    ++free_frames_;
+    evictions_seen_ = true;
+  }
+
+ private:
+  u64 capacity_;
+  u64 watermark_pages_;
+  u64 free_frames_;
+  FrameId next_frame_ = 0;
+  std::vector<FrameId> recycled_;
+  bool evictions_seen_ = false;
+};
+
+}  // namespace uvmsim

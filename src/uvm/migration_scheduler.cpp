@@ -1,0 +1,111 @@
+#include "uvm/migration_scheduler.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace uvmsim {
+
+MigrationScheduler::MigrationScheduler(EventQueue& eq, const SystemConfig& sys,
+                                       const PolicyConfig& pol,
+                                       FramePool& frames, PageTable& pt,
+                                       ChunkChain& chain, DriverStats& stats)
+    : eq_(eq),
+      frames_(frames),
+      pt_(pt),
+      chain_(chain),
+      stats_(stats),
+      h2d_(sys.pcie_page_cycles()),
+      fault_latency_cycles_(sys.fault_latency_cycles()),
+      evict_service_cycles_(sys.evict_service_cycles()),
+      fault_batch_(std::max(1u, pol.fault_batch)),
+      max_concurrent_migrations_(std::max(1u, pol.driver_concurrency)) {}
+
+void MigrationScheduler::merge_plan(std::vector<PageId>& merged,
+                                    const std::vector<PageId>& plan) {
+  for (const PageId p : plan) {
+    if (std::find(merged.begin(), merged.end(), p) == merged.end())
+      merged.push_back(p);
+  }
+}
+
+void MigrationScheduler::dispatch(MigrationBatch&& m, u64 demand_evictions) {
+  // The 20 us fault service happens first (driver round trips and page-table
+  // manipulation), lengthened by any eviction work that had to run
+  // synchronously on this batch's critical path (pre-eviction exists to keep
+  // demand_evictions at zero), then the pages occupy the H2D link.
+  const Cycle service_done = eq_.now() + fault_latency_cycles_ +
+                             demand_evictions * evict_service_cycles_;
+  const Cycle transfer_done = h2d_.reserve(service_done, m.pages.size());
+  record_event(rec_, EventType::kMigrationPlanned, m.lead, m.pages.size(),
+               transfer_done - service_done);
+  eq_.schedule_at(transfer_done, [this, mig = std::move(m)]() mutable {
+    complete(std::move(mig));
+  });
+}
+
+void MigrationScheduler::complete(MigrationBatch m) {
+  assert(policy_ != nullptr);
+  for (const PageId page : m.pages) {
+    // Bind a physical frame (accounting was done at service time).
+    pt_.map(page, frames_.allocate());
+
+    const ChunkId c = chunk_of_page(page);
+    ChunkEntry* e = chain_.find(c);
+    if (e == nullptr) {
+      const bool at_head = policy_->insert_position(c) == InsertPosition::kHead;
+      e = &chain_.insert(c, at_head);
+      policy_->on_chunk_inserted(*e);
+    }
+    const u32 idx = page_index_in_chunk(page);
+    e->resident.set(idx);
+    ++e->hpe_counter;  // HPE's counter counts *migrated* pages — the
+                       // prefetch pollution the paper's Inefficiency 1 describes
+
+    // Wake any warps that faulted on this page; their presence marks the
+    // page as demanded (touched) rather than purely prefetched.
+    if (auto node = inflight_.extract(page);
+        !node.empty() && !node.mapped().waiters.empty()) {
+      e->touched.set(idx);
+      e->last_touch_interval = chain_.current_interval();
+      ++stats_.pages_demanded;
+      if (node.mapped().faulted)
+        stats_.fault_wait_cycles += eq_.now() - node.mapped().raised_at;
+      policy_->on_page_touched(*e, idx);
+      for (auto& wake : node.mapped().waiters) wake();
+    } else {
+      ++stats_.pages_prefetched;
+    }
+  }
+  stats_.pages_migrated_in += m.pages.size();
+
+  // Release service-time pins.
+  for (const ChunkId c : m.pinned) {
+    ChunkEntry& e = chain_.entry(c);  // pinned chunks cannot have been evicted
+    assert(e.pin_count > 0);
+    --e.pin_count;
+  }
+
+  // Advance the interval clock by migrated pages (64 pages = 4 chunks per
+  // interval with whole-chunk prefetch, matching §IV-B). A batch larger than
+  // one interval crosses several boundaries at once (a 512-page tree-
+  // prefetch plan crosses 8): the policy's per-interval work (threshold
+  // checks, accumulator resets) must run once per boundary, not once per
+  // batch.
+  const u64 crossed = chain_.note_pages_migrated(m.pages.size());
+  for (u64 i = 0; i < crossed; ++i) {
+    record_event(rec_, EventType::kIntervalBoundary,
+                 chain_.current_interval() - crossed + i + 1,
+                 chain_.pages_migrated());
+    policy_->on_interval_boundary();
+  }
+
+  if (fault_batch_ > 1)
+    record_event(rec_, EventType::kBatchServiced, m.lead, m.faults,
+                 (eq_.now() - m.formed_at) / std::max<u64>(1, m.faults));
+
+  // Driver facade: pre-evict ahead of the next fault, release the slot and
+  // admit the next batch.
+  hook_();
+}
+
+}  // namespace uvmsim

@@ -46,6 +46,16 @@ TEST(Runner, SingleThreadMatchesMultiThread) {
   }
 }
 
+// An exception escaping a worker thread would std::terminate the whole
+// process; run_sweep must capture per-experiment exceptions and rethrow the
+// first (in spec order) on the calling thread after the workers join.
+TEST(Runner, WorkerExceptionPropagatesInsteadOfTerminating) {
+  auto specs = small_sweep();
+  specs[1].trace_out = "/nonexistent-dir-uvmsim/trace.jsonl";  // unopenable
+  EXPECT_THROW(run_sweep(specs, 4), std::runtime_error);
+  EXPECT_THROW(run_sweep(specs, 1), std::runtime_error);
+}
+
 TEST(Runner, EmptySweepIsFine) {
   EXPECT_TRUE(run_sweep({}).empty());
 }

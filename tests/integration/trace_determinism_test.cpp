@@ -25,9 +25,10 @@ struct TracedRun {
   RunResult result;
 };
 
-TracedRun traced_run(const std::string& abbr, double oversub) {
+TracedRun traced_run(const std::string& abbr, double oversub,
+                     const PolicyConfig& pol = presets::cppe()) {
   const auto wl = make_benchmark(abbr);
-  UvmSystem sys(SystemConfig{}, presets::cppe(), *wl, oversub);
+  UvmSystem sys(SystemConfig{}, pol, *wl, oversub);
   std::ostringstream os;
   JsonlSink jsonl(os);
   RingSink ring(1u << 20);
@@ -78,17 +79,35 @@ TEST(TraceDeterminism, SameSeedSameResult) {
 
 // An oversubscribed CPPE run exercises the entire fault lifecycle, so every
 // event type must appear at least once — a type that stops firing means an
-// instrumentation point was lost.
+// instrumentation point was lost. The two batched-service events are gated
+// on fault_batch > 1 (so classic window=1 traces stay byte-identical) and
+// are covered by a second, batched run.
 TEST(TraceDeterminism, OversubscribedRunCoversAllEventTypes) {
   const TracedRun r = traced_run("NW", 0.5);
   std::set<EventType> seen;
   for (const TraceEvent& e : r.events) seen.insert(e.type);
   for (u32 i = 0; i < kNumEventTypes; ++i) {
-    EXPECT_TRUE(seen.contains(static_cast<EventType>(i)))
-        << "event type never emitted: " << to_string(static_cast<EventType>(i));
+    const auto t = static_cast<EventType>(i);
+    if (t == EventType::kFaultBatchFormed || t == EventType::kBatchServiced) {
+      EXPECT_FALSE(seen.contains(t))
+          << "batch event emitted by a window=1 run: " << to_string(t);
+      continue;
+    }
+    EXPECT_TRUE(seen.contains(t))
+        << "event type never emitted: " << to_string(t);
   }
   // The recorder's own count matches what the sinks saw.
   EXPECT_EQ(r.result.trace_events_recorded, r.events.size());
+
+  // A narrow driver (one slot) with a wide batch window keeps a backlog, so
+  // batches form and both gated event types must fire.
+  PolicyConfig batched = presets::with_fault_batch(presets::cppe(), 4);
+  batched.driver_concurrency = 1;
+  const TracedRun rb = traced_run("NW", 0.5, batched);
+  std::set<EventType> seen_batched;
+  for (const TraceEvent& e : rb.events) seen_batched.insert(e.type);
+  EXPECT_TRUE(seen_batched.contains(EventType::kFaultBatchFormed));
+  EXPECT_TRUE(seen_batched.contains(EventType::kBatchServiced));
 }
 
 // Interval metrics are a pure fold of the event stream, so they inherit its

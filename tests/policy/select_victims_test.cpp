@@ -1,0 +1,143 @@
+// select_victims(): the batched victim-selection API the EvictionEngine
+// drives. Contract (policy/eviction_policy.hpp): up to n distinct unpinned
+// chunks, best victim first, side-effect free. LRU and FIFO override it
+// with a single chain scan that must reproduce the exact victim sequence of
+// repeated single selections; every other policy keeps the default
+// one-victim forward so per-eviction state (Random's RNG draw, MHPE's
+// forwarded search) is consulted once per actual eviction.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/config.hpp"
+#include "policy/fifo.hpp"
+#include "policy/hpe.hpp"
+#include "policy/lru.hpp"
+#include "policy/mhpe.hpp"
+#include "policy/random.hpp"
+#include "policy/reserved_lru.hpp"
+
+namespace uvmsim {
+namespace {
+
+/// A chain with chunks 0..n-1 inserted in order (head = LRU = chunk 0).
+ChunkChain make_chain(u32 n) {
+  ChunkChain chain;
+  for (ChunkId c = 0; c < n; ++c) chain.insert(c);
+  return chain;
+}
+
+TEST(SelectVictims, LruReturnsHeadRunInOrder) {
+  ChunkChain chain = make_chain(5);
+  chain.entry(1).pin_count = 1;  // pinned chunks must be skipped
+  LruPolicy lru(chain);
+  EXPECT_EQ(lru.select_victims(3), (std::vector<ChunkId>{0, 2, 3}));
+}
+
+TEST(SelectVictims, LruClampsToAvailableUnpinned) {
+  ChunkChain chain = make_chain(4);
+  chain.entry(0).pin_count = 2;
+  LruPolicy lru(chain);
+  EXPECT_EQ(lru.select_victims(100), (std::vector<ChunkId>{1, 2, 3}));
+}
+
+TEST(SelectVictims, AllPinnedYieldsEmpty) {
+  ChunkChain chain = make_chain(3);
+  for (ChunkId c = 0; c < 3; ++c) chain.entry(c).pin_count = 1;
+  LruPolicy lru(chain);
+  EXPECT_TRUE(lru.select_victims(2).empty());
+}
+
+TEST(SelectVictims, ZeroRequestYieldsEmpty) {
+  ChunkChain chain = make_chain(3);
+  LruPolicy lru(chain);
+  FifoPolicy fifo(chain);
+  RandomPolicy random(chain, 7);
+  EXPECT_TRUE(lru.select_victims(0).empty());
+  EXPECT_TRUE(fifo.select_victims(0).empty());
+  EXPECT_TRUE(random.select_victims(0).empty());
+}
+
+// The batched scan must yield exactly the sequence n single selections
+// would, given that the engine erases each victim before asking again.
+TEST(SelectVictims, LruBatchMatchesIteratedSingleSelection) {
+  ChunkChain batched = make_chain(6);
+  batched.entry(2).pin_count = 1;
+  LruPolicy lru_batched(batched);
+  const std::vector<ChunkId> batch = lru_batched.select_victims(4);
+
+  ChunkChain single = make_chain(6);
+  single.entry(2).pin_count = 1;
+  LruPolicy lru_single(single);
+  std::vector<ChunkId> iterated;
+  for (int i = 0; i < 4; ++i) {
+    const ChunkId v = lru_single.select_victim();
+    ASSERT_NE(v, kInvalidChunk);
+    iterated.push_back(v);
+    single.erase(v);
+  }
+  EXPECT_EQ(batch, iterated);
+}
+
+TEST(SelectVictims, FifoBatchMatchesIteratedSingleSelection) {
+  ChunkChain batched = make_chain(5);
+  batched.entry(0).pin_count = 1;
+  FifoPolicy fifo_batched(batched);
+  const std::vector<ChunkId> batch = fifo_batched.select_victims(3);
+
+  ChunkChain single = make_chain(5);
+  single.entry(0).pin_count = 1;
+  FifoPolicy fifo_single(single);
+  std::vector<ChunkId> iterated;
+  for (int i = 0; i < 3; ++i) {
+    const ChunkId v = fifo_single.select_victim();
+    ASSERT_NE(v, kInvalidChunk);
+    iterated.push_back(v);
+    single.erase(v);
+  }
+  EXPECT_EQ(batch, iterated);
+}
+
+// Selection must not mutate policy or chain state: two consecutive calls
+// with no eviction in between see the same world and give the same answer.
+TEST(SelectVictims, SelectionIsSideEffectFreeForChainScans) {
+  ChunkChain chain = make_chain(6);
+  chain.entry(3).pin_count = 1;
+  LruPolicy lru(chain);
+  const auto first = lru.select_victims(4);
+  const auto second = lru.select_victims(4);
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(chain.size(), 6u);
+}
+
+// Policies with per-eviction state keep the default single-victim forward:
+// select_victims(n) on one instance equals {select_victim()} on an
+// identically-constructed twin, no matter how large n is.
+TEST(SelectVictims, StatefulPoliciesDefaultToSingleVictim) {
+  PolicyConfig cfg;
+
+  {
+    ChunkChain a = make_chain(8), b = make_chain(8);
+    RandomPolicy pa(a, cfg.seed), pb(b, cfg.seed);
+    EXPECT_EQ(pa.select_victims(5), std::vector<ChunkId>{pb.select_victim()});
+  }
+  {
+    ChunkChain a = make_chain(8), b = make_chain(8);
+    ReservedLruPolicy pa(a, 0.25), pb(b, 0.25);
+    EXPECT_EQ(pa.select_victims(5), std::vector<ChunkId>{pb.select_victim()});
+  }
+  {
+    ChunkChain a = make_chain(8), b = make_chain(8);
+    HpePolicy pa(a, cfg), pb(b, cfg);
+    EXPECT_EQ(pa.select_victims(5), std::vector<ChunkId>{pb.select_victim()});
+  }
+  {
+    ChunkChain a = make_chain(8), b = make_chain(8);
+    MhpePolicy pa(a, cfg), pb(b, cfg);
+    EXPECT_EQ(pa.select_victims(5), std::vector<ChunkId>{pb.select_victim()});
+  }
+}
+
+}  // namespace
+}  // namespace uvmsim

@@ -1,0 +1,86 @@
+// FramePool: frame hand-out order, reserve/release accounting, and the live
+// "memory full" definition that replaced the driver's old sticky
+// chunks-evicted flag (ISSUE satellite: memory_full() conflated "an
+// eviction ever happened" with current pressure).
+#include "uvm/frame_pool.hpp"
+
+#include <gtest/gtest.h>
+
+namespace uvmsim {
+namespace {
+
+TEST(FramePool, HandsOutFreshFramesInAscendingOrder) {
+  FramePool pool(64, 0);
+  pool.reserve(3);
+  EXPECT_EQ(pool.allocate(), 0u);
+  EXPECT_EQ(pool.allocate(), 1u);
+  EXPECT_EQ(pool.allocate(), 2u);
+  EXPECT_EQ(pool.free_frames(), 61u);
+}
+
+TEST(FramePool, RecyclesReleasedFramesLifoBeforeFreshOnes) {
+  FramePool pool(64, 0);
+  pool.reserve(2);
+  const FrameId a = pool.allocate();
+  const FrameId b = pool.allocate();
+  pool.release(a);
+  pool.release(b);
+  EXPECT_EQ(pool.free_frames(), 64u);
+  pool.reserve(3);
+  EXPECT_EQ(pool.allocate(), b);  // LIFO: most recently released first
+  EXPECT_EQ(pool.allocate(), a);
+  EXPECT_EQ(pool.allocate(), 2u);  // then the next never-used frame
+}
+
+TEST(FramePool, ReserveTracksAdmissionBeforeFramesAreBound) {
+  FramePool pool(32, 0);
+  pool.reserve(32);
+  EXPECT_EQ(pool.free_frames(), 0u);
+  // Accounting is split from binding: all 32 frames are still allocatable.
+  for (u64 i = 0; i < 32; ++i) (void)pool.allocate();
+}
+
+// Before the first eviction the watermark is not yet maintained, so
+// pressure keys only on whole-chunk headroom: the fill phase of an
+// oversubscribed run is not "full" until free frames dip below one chunk.
+TEST(FramePool, FillPhasePressureIgnoresWatermark) {
+  FramePool pool(64, 16);
+  EXPECT_FALSE(pool.under_pressure());
+  pool.reserve(48);  // free = 16: one chunk still fits
+  EXPECT_FALSE(pool.under_pressure());
+  pool.reserve(1);  // free = 15: a whole-chunk migration no longer fits
+  EXPECT_TRUE(pool.under_pressure());
+}
+
+// Once eviction begins, the pre-eviction headroom counts as claimed: the
+// driver keeps `watermark` frames free on purpose, so they must not make
+// memory look comfortable.
+TEST(FramePool, AfterEvictionPressureIncludesWatermarkHeadroom) {
+  FramePool pool(64, 16);
+  pool.reserve(64);
+  for (u64 i = 0; i < 64; ++i) (void)pool.allocate();
+  EXPECT_TRUE(pool.under_pressure());
+  for (FrameId f = 0; f < 16; ++f) pool.release(f);  // evict one chunk
+  // free = 16 < 16 (chunk) + 16 (watermark): still under pressure.
+  EXPECT_TRUE(pool.evictions_seen());
+  EXPECT_TRUE(pool.under_pressure());
+}
+
+// The satellite fix itself: the old rule (`chunks_evicted > 0 || free <
+// kChunkPages`) latched "full" forever after the first eviction. Pressure
+// is now live — if frames free back up past chunk + watermark headroom,
+// the pool stops reporting pressure even though evictions happened.
+TEST(FramePool, PressureClearsWhenFramesFreeBackUp) {
+  FramePool pool(64, 16);
+  pool.reserve(64);
+  for (u64 i = 0; i < 64; ++i) (void)pool.allocate();
+  for (FrameId f = 0; f < 32; ++f) pool.release(f);  // two chunks freed
+  EXPECT_TRUE(pool.evictions_seen());
+  // free = 32 >= 16 + 16: a chunk fits beyond the watermark headroom.
+  EXPECT_FALSE(pool.under_pressure());
+  pool.reserve(1);
+  EXPECT_TRUE(pool.under_pressure());  // and returns as soon as it is spent
+}
+
+}  // namespace
+}  // namespace uvmsim

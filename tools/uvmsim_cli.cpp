@@ -121,6 +121,8 @@ int main(int argc, char** argv) {
   cli.add_option("t2", "MHPE first-four-intervals switch threshold", "40");
   cli.add_option("t3", "MHPE forward-distance limit", "32");
   cli.add_option("interval", "interval length in migrated pages", "64");
+  cli.add_option("fault-batch",
+                 "pending faults drained per driver wakeup (1 = classic)", "1");
   cli.add_option("sms", "number of SMs", "28");
   cli.add_option("warps", "warps per SM", "8");
   cli.add_option("seed", "experiment seed", "24301");
@@ -163,6 +165,12 @@ int main(int argc, char** argv) {
   pol.pattern_buffer_entries = static_cast<u32>(cli.get_int("pattern-capacity"));
   pol.seed = static_cast<u64>(cli.get_int("seed"));
   pol.prefetch_when_full = !cli.get_flag("no-prefetch-when-full");
+  const long long fault_batch = cli.get_int("fault-batch");
+  if (fault_batch < 1) {
+    std::cerr << "--fault-batch must be >= 1\n";
+    return 2;
+  }
+  pol.fault_batch = static_cast<u32>(fault_batch);
 
   const auto event_mask = parse_event_mask(cli.get("trace-events"));
   if (!event_mask) {
