@@ -25,7 +25,7 @@ echo "trace OK: $(wc -l < "$TRACE_DIR/a.jsonl") events, byte-identical rerun"
 echo
 echo "== bench binaries =="
 for b in "$BUILD"/bench/*; do
-  [ -x "$b" ] || continue
+  [ -f "$b" ] && [ -x "$b" ] || continue  # skip CMakeFiles/ etc.
   echo "--- $(basename "$b") ---"
   "$b"
 done

@@ -40,6 +40,13 @@ inline constexpr u64 kChunkBytes = kPageBytes * kChunkPages;  ///< 64 KB
 inline constexpr PageId kInvalidPage = std::numeric_limits<PageId>::max();
 inline constexpr ChunkId kInvalidChunk = std::numeric_limits<ChunkId>::max();
 
+/// Identity of one tenant (co-scheduled workload) in a multi-tenant run.
+/// Single-tenant simulations use kNoTenant throughout: every tenant-aware
+/// component treats kNoTenant as "tenancy off" and behaves exactly as the
+/// single-workload simulator (see src/tenancy/tenant.hpp).
+using TenantId = u32;
+inline constexpr TenantId kNoTenant = std::numeric_limits<TenantId>::max();
+
 [[nodiscard]] constexpr PageId page_of(VirtAddr a) noexcept { return a >> kPageShift; }
 [[nodiscard]] constexpr ChunkId chunk_of_page(PageId p) noexcept { return p >> kChunkPageShift; }
 [[nodiscard]] constexpr ChunkId chunk_of(VirtAddr a) noexcept { return chunk_of_page(page_of(a)); }

@@ -21,10 +21,25 @@
 #include "gpu/gpu.hpp"
 #include "obs/flight_recorder.hpp"
 #include "sim/event_queue.hpp"
+#include "tenancy/tenant.hpp"
 #include "uvm/driver.hpp"
 #include "workloads/workload.hpp"
 
 namespace uvmsim {
+
+/// Per-tenant slice of a multi-tenant run (tenancy/multi_tenant_system.hpp).
+struct TenantRunResult {
+  TenantId id = kNoTenant;
+  std::string workload;          ///< workload abbreviation
+  u64 footprint_pages = 0;
+  u64 quota_frames = 0;          ///< 0 in shared mode (no quotas computed)
+  Cycle finish_cycle = 0;        ///< when this tenant's warps all finished
+  bool completed = false;
+  TenantStats stats;
+  /// finish_cycle / this workload's solo finish under the same policy and
+  /// per-tenant capacity; 0 when no solo baseline was run.
+  double slowdown_vs_solo = 0.0;
+};
 
 struct RunResult {
   std::string workload;
@@ -61,6 +76,12 @@ struct RunResult {
 
   std::size_t final_chain_length = 0;
   std::size_t wrong_buffer_capacity = 0;
+
+  // Multi-tenant runs only (empty vector otherwise): per-tenant slices and
+  // the run-level fairness summary (tenancy/fairness.hpp).
+  std::string tenant_mode;            ///< "", or shared|partitioned|quota
+  std::vector<TenantRunResult> tenants;
+  double jain_fairness = 0.0;         ///< Jain's index over 1/slowdown; 0 = n/a
 
   [[nodiscard]] double speedup_vs(const RunResult& baseline) const {
     return cycles == 0 ? 0.0

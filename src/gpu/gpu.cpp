@@ -13,7 +13,9 @@ Gpu::Gpu(EventQueue& eq, const SystemConfig& cfg, UvmDriver& driver,
       l2_tlb_("L2TLB", cfg.l2_tlb_entries, cfg.l2_tlb_ways, cfg.l2_tlb_latency,
               cfg.l2_tlb_ports),
       l2_cache_(cfg.l2_cache_bytes / cfg.cache_line_bytes, cfg.l2_cache_ways),
-      walker_(eq, driver.page_table(), cfg),
+      // Bind the walker to the member copy, not the ctor argument: callers
+      // may pass a temporary config (multi-tenant SM slices do).
+      walker_(eq, driver.page_table(), cfg_),
       lines_per_page_(static_cast<u32>(kPageBytes) / cfg.cache_line_bytes) {
   SplitMix64 seeder(seed);
   sms_.resize(cfg.num_sms);
@@ -39,8 +41,10 @@ Gpu::Gpu(EventQueue& eq, const SystemConfig& cfg, UvmDriver& driver,
   // physically-indexed cache lines of the departing frame. The driver's
   // EvictionEngine (uvm/eviction_engine.hpp) invokes this synchronously,
   // once per evicted page, before the page's frame is recycled — so the
-  // frame number still uniquely identifies the departing lines.
-  driver_.set_shootdown_handler([this](PageId p, FrameId f) {
+  // frame number still uniquely identifies the departing lines. Registered
+  // additively: multi-tenant runs share one driver across several Gpu
+  // instances, and every one must observe every shootdown.
+  driver_.add_shootdown_handler([this](PageId p, FrameId f) {
     l2_tlb_.invalidate(p);
     for (auto& sm : sms_) sm.l1_tlb->invalidate(p);
     for (u32 line = 0; line < lines_per_page_; ++line) {

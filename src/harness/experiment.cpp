@@ -1,14 +1,64 @@
 #include "harness/experiment.hpp"
 
 #include <fstream>
+#include <memory>
 #include <stdexcept>
+#include <vector>
 
 #include "obs/trace_sink.hpp"
+#include "tenancy/fairness.hpp"
+#include "tenancy/multi_tenant_system.hpp"
 #include "workloads/benchmarks.hpp"
 
 namespace uvmsim {
 
+namespace {
+
+// Multi-tenant experiments build a MultiTenantSystem over the shared driver
+// stack. Solo baselines (one UvmSystem per tenant, same SM slice, same
+// oversubscription) fill in slowdown_vs_solo and the Jain index; they are
+// independent deterministic runs, so the whole experiment stays reproducible.
+LabelledResult run_multi_tenant(const ExperimentSpec& spec) {
+  std::vector<std::unique_ptr<Workload>> workloads;
+  std::vector<const Workload*> ptrs;
+  for (const std::string& abbr : spec.tenants) {
+    workloads.push_back(make_benchmark(abbr));
+    ptrs.push_back(workloads.back().get());
+  }
+
+  MultiTenantSystem system(spec.system, spec.policy, ptrs, spec.oversub,
+                           spec.tenant_mode, spec.tenant_scope);
+
+  std::ofstream trace_file;
+  std::unique_ptr<JsonlSink> trace_sink;
+  if (!spec.trace_out.empty()) {
+    trace_file.open(spec.trace_out);
+    if (!trace_file) throw std::runtime_error("cannot open trace file: " + spec.trace_out);
+    trace_sink = std::make_unique<JsonlSink>(trace_file);
+    system.recorder().set_event_mask(spec.trace_event_mask);
+    system.recorder().add_sink(trace_sink.get());
+  }
+
+  LabelledResult out{spec, system.run(spec.max_cycles)};
+
+  if (spec.tenant_solo_baselines) {
+    SystemConfig solo_cfg = spec.system;
+    solo_cfg.num_sms = system.sms_per_tenant();
+    std::vector<Cycle> solo_cycles;
+    for (const Workload* w : ptrs) {
+      UvmSystem solo(solo_cfg, spec.policy, *w, spec.oversub);
+      solo_cycles.push_back(solo.run(spec.max_cycles).cycles);
+    }
+    apply_solo_baselines(out.result, solo_cycles);
+  }
+  return out;
+}
+
+}  // namespace
+
 LabelledResult run_experiment(const ExperimentSpec& spec) {
+  if (spec.tenants.size() >= 2) return run_multi_tenant(spec);
+
   const auto workload = make_benchmark(spec.workload);
   UvmSystem system(spec.system, spec.policy, *workload, spec.oversub);
 

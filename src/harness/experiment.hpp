@@ -5,9 +5,11 @@
 
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "common/config.hpp"
 #include "core/uvm_system.hpp"
+#include "tenancy/tenant.hpp"
 
 namespace uvmsim {
 
@@ -18,6 +20,17 @@ struct ExperimentSpec {
   double oversub = 0.5;       ///< fraction of footprint that fits (0.75 / 0.5)
   SystemConfig system;
   Cycle max_cycles = 20'000'000'000ull;  ///< runaway-simulation safety net
+
+  // --- Multi-tenancy (src/tenancy) -----------------------------------------
+  /// Two or more workload abbreviations switch the experiment to a
+  /// MultiTenantSystem run (`workload` above is then ignored for
+  /// construction and only used as a display fallback).
+  std::vector<std::string> tenants;
+  TenantMode tenant_mode = TenantMode::kShared;
+  EvictionScope tenant_scope = EvictionScope::kGlobal;
+  /// Run each tenant's workload solo (same per-tenant SM slice, same
+  /// oversubscription) to fill slowdown_vs_solo and the Jain index.
+  bool tenant_solo_baselines = true;
 
   // --- Observability hooks (src/obs) ---------------------------------------
   /// When non-empty, the run's full event stream is written here as JSONL

@@ -76,6 +76,40 @@ void write_csv(std::ostream& os, const std::vector<LabelledResult>& results) {
   if (!os) throw std::runtime_error("results: CSV write failed");
 }
 
+std::string tenant_csv_header() {
+  return "workload,label,eviction,prefetcher,oversub,tenant_mode,tenant,"
+         "tenant_workload,footprint_pages,quota_frames,finish_cycle,completed,"
+         "slowdown_vs_solo,jain_fairness,page_faults,faults_coalesced,"
+         "pages_in,pages_demanded,pages_prefetched,pages_evicted,"
+         "chunks_evicted,evicted_by_self,evicted_by_others,"
+         "evictions_of_others,fault_wait_cycles";
+}
+
+void write_tenant_csv(std::ostream& os,
+                      const std::vector<LabelledResult>& results) {
+  os << tenant_csv_header() << '\n';
+  for (const auto& r : results) {
+    const RunResult& x = r.result;
+    for (const TenantRunResult& t : x.tenants) {
+      os << escape_csv(x.workload) << ',' << escape_csv(r.spec.label) << ','
+         << escape_csv(x.eviction_name) << ','
+         << escape_csv(x.prefetcher_name) << ',' << x.oversub << ','
+         << escape_csv(x.tenant_mode) << ',' << t.id << ','
+         << escape_csv(t.workload) << ',' << t.footprint_pages << ','
+         << t.quota_frames << ',' << t.finish_cycle << ','
+         << (t.completed ? 1 : 0) << ',' << t.slowdown_vs_solo << ','
+         << x.jain_fairness << ',' << t.stats.page_faults << ','
+         << t.stats.faults_coalesced << ',' << t.stats.pages_migrated_in << ','
+         << t.stats.pages_demanded << ',' << t.stats.pages_prefetched << ','
+         << t.stats.pages_evicted << ',' << t.stats.chunks_evicted << ','
+         << t.stats.evicted_by_self << ',' << t.stats.evicted_by_others << ','
+         << t.stats.evictions_of_others << ',' << t.stats.fault_wait_cycles
+         << '\n';
+    }
+  }
+  if (!os) throw std::runtime_error("results: tenant CSV write failed");
+}
+
 void write_json(std::ostream& os, const std::vector<LabelledResult>& results) {
   os << "[\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
@@ -93,8 +127,34 @@ void write_json(std::ostream& os, const std::vector<LabelledResult>& results) {
        << "\"pages_in\":" << x.driver.pages_migrated_in << ','
        << "\"pages_evicted\":" << x.driver.pages_evicted << ','
        << "\"mhpe_switched_to_lru\":" << (x.mhpe_switched_to_lru ? "true" : "false") << ','
-       << "\"pattern_matches\":" << x.pattern_matches
-       << "}" << (i + 1 < results.size() ? "," : "") << '\n';
+       << "\"pattern_matches\":" << x.pattern_matches;
+    // Multi-tenant extension: keys only appear when tenants exist, so
+    // single-tenant JSON stays byte-identical to the pre-tenancy format.
+    if (!x.tenants.empty()) {
+      os << ",\"tenant_mode\":\"" << escape_json(x.tenant_mode) << "\","
+         << "\"jain_fairness\":" << x.jain_fairness << ','
+         << "\"tenants\":[";
+      for (std::size_t t = 0; t < x.tenants.size(); ++t) {
+        const TenantRunResult& tr = x.tenants[t];
+        os << (t ? "," : "") << "{"
+           << "\"id\":" << tr.id << ','
+           << "\"workload\":\"" << escape_json(tr.workload) << "\","
+           << "\"footprint_pages\":" << tr.footprint_pages << ','
+           << "\"quota_frames\":" << tr.quota_frames << ','
+           << "\"finish_cycle\":" << tr.finish_cycle << ','
+           << "\"completed\":" << (tr.completed ? "true" : "false") << ','
+           << "\"slowdown_vs_solo\":" << tr.slowdown_vs_solo << ','
+           << "\"page_faults\":" << tr.stats.page_faults << ','
+           << "\"pages_in\":" << tr.stats.pages_migrated_in << ','
+           << "\"pages_evicted\":" << tr.stats.pages_evicted << ','
+           << "\"evicted_by_self\":" << tr.stats.evicted_by_self << ','
+           << "\"evicted_by_others\":" << tr.stats.evicted_by_others << ','
+           << "\"evictions_of_others\":" << tr.stats.evictions_of_others
+           << "}";
+      }
+      os << "]";
+    }
+    os << "}" << (i + 1 < results.size() ? "," : "") << '\n';
   }
   os << "]\n";
   if (!os) throw std::runtime_error("results: JSON write failed");
@@ -110,6 +170,13 @@ void save_json(const std::string& path, const std::vector<LabelledResult>& resul
   std::ofstream os(path);
   if (!os) throw std::runtime_error("results: cannot open " + path);
   write_json(os, results);
+}
+
+void save_tenant_csv(const std::string& path,
+                     const std::vector<LabelledResult>& results) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("results: cannot open " + path);
+  write_tenant_csv(os, results);
 }
 
 }  // namespace uvmsim

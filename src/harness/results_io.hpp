@@ -21,11 +21,22 @@ void write_csv(std::ostream& os, const std::vector<LabelledResult>& results);
 
 /// JSON array of result objects. Only simulator-generated strings are
 /// emitted (workload abbreviations, policy names), but they are escaped
-/// anyway so arbitrary labels are safe.
+/// anyway so arbitrary labels are safe. Multi-tenant results additionally
+/// carry "tenant_mode", "jain_fairness" and a "tenants" array; those keys
+/// are omitted entirely for single-tenant results, keeping their output
+/// byte-identical to earlier versions.
 void write_json(std::ostream& os, const std::vector<LabelledResult>& results);
+
+/// Per-tenant CSV: one row per (experiment, tenant). Single-tenant results
+/// contribute no rows. Column order matches tenant_csv_header().
+[[nodiscard]] std::string tenant_csv_header();
+void write_tenant_csv(std::ostream& os,
+                      const std::vector<LabelledResult>& results);
 
 /// File-path conveniences; throw std::runtime_error on I/O failure.
 void save_csv(const std::string& path, const std::vector<LabelledResult>& results);
 void save_json(const std::string& path, const std::vector<LabelledResult>& results);
+void save_tenant_csv(const std::string& path,
+                     const std::vector<LabelledResult>& results);
 
 }  // namespace uvmsim

@@ -14,6 +14,7 @@
 
 #include "obs/trace_sink.hpp"
 #include "sim/event_queue.hpp"
+#include "tenancy/tenant.hpp"
 
 namespace uvmsim {
 
@@ -36,9 +37,24 @@ class FlightRecorder {
     return !sinks_.empty() && (mask_ & event_bit(t)) != 0;
   }
 
-  void record(EventType t, u64 a = 0, u64 b = 0, u64 c = 0) {
+  /// Attach the tenant table for multi-tenant runs: events whose payload
+  /// carries a page or chunk are stamped with the owning tenant
+  /// automatically; global events (no page/chunk key) are stamped only via
+  /// the explicit `tenant` argument. Never attached in single-tenant runs,
+  /// so every event keeps tenant == kNoTenant and the JSONL is unchanged.
+  void set_tenant_table(const TenantTable* table) noexcept { tenants_ = table; }
+
+  void record(EventType t, u64 a = 0, u64 b = 0, u64 c = 0,
+              TenantId tenant = kNoTenant) {
     if (!wants(t)) return;
-    const TraceEvent e{eq_->now(), t, a, b, c};
+    TraceEvent e{eq_->now(), t, a, b, c, tenant};
+    if (tenants_ != nullptr && e.tenant == kNoTenant) {
+      switch (tenant_key_kind(t)) {
+        case TenantKeyKind::kPage: e.tenant = tenants_->tenant_of_page(a); break;
+        case TenantKeyKind::kChunk: e.tenant = tenants_->tenant_of_chunk(a); break;
+        case TenantKeyKind::kNone: break;
+      }
+    }
     for (TraceSink* s : sinks_) s->emit(e);
     ++recorded_;
   }
@@ -52,6 +68,7 @@ class FlightRecorder {
  private:
   const EventQueue* eq_;
   std::vector<TraceSink*> sinks_;
+  const TenantTable* tenants_ = nullptr;
   u32 mask_ = kAllEventsMask;
   u64 recorded_ = 0;
 };
@@ -61,6 +78,13 @@ class FlightRecorder {
 inline void record_event(FlightRecorder* rec, EventType t, u64 a = 0, u64 b = 0,
                          u64 c = 0) {
   if (rec != nullptr) rec->record(t, a, b, c);
+}
+
+/// Explicit-tenant emit for global events (interval boundaries,
+/// pre-eviction) whose payload carries no page/chunk to derive it from.
+inline void record_event_for(FlightRecorder* rec, TenantId tenant, EventType t,
+                             u64 a = 0, u64 b = 0, u64 c = 0) {
+  if (rec != nullptr) rec->record(t, a, b, c, tenant);
 }
 
 }  // namespace uvmsim

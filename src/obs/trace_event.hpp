@@ -50,9 +50,40 @@ struct TraceEvent {
   u64 a = 0;
   u64 b = 0;
   u64 c = 0;
+  /// Owning tenant in multi-tenant runs; kNoTenant in single-tenant runs,
+  /// where the JSONL field is omitted entirely (traces stay byte-identical,
+  /// so the field is additive within schema v1).
+  TenantId tenant = kNoTenant;
 
   friend constexpr bool operator==(const TraceEvent&, const TraceEvent&) = default;
 };
+
+/// How a tenant id can be derived from an event's payload: from the page in
+/// `a`, from the chunk in `a`, or not at all (global events — the recorder
+/// stamps those only when the emitter passes the tenant explicitly).
+enum class TenantKeyKind : u8 { kNone, kPage, kChunk };
+
+[[nodiscard]] constexpr TenantKeyKind tenant_key_kind(EventType t) noexcept {
+  switch (t) {
+    case EventType::kFaultRaised:
+    case EventType::kFaultCoalesced:
+    case EventType::kMigrationPlanned:
+    case EventType::kShootdownIssued:
+    case EventType::kFaultBatchFormed:
+    case EventType::kBatchServiced:
+      return TenantKeyKind::kPage;
+    case EventType::kEvictionChosen:
+    case EventType::kWrongEvictionDetected:
+    case EventType::kPatternHit:
+    case EventType::kPatternMiss:
+    case EventType::kPatternDeleted:
+      return TenantKeyKind::kChunk;
+    case EventType::kIntervalBoundary:
+    case EventType::kPreEvictionTriggered:
+      return TenantKeyKind::kNone;
+  }
+  return TenantKeyKind::kNone;
+}
 
 /// Stable snake_case names: the JSONL "ev" values and the --trace-events
 /// vocabulary. Order matches EventType.

@@ -28,6 +28,9 @@ std::string to_jsonl(const TraceEvent& e) {
   if (!names.a.empty()) append_field(out, names.a, e.a);
   if (!names.b.empty()) append_field(out, names.b, e.b);
   if (!names.c.empty()) append_field(out, names.c, e.c);
+  // Additive within schema v1: present only in multi-tenant runs, so
+  // single-tenant traces remain byte-identical.
+  if (e.tenant != kNoTenant) append_field(out, "tenant", e.tenant);
   out += '}';
   return out;
 }

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <algorithm>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -18,6 +19,11 @@ namespace uvmsim {
 
 /// Where a (re-)migrated chunk should enter the chain.
 enum class InsertPosition : u8 { kTail, kHead };
+
+/// Victim-candidate predicate for tenant-scoped selection on a shared
+/// chain: only entries for which the filter returns true may be proposed.
+/// An empty (default-constructed) filter means "no restriction".
+using ChunkFilter = std::function<bool(const ChunkEntry&)>;
 
 class EvictionPolicy {
  public:
@@ -61,6 +67,27 @@ class EvictionPolicy {
     const ChunkId v = select_victim();
     if (v == kInvalidChunk) return {};
     return {v};
+  }
+
+  /// Scoped batched selection (multi-tenant, shared chain with evict-own
+  /// scoping): propose up to `max_victims` unpinned chunks satisfying
+  /// `allow`, best first; empty filter delegates to the unscoped overload.
+  /// The default is an oldest-first (LRU-order) scan of the admissible
+  /// entries — policies whose unscoped choice is also a chain scan (LRU,
+  /// FIFO, Random) override it to keep their exact semantics under a
+  /// filter; the stateful policies (HPE/MHPE/reserved) intentionally fall
+  /// back to this scan, since their per-tenant semantics are provided by
+  /// per-tenant chains in the partitioned/quota modes instead
+  /// (docs/multitenancy.md).
+  [[nodiscard]] virtual std::vector<ChunkId> select_victims(
+      u64 max_victims, const ChunkFilter& allow) {
+    if (!allow) return select_victims(max_victims);
+    std::vector<ChunkId> out;
+    for (const auto& e : chain_) {
+      if (out.size() == max_victims) break;
+      if (!e.pinned() && allow(e)) out.push_back(e.id);
+    }
+    return out;
   }
 
   /// The selected chunk is about to be evicted; final metadata available.

@@ -13,6 +13,8 @@ class RandomPolicy final : public EvictionPolicy {
  public:
   RandomPolicy(ChunkChain& chain, u64 seed) : EvictionPolicy(chain), rng_(seed) {}
 
+  using EvictionPolicy::select_victims;  // keep the unfiltered overload visible
+
   [[nodiscard]] ChunkId select_victim() override {
     const std::size_t n = chain().size();
     std::size_t k = rng_.below(n);
@@ -24,6 +26,20 @@ class RandomPolicy final : public EvictionPolicy {
       if (++it == chain().end()) it = chain().begin();
     }
     return kInvalidChunk;
+  }
+
+  /// Scoped selection stays uniform: one draw over the admissible entries
+  /// (in chain order), so tenant filtering does not bias toward the LRU end
+  /// the way the base class's scan default would.
+  [[nodiscard]] std::vector<ChunkId> select_victims(
+      u64 max_victims, const ChunkFilter& allow) override {
+    if (!allow) return EvictionPolicy::select_victims(max_victims);
+    if (max_victims == 0) return {};
+    std::vector<ChunkId> admissible;
+    for (const auto& e : chain())
+      if (!e.pinned() && allow(e)) admissible.push_back(e.id);
+    if (admissible.empty()) return {};
+    return {admissible[rng_.below(admissible.size())]};
   }
 
   [[nodiscard]] bool reorder_on_touch() const override { return true; }

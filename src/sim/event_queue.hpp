@@ -21,15 +21,26 @@ class EventQueue {
   /// Schedule `fn` to run `delay` cycles from now.
   void schedule_in(Cycle delay, Callback fn) { schedule_at(now_ + delay, std::move(fn)); }
 
-  /// Schedule `fn` at an absolute cycle (must not be in the past).
+  /// Schedule `fn` at an absolute cycle. Scheduling in the past would let
+  /// the event run "before" work that already happened and corrupt cycle
+  /// ordering, so the guard must hold in Release builds too (assert alone
+  /// compiles out under -DNDEBUG): past times are clamped to now() and
+  /// counted, keeping time monotonic while leaving the bug observable.
   void schedule_at(Cycle when, Callback fn) {
     assert(when >= now_);
+    if (when < now_) {
+      when = now_;
+      ++clamped_past_;
+    }
     heap_.push(Event{when, seq_++, std::move(fn)});
   }
 
   [[nodiscard]] Cycle now() const noexcept { return now_; }
   [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
   [[nodiscard]] std::size_t pending() const noexcept { return heap_.size(); }
+  /// Events whose requested time was in the past and got clamped to now().
+  /// Non-zero means a component computed a stale timestamp.
+  [[nodiscard]] u64 clamped_past() const noexcept { return clamped_past_; }
 
   /// Pop and run the next event. Returns false if the queue was empty.
   bool step() {
@@ -44,13 +55,18 @@ class EventQueue {
 
   /// Run until the queue drains or `max_cycle` would be passed.
   /// Returns the number of events executed.
+  ///
+  /// The clock fast-forwards to `max_cycle` only when the queue drained.
+  /// With events still pending just past the cap, now() stays at the last
+  /// executed event — otherwise a subsequent schedule_in(d) with a small d
+  /// would land *ahead* of work already committed before the cap.
   u64 run(Cycle max_cycle = ~Cycle{0}) {
     u64 executed = 0;
     while (!heap_.empty() && heap_.top().when <= max_cycle) {
       step();
       ++executed;
     }
-    if (now_ < max_cycle && max_cycle != ~Cycle{0}) now_ = max_cycle;
+    if (heap_.empty() && now_ < max_cycle && max_cycle != ~Cycle{0}) now_ = max_cycle;
     return executed;
   }
 
@@ -67,6 +83,7 @@ class EventQueue {
   std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
   Cycle now_ = 0;
   u64 seq_ = 0;
+  u64 clamped_past_ = 0;
 };
 
 }  // namespace uvmsim

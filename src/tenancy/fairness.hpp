@@ -1,0 +1,49 @@
+// Fairness metrics for multi-tenant runs (docs/multitenancy.md).
+//
+// Per-tenant slowdown is finish_cycle under sharing divided by the same
+// workload's solo finish (same per-tenant SM count, same oversubscription
+// rate — so the solo run models the tenant's fair static share and the
+// slowdown isolates *memory interference*, not compute partitioning).
+// Jain's fairness index is computed over the normalised progress rates
+// x_i = 1/slowdown_i:  J = (Σx)² / (n·Σx²) ∈ (0, 1], 1 = perfectly fair.
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+#include "core/uvm_system.hpp"
+
+namespace uvmsim {
+
+/// Jain's fairness index over any positive metric vector; 0 for empty/degenerate.
+[[nodiscard]] inline double jain_index(const std::vector<double>& x) {
+  if (x.empty()) return 0.0;
+  double sum = 0.0, sum_sq = 0.0;
+  for (const double v : x) {
+    sum += v;
+    sum_sq += v * v;
+  }
+  if (sum_sq <= 0.0) return 0.0;
+  return sum * sum / (static_cast<double>(x.size()) * sum_sq);
+}
+
+/// Fill in slowdown_vs_solo per tenant (multi-tenant finish / solo finish)
+/// and the run-level Jain index over progress rates 1/slowdown. Tenants
+/// whose solo cycle count is zero (or missing) keep slowdown 0 and are
+/// excluded from the index.
+inline void apply_solo_baselines(RunResult& r,
+                                 const std::vector<Cycle>& solo_cycles) {
+  std::vector<double> rates;
+  rates.reserve(r.tenants.size());
+  for (std::size_t i = 0; i < r.tenants.size(); ++i) {
+    TenantRunResult& t = r.tenants[i];
+    if (i >= solo_cycles.size() || solo_cycles[i] == 0 || t.finish_cycle == 0)
+      continue;
+    t.slowdown_vs_solo = static_cast<double>(t.finish_cycle) /
+                         static_cast<double>(solo_cycles[i]);
+    if (t.slowdown_vs_solo > 0.0) rates.push_back(1.0 / t.slowdown_vs_solo);
+  }
+  r.jain_fairness = jain_index(rates);
+}
+
+}  // namespace uvmsim

@@ -1,0 +1,130 @@
+#include "tenancy/multi_tenant_system.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "core/policy_factory.hpp"
+
+namespace uvmsim {
+
+MultiTenantSystem::MultiTenantSystem(const SystemConfig& sys,
+                                     const PolicyConfig& pol,
+                                     const std::vector<const Workload*>& workloads,
+                                     double oversub, TenantMode mode,
+                                     EvictionScope scope)
+    : sys_cfg_(sys), pol_cfg_(pol), oversub_(oversub), mode_(mode) {
+  assert(!workloads.empty());
+  const u64 n = workloads.size();
+  sms_per_tenant_ = std::max<u32>(1, sys_cfg_.num_sms / static_cast<u32>(n));
+
+  // Carve the disjoint namespaces and size the shared pool off the combined
+  // footprint. The capacity floor scales with the tenant count so every
+  // tenant's quota can hold at least the admission-pinning minimum
+  // (UvmSystem's deadlock-freedom argument, per tenant).
+  u64 total_footprint = 0;
+  for (const Workload* w : workloads) {
+    table_.add(w->abbr(), w->footprint_pages());
+    total_footprint += w->footprint_pages();
+  }
+  const u64 floor_pages = n * 16 * kChunkPages;
+  const u64 capacity = std::max<u64>(
+      floor_pages,
+      std::min<u64>(total_footprint,
+                    static_cast<u64>(std::ceil(
+                        oversub * static_cast<double>(total_footprint)))));
+
+  driver_ = std::make_unique<UvmDriver>(eq_, sys_cfg_, pol_cfg_,
+                                        table_.span_pages(), capacity);
+  recorder_.set_tenant_table(&table_);
+  driver_->set_recorder(&recorder_);
+  driver_->configure_tenancy(&table_, mode, scope);
+
+  // Shared mode keeps the single domain-0 policy; partitioned/quota get one
+  // policy instance per tenant chain (stateful policies run per tenant).
+  if (mode == TenantMode::kShared) {
+    driver_->set_policy(make_eviction_policy(pol_cfg_, driver_->chain()));
+  } else {
+    for (u64 d = 0; d < n; ++d)
+      driver_->set_domain_policy(
+          d, make_eviction_policy(pol_cfg_, driver_->chains().chain(d)));
+  }
+  driver_->set_prefetcher(make_prefetcher(pol_cfg_));
+
+  // One Gpu per tenant on its SM slice. Warp seeds stay pol.seed-derived as
+  // in the solo run, so a tenant's access streams match its solo behaviour.
+  SystemConfig tenant_cfg = sys_cfg_;
+  tenant_cfg.num_sms = sms_per_tenant_;
+  for (u64 t = 0; t < n; ++t) {
+    offset_workloads_.push_back(std::make_unique<OffsetWorkload>(
+        *workloads[t], table_.info(static_cast<TenantId>(t)).base));
+    gpus_.push_back(std::make_unique<Gpu>(eq_, tenant_cfg, *driver_,
+                                          *offset_workloads_.back(),
+                                          pol_cfg_.seed));
+  }
+}
+
+MultiTenantSystem::~MultiTenantSystem() = default;
+
+RunResult MultiTenantSystem::run(Cycle max_cycles) {
+  for (auto& g : gpus_) g->launch();
+  eq_.run(max_cycles);
+
+  RunResult r;
+  for (u64 t = 0; t < table_.size(); ++t) {
+    if (!r.workload.empty()) r.workload += '+';
+    r.workload += table_.info(static_cast<TenantId>(t)).name;
+  }
+  r.eviction_name = driver_->policy().name();
+  r.prefetcher_name = driver_->prefetcher().name();
+  r.oversub = oversub_;
+  r.capacity_pages = driver_->capacity_pages();
+  r.driver = driver_->stats();
+  r.h2d_pages = driver_->h2d().units_moved();
+  r.d2h_pages = driver_->d2h().units_moved();
+  r.tenant_mode = std::string(to_string(mode_));
+
+  r.completed = true;
+  Cycle last_finish = 0;
+  for (u64 t = 0; t < table_.size(); ++t) {
+    const TenantId id = static_cast<TenantId>(t);
+    const TenantInfo& info = table_.info(id);
+    const Gpu& g = *gpus_[t];
+    r.footprint_pages += info.footprint_pages;
+
+    TenantRunResult tr;
+    tr.id = id;
+    tr.workload = info.name;
+    tr.footprint_pages = info.footprint_pages;
+    tr.quota_frames = mode_ == TenantMode::kShared ? 0 : info.quota_frames;
+    tr.completed = g.finished();
+    tr.finish_cycle = g.finished() ? g.finish_cycle() : eq_.now();
+    tr.stats = info.stats;
+    r.tenants.push_back(std::move(tr));
+
+    r.completed = r.completed && g.finished();
+    last_finish = std::max(last_finish, r.tenants.back().finish_cycle);
+
+    const Gpu::Stats gs = g.stats();
+    r.gpu.accesses += gs.accesses;
+    r.gpu.l1_tlb_hits += gs.l1_tlb_hits;
+    r.gpu.l1_tlb_misses += gs.l1_tlb_misses;
+    r.gpu.l2_tlb_hits += gs.l2_tlb_hits;
+    r.gpu.l2_tlb_misses += gs.l2_tlb_misses;
+    r.gpu.far_faults += gs.far_faults;
+    r.gpu.l1d_hits += gs.l1d_hits;
+    r.gpu.l1d_misses += gs.l1d_misses;
+    r.gpu.l2c_hits += gs.l2c_hits;
+    r.gpu.l2c_misses += gs.l2c_misses;
+  }
+  r.cycles = r.completed ? last_finish : eq_.now();
+  r.h2d_utilisation = driver_->h2d().utilisation(r.cycles);
+  r.final_chain_length = 0;
+  for (u64 d = 0; d < driver_->chains().domains(); ++d)
+    r.final_chain_length += driver_->chains().chain(d).size();
+  r.trace_events_recorded = recorder_.events_recorded();
+  recorder_.flush();
+  return r;
+}
+
+}  // namespace uvmsim

@@ -11,21 +11,24 @@ UvmDriver::UvmDriver(EventQueue& eq, const SystemConfig& sys,
       sys_(sys),
       pol_(pol),
       footprint_pages_(footprint_pages),
-      chain_(pol.interval_faults),
+      chains_(pol.interval_faults),
       frames_(capacity_pages, u64{pol.pre_evict_watermark_chunks} * kChunkPages),
       batcher_(pol.fault_batch),
-      evictor_(eq, chain_, pt_, frames_, sys.pcie_page_cycles(), stats_),
-      scheduler_(eq, sys, pol, frames_, pt_, chain_, stats_) {
-  scheduler_.set_completion_hook([this] { post_migration(); });
+      evictor_(eq, chains_, pt_, frames_, sys.pcie_page_cycles(), stats_),
+      scheduler_(eq, sys, pol, frames_, pt_, chains_, stats_) {
+  scheduler_.set_completion_hook([this](TenantId t) { post_migration(t); });
 }
 
 UvmDriver::~UvmDriver() = default;
 
 void UvmDriver::set_policy(std::unique_ptr<EvictionPolicy> policy) {
-  policy_ = std::move(policy);
-  evictor_.set_policy(policy_.get());
-  scheduler_.set_policy(policy_.get());
-  if (policy_) policy_->set_recorder(rec_);
+  if (policy) policy->set_recorder(rec_);
+  chains_.set_policy(0, std::move(policy));
+}
+void UvmDriver::set_domain_policy(u64 domain,
+                                  std::unique_ptr<EvictionPolicy> policy) {
+  if (policy) policy->set_recorder(rec_);
+  chains_.set_policy(domain, std::move(policy));
 }
 void UvmDriver::set_prefetcher(std::unique_ptr<Prefetcher> prefetcher) {
   prefetcher_ = std::move(prefetcher);
@@ -36,21 +39,40 @@ void UvmDriver::set_recorder(FlightRecorder* rec) {
   rec_ = rec;
   evictor_.set_recorder(rec_);
   scheduler_.set_recorder(rec_);
-  if (policy_) policy_->set_recorder(rec_);
+  chains_.set_recorder(rec_);
   if (prefetcher_) prefetcher_->set_recorder(rec_);
 }
 
+void UvmDriver::configure_tenancy(TenantTable* table, TenantMode mode,
+                                  EvictionScope scope) {
+  assert(table != nullptr);
+  table_ = table;
+  mode_ = mode;
+  table_->compute_quotas(frames_.capacity());
+  frames_.attach_tenants(table, mode);
+  evictor_.set_tenancy(table, mode, scope);
+  scheduler_.set_tenant_table(table);
+  if (mode == TenantMode::kShared)
+    chains_.set_tenant_table(table);
+  else
+    chains_.configure_domains(table->size(), table);
+}
+
 void UvmDriver::note_touch(PageId p) {
-  ChunkEntry* e = chain_.find(chunk_of_page(p));
+  const ChunkId c = chunk_of_page(p);
+  const u64 domain = chains_.domain_of_chunk(c);
+  ChunkChain& chain = chains_.chain(domain);
+  ChunkEntry* e = chain.find(c);
   if (e == nullptr) return;  // resident page always has a chain entry, but be safe
   const u32 idx = page_index_in_chunk(p);
   if (!e->touched.test(idx)) {
     e->touched.set(idx);
     ++e->hpe_counter;
   }
-  e->last_touch_interval = chain_.current_interval();
-  if (policy_->reorder_on_touch()) chain_.move_to_tail(e->id);
-  policy_->on_page_touched(*e, idx);
+  e->last_touch_interval = chain.current_interval();
+  EvictionPolicy* policy = chains_.policy(domain);
+  if (policy->reorder_on_touch()) chain.move_to_tail(e->id);
+  policy->on_page_touched(*e, idx);
 }
 
 void UvmDriver::fault(PageId p, WakeCallback wake) {
@@ -60,22 +82,28 @@ void UvmDriver::fault(PageId p, WakeCallback wake) {
     wake();
     return;
   }
+  const TenantId t = tenant_of(p);
   if (scheduler_.in_flight(p)) {
     // A migration covering this page is in flight: the fault coalesces
     // (replayable far faults simply replay once the page lands).
     ++stats_.faults_coalesced;
+    if (t != kNoTenant) ++table_->stats(t).faults_coalesced;
     record_event(rec_, EventType::kFaultCoalesced, p, 1);
     scheduler_.add_waiter(p, std::move(wake));
     return;
   }
   if (batcher_.coalesce(p, std::move(wake))) {
     ++stats_.faults_coalesced;  // fault already raised, not yet serviced
+    if (t != kNoTenant) ++table_->stats(t).faults_coalesced;
     record_event(rec_, EventType::kFaultCoalesced, p, 0);
     return;
   }
   ++stats_.page_faults;
+  if (t != kNoTenant) ++table_->stats(t).page_faults;
   record_event(rec_, EventType::kFaultRaised, p, chunk_of_page(p));
-  policy_->on_fault(p);  // wrong-eviction detection happens per fault event
+  // Wrong-eviction detection happens per fault event, in the domain that
+  // evicted (and may re-admit) the page's chunk.
+  chains_.policy_for(t)->on_fault(p);
   batcher_.raise(p, std::move(wake), eq_.now());
   dispatch_pending();
 }
@@ -93,15 +121,19 @@ void UvmDriver::service_batch(std::vector<PageId> leads) {
   if (pol_.fault_batch > 1)
     record_event(rec_, EventType::kFaultBatchFormed, leads.front(),
                  leads.size(), batcher_.queued());
+  const TenantId t = tenant_of(leads.front());
+  ChunkChain& chain = chains_.chain_for(t);
 
   // 1. Let the prefetcher plan the migration set, one plan per fault in the
   //    batch, merged and deduped. A lead page already swept into an earlier
   //    lead's plan is absorbed intra-batch (its waiters ride along). When
   //    prefetching under oversubscription is disabled (Fig 10's variant), a
-  //    full memory demands the faulted pages only.
+  //    full memory demands the faulted pages only. Tenant pressure is
+  //    scoped: partitioned tenants gate on their own quota headroom.
   MigrationBatch m;
   m.formed_at = eq_.now();
-  const bool gated = !pol_.prefetch_when_full && memory_full();
+  m.tenant = t;
+  const bool gated = !pol_.prefetch_when_full && frames_.under_pressure(t);
   for (const PageId p : leads) {
     if (std::find(m.pages.begin(), m.pages.end(), p) != m.pages.end()) continue;
     if (gated) {
@@ -109,6 +141,12 @@ void UvmDriver::service_batch(std::vector<PageId> leads) {
       continue;
     }
     std::vector<PageId> plan = prefetcher_->plan(p, *this);
+    // Clip the plan to the faulting tenant's namespace: a prefetcher
+    // planning near a namespace edge must not migrate another tenant's (or
+    // an alignment gap's) pages.
+    if (table_ != nullptr)
+      std::erase_if(plan,
+                    [&](PageId q) { return !table_->owns_page(t, q); });
     // Defensive: guarantee the faulted page is transferred even if a
     // prefetcher mis-plans around it.
     if (std::find(plan.begin(), plan.end(), p) == plan.end())
@@ -118,29 +156,34 @@ void UvmDriver::service_batch(std::vector<PageId> leads) {
 
   // Keep the faulted pages at the front (in batch order) so plan trimming
   // never drops them first, and clamp oversized plans (the tree prefetcher
-  // can request up to 2 MB) to the physical capacity.
+  // can request up to 2 MB) to the physical capacity — the tenant's quota
+  // in partitioned mode.
   for (std::size_t i = 0; i < leads.size(); ++i) {
     auto it = std::find(m.pages.begin() + static_cast<std::ptrdiff_t>(i),
                         m.pages.end(), leads[i]);
     assert(it != m.pages.end());
     std::iter_swap(m.pages.begin() + static_cast<std::ptrdiff_t>(i), it);
   }
-  if (m.pages.size() > capacity_pages()) m.pages.resize(capacity_pages());
+  u64 admission_cap = capacity_pages();
+  if (table_ != nullptr && mode_ == TenantMode::kPartitioned)
+    admission_cap = std::min(admission_cap, table_->quota_frames(t));
+  if (m.pages.size() > admission_cap) m.pages.resize(admission_cap);
   while (leads.size() > m.pages.size()) {  // window wider than capacity
     batcher_.requeue_front(leads.back());
     leads.pop_back();
   }
 
   // 2. Make room. Chunks touched by this plan are pinned before any eviction
-  //    so a victim search can never select what we are about to fill.
+  //    so a victim search can never select what we are about to fill. All
+  //    planned pages live in the batch tenant's namespace, hence its chain.
   for (const PageId page : m.pages) {
-    if (ChunkEntry* e = chain_.find(chunk_of_page(page))) {
+    if (ChunkEntry* e = chain.find(chunk_of_page(page))) {
       ++e->pin_count;
       m.pinned.push_back(e->id);
     }
   }
   const auto unpin_page = [&](PageId page) {
-    if (ChunkEntry* e = chain_.find(chunk_of_page(page))) {
+    if (ChunkEntry* e = chain.find(chunk_of_page(page))) {
       auto it = std::find(m.pinned.begin(), m.pinned.end(), e->id);
       if (it != m.pinned.end()) {
         --e->pin_count;
@@ -148,22 +191,22 @@ void UvmDriver::service_batch(std::vector<PageId> leads) {
       }
     }
   };
-  const auto room = evictor_.make_room(m.pages.size());
+  const auto room = evictor_.make_room(m.pages.size(), t);
   if (room.starved) {
-    // Every chunk is pinned by concurrent migrations. If even the faulted
-    // pages cannot fit, release our pins and retry once a concurrent
-    // migration has completed (one must exist — pins come only from active
-    // migrations). Otherwise shrink the plan to what fits now; a trimmed
-    // lead fault goes back to the front of the backlog.
-    if (frames_.free_frames() == 0) {
-      for (const ChunkId c : m.pinned) --chain_.entry(c).pin_count;
+    // Every candidate chunk is pinned by concurrent migrations. If even the
+    // faulted pages cannot fit, release our pins and retry once a
+    // concurrent migration has completed (one must exist — pins come only
+    // from active migrations). Otherwise shrink the plan to what fits now;
+    // a trimmed lead fault goes back to the front of the backlog.
+    if (frames_.admissible_frames(t) == 0) {
+      for (const ChunkId c : m.pinned) --chain.entry(c).pin_count;
       eq_.schedule_in(sys_.fault_latency_cycles() / 4 + 1,
                       [this, ls = std::move(leads)]() mutable {
                         service_batch(std::move(ls));
                       });
       return;
     }
-    while (m.pages.size() > frames_.free_frames()) {
+    while (m.pages.size() > frames_.admissible_frames(t)) {
       const PageId dropped = m.pages.back();
       unpin_page(dropped);
       m.pages.pop_back();
@@ -174,8 +217,8 @@ void UvmDriver::service_batch(std::vector<PageId> leads) {
       }
     }
   }
-  assert(frames_.free_frames() >= m.pages.size());
-  frames_.reserve(m.pages.size());
+  assert(frames_.admissible_frames(t) >= m.pages.size());
+  frames_.reserve(m.pages.size(), t);
 
   // 3. Mark every planned page in flight, absorbing pending faults: their
   //    waiters ride this migration and their backlog entries will be
@@ -191,17 +234,19 @@ void UvmDriver::service_batch(std::vector<PageId> leads) {
   scheduler_.dispatch(std::move(m), room.evicted);
 }
 
-void UvmDriver::post_migration() {
+void UvmDriver::post_migration(TenantId tenant) {
   // Pre-evict ahead of the next fault: keep the configured watermark of
   // frames free so eviction work stays off fault critical paths. Only
   // meaningful when memory is actually oversubscribed — with the footprint
-  // fully cacheable nothing will ever need the headroom.
+  // fully cacheable nothing will ever need the headroom. Scoped to the
+  // tenant whose batch just completed: its chain (partitioned/quota) or
+  // its scope preference (shared) supplies the victims.
   if (frames_.capacity() < footprint_pages_) {
     const u64 watermark = frames_.watermark_pages();
-    if (frames_.free_frames() < watermark)
-      record_event(rec_, EventType::kPreEvictionTriggered,
-                   frames_.free_frames(), watermark);
-    stats_.pre_evictions += evictor_.make_room(watermark).evicted;
+    if (frames_.admissible_frames(tenant) < watermark)
+      record_event_for(rec_, tenant, EventType::kPreEvictionTriggered,
+                       frames_.free_frames(), watermark);
+    stats_.pre_evictions += evictor_.make_room(watermark, tenant).evicted;
   }
 
   // Admit backlogged faults into the freed driver slot.
@@ -211,7 +256,7 @@ void UvmDriver::post_migration() {
 
 void UvmDriver::dispatch_pending() {
   if (!scheduler_.has_free_slot()) return;
-  std::vector<PageId> leads = batcher_.take_batch();
+  std::vector<PageId> leads = batcher_.take_batch(table_);
   if (leads.empty()) return;
   scheduler_.acquire_slot();
   service_batch(std::move(leads));

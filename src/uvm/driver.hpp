@@ -18,13 +18,21 @@
 //   occupancy -> map pages, fill chain, wake stalled warps.
 //
 // Evictions write back over the D2H direction of the link (PCIe is full
-// duplex) and invalidate TLBs through a registered shootdown handler.
+// duplex) and invalidate TLBs through registered shootdown handlers.
 //
 // Demand-touch visibility: the GPU calls `note_touch` on every L1-TLB-miss
 // access to a resident page. This models the driver harvesting PTE access
 // bits when it manipulates page tables — exactly the visibility MHPE needs
 // (untouch levels of *evicted* chunks) without the per-access GPU-to-driver
 // traffic the paper rules out for HPE.
+//
+// Multi-tenancy (src/tenancy/, docs/multitenancy.md): one driver serves all
+// tenants. configure_tenancy attaches the TenantTable and sharing mode;
+// plans are clipped to the faulting tenant's namespace, admission respects
+// per-tenant quotas (FramePool::admissible_frames), room-making is scoped
+// to the initiator, and the partitioned/quota modes split the chunk chain
+// into per-tenant domains with their own policy instances. Single-tenant
+// runs never call configure_tenancy and are bit-for-bit unchanged.
 #pragma once
 
 #include <cassert>
@@ -37,7 +45,9 @@
 #include "policy/eviction_policy.hpp"
 #include "prefetch/prefetcher.hpp"
 #include "sim/event_queue.hpp"
+#include "tenancy/tenant.hpp"
 #include "tlb/page_table.hpp"
+#include "uvm/chain_set.hpp"
 #include "uvm/driver_types.hpp"
 #include "uvm/eviction_engine.hpp"
 #include "uvm/fault_batcher.hpp"
@@ -60,9 +70,16 @@ class UvmDriver final : public ResidencyView {
   UvmDriver(const UvmDriver&) = delete;
   UvmDriver& operator=(const UvmDriver&) = delete;
 
-  /// Install the policy/prefetcher pair (see core/policy_factory).
+  /// Install the policy/prefetcher pair (see core/policy_factory). The
+  /// policy lands in domain 0 — the only domain for single-tenant runs and
+  /// the shared tenant mode.
   void set_policy(std::unique_ptr<EvictionPolicy> policy);
   void set_prefetcher(std::unique_ptr<Prefetcher> prefetcher);
+  /// Register a shootdown observer (one per GPU sharing the driver).
+  void add_shootdown_handler(ShootdownHandler h) {
+    evictor_.add_shootdown_handler(std::move(h));
+  }
+  /// Legacy single-observer form: replaces all registered handlers.
   void set_shootdown_handler(ShootdownHandler h) {
     evictor_.set_shootdown_handler(std::move(h));
   }
@@ -70,6 +87,18 @@ class UvmDriver final : public ResidencyView {
   /// layer and to the installed policy and prefetcher, in whichever order
   /// they arrive.
   void set_recorder(FlightRecorder* rec);
+
+  // --- Multi-tenancy ---------------------------------------------------------
+  /// Attach the tenant table and sharing mode (tenancy/tenant.hpp). Call
+  /// once, before launch and before installing per-domain policies. The
+  /// partitioned/quota modes split the chunk chain per tenant — install a
+  /// policy per domain with set_domain_policy afterwards; the shared mode
+  /// keeps the single domain-0 chain/policy.
+  void configure_tenancy(TenantTable* table, TenantMode mode,
+                         EvictionScope scope);
+  void set_domain_policy(u64 domain, std::unique_ptr<EvictionPolicy> policy);
+  [[nodiscard]] ChainSet& chains() noexcept { return chains_; }
+  [[nodiscard]] const TenantTable* tenant_table() const noexcept { return table_; }
 
   // --- GPU-side interface ----------------------------------------------------
   /// Is the page mapped right now (TLB-fillable)?
@@ -88,9 +117,9 @@ class UvmDriver final : public ResidencyView {
   [[nodiscard]] PageId footprint_pages() const override { return footprint_pages_; }
 
   // --- Introspection -----------------------------------------------------------
-  [[nodiscard]] ChunkChain& chain() noexcept { return chain_; }
-  [[nodiscard]] const ChunkChain& chain() const noexcept { return chain_; }
-  [[nodiscard]] EvictionPolicy& policy() noexcept { return *policy_; }
+  [[nodiscard]] ChunkChain& chain() noexcept { return chains_.chain(0); }
+  [[nodiscard]] const ChunkChain& chain() const noexcept { return chains_.chain(0); }
+  [[nodiscard]] EvictionPolicy& policy() noexcept { return *chains_.policy(0); }
   [[nodiscard]] Prefetcher& prefetcher() noexcept { return *prefetcher_; }
   [[nodiscard]] const PageTable& page_table() const noexcept { return pt_; }
   [[nodiscard]] const FramePool& frame_pool() const noexcept { return frames_; }
@@ -108,13 +137,18 @@ class UvmDriver final : public ResidencyView {
   [[nodiscard]] const BandwidthLink& d2h() const noexcept { return evictor_.d2h(); }
 
  private:
+  /// Owning tenant of `p`; kNoTenant when tenancy is off.
+  [[nodiscard]] TenantId tenant_of(PageId p) const noexcept {
+    return table_ != nullptr ? table_->tenant_of_page(p) : kNoTenant;
+  }
   /// Service a formed batch of still-pending faults: merge the prefetcher's
   /// plans, pin, make room (retrying later if every chunk is pinned), then
   /// hand the migration to the scheduler.
   void service_batch(std::vector<PageId> leads);
-  /// Post-completion: pre-evict back to the watermark, free the driver slot
-  /// and admit the next batch from the backlog.
-  void post_migration();
+  /// Post-completion: pre-evict back to the watermark (scoped to the
+  /// completed batch's tenant), free the driver slot and admit the next
+  /// batch.
+  void post_migration(TenantId tenant);
   /// Hand a free driver slot to the next formed batch, if any.
   void dispatch_pending();
 
@@ -124,11 +158,12 @@ class UvmDriver final : public ResidencyView {
   u64 footprint_pages_;
 
   PageTable pt_;
-  ChunkChain chain_;
-  std::unique_ptr<EvictionPolicy> policy_;
+  ChainSet chains_;
   std::unique_ptr<Prefetcher> prefetcher_;
   FlightRecorder* rec_ = nullptr;
   Stats stats_;
+  TenantTable* table_ = nullptr;
+  TenantMode mode_ = TenantMode::kShared;
 
   FramePool frames_;
   FaultBatcher batcher_;

@@ -36,6 +36,10 @@ struct MigrationBatch {
   PageId lead = 0;              ///< first faulted page (event payloads)
   u32 faults = 1;               ///< distinct faults serviced by this operation
   Cycle formed_at = 0;          ///< cycle the batch entered service
+  /// Owning tenant — batches are tenant-homogeneous (FaultBatcher stops a
+  /// batch at the first fault from a different tenant); kNoTenant when
+  /// tenancy is off.
+  TenantId tenant = kNoTenant;
 };
 
 /// Driver-wide counters, updated by all four layers.

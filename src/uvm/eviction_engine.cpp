@@ -1,55 +1,141 @@
 #include "uvm/eviction_engine.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 namespace uvmsim {
 
-EvictionEngine::RoomResult EvictionEngine::make_room(u64 target_free_pages) {
-  assert(policy_ != nullptr && prefetcher_ != nullptr);
+EvictionEngine::RoomResult EvictionEngine::make_room(u64 target_free_pages,
+                                                     TenantId initiator) {
+  assert(prefetcher_ != nullptr);
   RoomResult r;
-  while (frames_.free_frames() < target_free_pages) {
-    const u64 deficit = target_free_pages - frames_.free_frames();
+  while (frames_.admissible_frames(initiator) < target_free_pages) {
+    const u64 deficit = target_free_pages - frames_.admissible_frames(initiator);
     const std::vector<ChunkId> victims =
-        policy_->select_victims((deficit + kChunkPages - 1) / kChunkPages);
+        select_round((deficit + kChunkPages - 1) / kChunkPages, initiator);
     if (victims.empty()) {
       r.starved = true;
       return r;
     }
     for (const ChunkId v : victims) {
-      if (frames_.free_frames() >= target_free_pages) break;
-      evict_chunk(v);
+      if (frames_.admissible_frames(initiator) >= target_free_pages) break;
+      evict_chunk(v, initiator);
       ++r.evicted;
     }
   }
   return r;
 }
 
-void EvictionEngine::evict_chunk(ChunkId victim) {
-  ChunkEntry& e = chain_.entry(victim);
+std::vector<ChunkId> EvictionEngine::select_round(u64 max_victims,
+                                                  TenantId initiator) {
+  // Single domain: the global policy. Scoped (shared + self) selection
+  // filters to the initiator's own chunks first and falls back to the
+  // unrestricted policy when it has none to give.
+  if (!chains_.per_tenant()) {
+    EvictionPolicy* policy = chains_.policy(0);
+    assert(policy != nullptr);
+    if (tenants_ != nullptr && initiator != kNoTenant &&
+        scope_ == EvictionScope::kSelf) {
+      std::vector<ChunkId> own = policy->select_victims(
+          max_victims, [this, initiator](const ChunkEntry& e) {
+            return tenants_->tenant_of_chunk(e.id) == initiator;
+          });
+      if (!own.empty()) return own;
+    }
+    return policy->select_victims(max_victims);
+  }
+
+  // Per-tenant chains (partitioned/quota): walk the mode's source order and
+  // take the first domain that yields victims.
+  for (const TenantId source : source_order(initiator)) {
+    EvictionPolicy* policy = chains_.policy_for(source);
+    assert(policy != nullptr);
+    if (chains_.chain_for(source).size() == 0) continue;
+    std::vector<ChunkId> v = policy->select_victims(max_victims);
+    if (!v.empty()) return v;
+  }
+  return {};
+}
+
+std::vector<TenantId> EvictionEngine::source_order(TenantId initiator) const {
+  assert(tenants_ != nullptr);
+  const u64 n = tenants_->size();
+  std::vector<TenantId> order;
+
+  if (mode_ == TenantMode::kPartitioned) {
+    // Hard isolation: only the initiator's own chunks free frames it may
+    // use. Room-making with no initiator (global pre-eviction fallback)
+    // drains the largest holder first.
+    if (initiator != kNoTenant) {
+      order.push_back(initiator);
+      return order;
+    }
+  }
+
+  // Quota mode (and tenant-less fallbacks): over-quota tenants first,
+  // largest overage first (ties: lowest id), then the initiator itself,
+  // then the remaining tenants by used frames (largest first, lowest id).
+  std::vector<TenantId> over, rest;
+  for (TenantId t = 0; t < n; ++t) {
+    if (t == initiator) continue;
+    (tenants_->over_quota_by(t) > 0 ? over : rest).push_back(t);
+  }
+  std::sort(over.begin(), over.end(), [this](TenantId a, TenantId b) {
+    const u64 oa = tenants_->over_quota_by(a), ob = tenants_->over_quota_by(b);
+    return oa != ob ? oa > ob : a < b;
+  });
+  std::sort(rest.begin(), rest.end(), [this](TenantId a, TenantId b) {
+    const u64 ua = tenants_->used_frames(a), ub = tenants_->used_frames(b);
+    return ua != ub ? ua > ub : a < b;
+  });
+  order.insert(order.end(), over.begin(), over.end());
+  if (initiator != kNoTenant) order.push_back(initiator);
+  order.insert(order.end(), rest.begin(), rest.end());
+  return order;
+}
+
+void EvictionEngine::evict_chunk(ChunkId victim, TenantId initiator) {
+  ChunkChain& chain = chains_.chain_of_chunk(victim);
+  ChunkEntry& e = chain.entry(victim);
   assert(!e.pinned());
 
-  policy_->on_chunk_evicted(e);
+  EvictionPolicy* policy = chains_.policy(chains_.domain_of_chunk(victim));
+  policy->on_chunk_evicted(e);
   // CPPE coordination point: the evicted chunk's demand-touch pattern flows
   // to the prefetcher (pattern buffer) — §IV-A's fine-grained interplay.
   prefetcher_->on_chunk_evicted(victim, e.touched);
 
+  const TenantId owner =
+      tenants_ != nullptr ? tenants_->tenant_of_chunk(victim) : kNoTenant;
   u64 pages_out = 0;
   const PageId base = first_page_of_chunk(victim);
   for (u32 i = 0; i < kChunkPages; ++i) {
     if (!e.resident.test(i)) continue;
     const PageId page = base + i;
     const FrameId frame = pt_.unmap(page);
-    frames_.release(frame);
+    frames_.release(frame, owner);
     ++pages_out;
     record_event(rec_, EventType::kShootdownIssued, page, frame);
-    if (shootdown_) shootdown_(page, frame);
+    for (const ShootdownHandler& h : shootdowns_) h(page, frame);
   }
   record_event(rec_, EventType::kEvictionChosen, victim, e.untouch_level(),
                pages_out);
   d2h_.reserve(eq_.now(), pages_out);  // write-back occupancy (full duplex)
-  chain_.erase(victim);
+  chain.erase(victim);
   ++stats_.chunks_evicted;
   stats_.pages_evicted += pages_out;
+
+  if (tenants_ != nullptr && owner != kNoTenant) {
+    TenantStats& os = tenants_->stats(owner);
+    ++os.chunks_evicted;
+    os.pages_evicted += pages_out;
+    if (initiator == owner) {
+      ++os.evicted_by_self;
+    } else if (initiator != kNoTenant) {
+      ++os.evicted_by_others;
+      ++tenants_->stats(initiator).evictions_of_others;
+    }
+  }
 }
 
 }  // namespace uvmsim

@@ -4,6 +4,20 @@
 // write-back occupancy and keeps the eviction statistics. Serves both
 // demand eviction (make room for an admitted plan, on the fault's critical
 // path) and pre-eviction (restore the free-frame watermark ahead of need).
+//
+// Multi-tenant victim sourcing (docs/multitenancy.md): room is made on
+// behalf of an *initiator* tenant, and the sharing mode decides whose
+// chunks may be evicted —
+//   shared + global scope   the single global policy, unrestricted (legacy);
+//   shared + self scope     the initiator's own chunks first (filtered
+//                           selection on the shared chain), global fallback;
+//   partitioned             only the initiator's own per-tenant chain —
+//                           quotas make its own chunks the only way to gain
+//                           admissible frames;
+//   quota                   over-quota tenants first (largest overage,
+//                           then lowest id), then the initiator itself,
+//                           then the largest remaining holder.
+// Cross-tenant evictions are attributed to both sides in TenantStats.
 #pragma once
 
 #include <functional>
@@ -14,7 +28,9 @@
 #include "policy/eviction_policy.hpp"
 #include "prefetch/prefetcher.hpp"
 #include "sim/event_queue.hpp"
+#include "tenancy/tenant.hpp"
 #include "tlb/page_table.hpp"
+#include "uvm/chain_set.hpp"
 #include "uvm/driver_types.hpp"
 #include "uvm/frame_pool.hpp"
 
@@ -22,46 +38,69 @@ namespace uvmsim {
 
 class EvictionEngine {
  public:
-  EvictionEngine(EventQueue& eq, ChunkChain& chain, PageTable& pt,
+  EvictionEngine(EventQueue& eq, ChainSet& chains, PageTable& pt,
                  FramePool& frames, Cycle pcie_page_cycles, DriverStats& stats)
-      : eq_(eq), chain_(chain), pt_(pt), frames_(frames),
+      : eq_(eq), chains_(chains), pt_(pt), frames_(frames),
         d2h_(pcie_page_cycles), stats_(stats) {}
 
   EvictionEngine(const EvictionEngine&) = delete;
   EvictionEngine& operator=(const EvictionEngine&) = delete;
 
-  void set_policy(EvictionPolicy* p) noexcept { policy_ = p; }
   void set_prefetcher(Prefetcher* p) noexcept { prefetcher_ = p; }
-  void set_shootdown_handler(ShootdownHandler h) { shootdown_ = std::move(h); }
+  /// Register a shootdown observer. Every GPU sharing the driver registers
+  /// its own (multi-tenant runs have one Gpu per tenant); all fire per
+  /// unmapped page.
+  void add_shootdown_handler(ShootdownHandler h) {
+    shootdowns_.push_back(std::move(h));
+  }
+  /// Legacy single-observer form: replaces all registered handlers.
+  void set_shootdown_handler(ShootdownHandler h) {
+    shootdowns_.clear();
+    add_shootdown_handler(std::move(h));
+  }
   void set_recorder(FlightRecorder* rec) noexcept { rec_ = rec; }
+  /// Multi-tenant wiring (tenancy off when table is null).
+  void set_tenancy(TenantTable* table, TenantMode mode, EvictionScope scope) {
+    tenants_ = table;
+    mode_ = mode;
+    scope_ = scope;
+  }
 
   [[nodiscard]] const BandwidthLink& d2h() const noexcept { return d2h_; }
 
   struct RoomResult {
     u64 evicted = 0;     ///< chunks evicted by this call
-    bool starved = false;  ///< stopped early: every chunk is pinned
+    bool starved = false;  ///< stopped early: every candidate chunk is pinned
   };
 
-  /// Evict until at least `target_free_pages` frames are free, asking the
-  /// policy for up to ceil(deficit / chunk) victims per round. Candidates
-  /// beyond the target are discarded unused (selection has no side
-  /// effects); `starved` is set when the policy runs out of unpinned
-  /// victims first.
-  RoomResult make_room(u64 target_free_pages);
+  /// Evict until at least `target_free_pages` frames are *admissible* to
+  /// `initiator` (plain free frames when tenancy is off), asking the
+  /// mode-selected policy for up to ceil(deficit / chunk) victims per
+  /// round. Candidates beyond the target are discarded unused (selection
+  /// has no side effects); `starved` is set when every admissible source
+  /// runs out of unpinned victims first.
+  RoomResult make_room(u64 target_free_pages, TenantId initiator = kNoTenant);
 
  private:
-  void evict_chunk(ChunkId victim);
+  void evict_chunk(ChunkId victim, TenantId initiator);
+  /// One selection round for the current mode; empty when starved.
+  [[nodiscard]] std::vector<ChunkId> select_round(u64 max_victims,
+                                                  TenantId initiator);
+  /// Victim-source domain order for per-tenant-chain modes.
+  [[nodiscard]] std::vector<TenantId> source_order(TenantId initiator) const;
 
   EventQueue& eq_;
-  ChunkChain& chain_;
+  ChainSet& chains_;
   PageTable& pt_;
   FramePool& frames_;
   BandwidthLink d2h_;  ///< device -> host eviction write-backs
   DriverStats& stats_;
-  EvictionPolicy* policy_ = nullptr;
   Prefetcher* prefetcher_ = nullptr;
-  ShootdownHandler shootdown_;
+  std::vector<ShootdownHandler> shootdowns_;
   FlightRecorder* rec_ = nullptr;
+  TenantTable* tenants_ = nullptr;
+  TenantMode mode_ = TenantMode::kShared;
+  EvictionScope scope_ = EvictionScope::kGlobal;
 };
 
 }  // namespace uvmsim

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "tenancy/tenant.hpp"
 #include "uvm/driver_types.hpp"
 
 namespace uvmsim {
@@ -57,12 +58,29 @@ class FaultBatcher {
 
   /// Form the next batch: up to `window` backlogged faults that are still
   /// pending (absorbed entries are discarded as they are encountered).
-  [[nodiscard]] std::vector<PageId> take_batch() {
+  ///
+  /// With a tenant table attached, batches are tenant-homogeneous: one
+  /// migration plan serves one tenant's namespace, so a fault from a
+  /// different tenant than the batch lead ends the batch and stays queued
+  /// to lead the next one. Global FIFO order across tenants is preserved.
+  [[nodiscard]] std::vector<PageId> take_batch(
+      const TenantTable* tenants = nullptr) {
     std::vector<PageId> batch;
+    TenantId batch_tenant = kNoTenant;
     while (!fault_queue_.empty() && batch.size() < window_) {
       const PageId next = fault_queue_.front();
+      if (!pending_.contains(next)) {  // absorbed by an earlier plan
+        fault_queue_.pop_front();
+        continue;
+      }
+      if (tenants != nullptr) {
+        const TenantId t = tenants->tenant_of_page(next);
+        if (batch.empty())
+          batch_tenant = t;
+        else if (t != batch_tenant)
+          break;  // different tenant: it leads the next batch
+      }
       fault_queue_.pop_front();
-      if (!pending_.contains(next)) continue;  // absorbed by an earlier plan
       batch.push_back(next);
     }
     return batch;

@@ -14,12 +14,21 @@
 // the driver keeps free on purpose and which therefore must not read as
 // available. Unlike the old `chunks_evicted > 0` rule, pressure clears if
 // frames ever free back up past that threshold.
+// Multi-tenant modes (tenancy/tenant.hpp): with a TenantTable attached the
+// pool also tracks per-tenant frame usage and answers the *admissible*
+// frame count — how many of the free frames a given tenant may take right
+// now. Partitioned mode caps admission at the tenant's static quota; quota
+// mode admits freely (borrowing) and relies on over-quota-first eviction to
+// restore guarantees; shared mode (and single-tenant runs, which never
+// attach a table) is the unchanged global accounting.
 #pragma once
 
+#include <algorithm>
 #include <cassert>
 #include <vector>
 
 #include "common/types.hpp"
+#include "tenancy/tenant.hpp"
 #include "tlb/page_table.hpp"  // FrameId
 
 namespace uvmsim {
@@ -47,10 +56,43 @@ class FramePool {
     return free_frames_ < kChunkPages + (evictions_seen_ ? watermark_pages_ : 0);
   }
 
+  // --- Multi-tenant accounting ---------------------------------------------
+  /// Attach the tenant table (never called in single-tenant runs). The pool
+  /// updates per-tenant used_frames on reserve/release and enforces
+  /// partitioned-mode quotas at admission time.
+  void attach_tenants(TenantTable* table, TenantMode mode) noexcept {
+    tenants_ = table;
+    mode_ = mode;
+  }
+  [[nodiscard]] const TenantTable* tenant_table() const noexcept { return tenants_; }
+  [[nodiscard]] TenantMode tenant_mode() const noexcept { return mode_; }
+
+  /// How many frames tenant `t` may take right now. Shared/quota modes (and
+  /// tenancy off): every free frame. Partitioned: free frames up to the
+  /// tenant's remaining quota headroom.
+  [[nodiscard]] u64 admissible_frames(TenantId t) const noexcept {
+    if (tenants_ == nullptr || t == kNoTenant ||
+        mode_ != TenantMode::kPartitioned)
+      return free_frames_;
+    return std::min(free_frames_, tenants_->quota_headroom(t));
+  }
+
+  /// Tenant-scoped pressure: in partitioned mode a tenant is "full" when a
+  /// whole-chunk migration no longer fits in its *admissible* frames; in
+  /// the borrowing modes pressure is the global condition.
+  [[nodiscard]] bool under_pressure(TenantId t) const noexcept {
+    if (tenants_ == nullptr || t == kNoTenant ||
+        mode_ != TenantMode::kPartitioned)
+      return under_pressure();
+    return admissible_frames(t) <
+           kChunkPages + (evictions_seen_ ? watermark_pages_ : 0);
+  }
+
   /// Account for `n` pages admitted into migration (frames bound later).
-  void reserve(u64 n) {
+  void reserve(u64 n, TenantId t = kNoTenant) {
     assert(free_frames_ >= n);
     free_frames_ -= n;
+    if (tenants_ != nullptr) tenants_->note_reserved(t, n);
   }
 
   /// Bind one frame for a landing page (accounting already done by
@@ -65,11 +107,13 @@ class FramePool {
     return next_frame_++;
   }
 
-  /// Return an evicted page's frame to the pool.
-  void release(FrameId f) {
+  /// Return an evicted page's frame to the pool. `owner` is the tenant the
+  /// frame is taken from (the evicted chunk's owner, not the initiator).
+  void release(FrameId f, TenantId owner = kNoTenant) {
     recycled_.push_back(f);
     ++free_frames_;
     evictions_seen_ = true;
+    if (tenants_ != nullptr) tenants_->note_released(owner, 1);
   }
 
  private:
@@ -79,6 +123,8 @@ class FramePool {
   FrameId next_frame_ = 0;
   std::vector<FrameId> recycled_;
   bool evictions_seen_ = false;
+  TenantTable* tenants_ = nullptr;
+  TenantMode mode_ = TenantMode::kShared;
 };
 
 }  // namespace uvmsim

@@ -8,11 +8,11 @@ namespace uvmsim {
 MigrationScheduler::MigrationScheduler(EventQueue& eq, const SystemConfig& sys,
                                        const PolicyConfig& pol,
                                        FramePool& frames, PageTable& pt,
-                                       ChunkChain& chain, DriverStats& stats)
+                                       ChainSet& chains, DriverStats& stats)
     : eq_(eq),
       frames_(frames),
       pt_(pt),
-      chain_(chain),
+      chains_(chains),
       stats_(stats),
       h2d_(sys.pcie_page_cycles()),
       fault_latency_cycles_(sys.fault_latency_cycles()),
@@ -44,17 +44,24 @@ void MigrationScheduler::dispatch(MigrationBatch&& m, u64 demand_evictions) {
 }
 
 void MigrationScheduler::complete(MigrationBatch m) {
-  assert(policy_ != nullptr);
+  // Batches are tenant-homogeneous: every page of the plan lives in the
+  // batch tenant's namespace, so one chain/policy domain covers the batch.
+  ChunkChain& chain = chains_.chain_for(m.tenant);
+  EvictionPolicy* policy = chains_.policy_for(m.tenant);
+  assert(policy != nullptr);
+  TenantStats* ts =
+      tenants_ != nullptr && m.tenant != kNoTenant ? &tenants_->stats(m.tenant)
+                                                   : nullptr;
   for (const PageId page : m.pages) {
     // Bind a physical frame (accounting was done at service time).
     pt_.map(page, frames_.allocate());
 
     const ChunkId c = chunk_of_page(page);
-    ChunkEntry* e = chain_.find(c);
+    ChunkEntry* e = chain.find(c);
     if (e == nullptr) {
-      const bool at_head = policy_->insert_position(c) == InsertPosition::kHead;
-      e = &chain_.insert(c, at_head);
-      policy_->on_chunk_inserted(*e);
+      const bool at_head = policy->insert_position(c) == InsertPosition::kHead;
+      e = &chain.insert(c, at_head);
+      policy->on_chunk_inserted(*e);
     }
     const u32 idx = page_index_in_chunk(page);
     e->resident.set(idx);
@@ -66,21 +73,27 @@ void MigrationScheduler::complete(MigrationBatch m) {
     if (auto node = inflight_.extract(page);
         !node.empty() && !node.mapped().waiters.empty()) {
       e->touched.set(idx);
-      e->last_touch_interval = chain_.current_interval();
+      e->last_touch_interval = chain.current_interval();
       ++stats_.pages_demanded;
-      if (node.mapped().faulted)
+      if (ts != nullptr) ++ts->pages_demanded;
+      if (node.mapped().faulted) {
         stats_.fault_wait_cycles += eq_.now() - node.mapped().raised_at;
-      policy_->on_page_touched(*e, idx);
+        if (ts != nullptr)
+          ts->fault_wait_cycles += eq_.now() - node.mapped().raised_at;
+      }
+      policy->on_page_touched(*e, idx);
       for (auto& wake : node.mapped().waiters) wake();
     } else {
       ++stats_.pages_prefetched;
+      if (ts != nullptr) ++ts->pages_prefetched;
     }
   }
   stats_.pages_migrated_in += m.pages.size();
+  if (ts != nullptr) ts->pages_migrated_in += m.pages.size();
 
   // Release service-time pins.
   for (const ChunkId c : m.pinned) {
-    ChunkEntry& e = chain_.entry(c);  // pinned chunks cannot have been evicted
+    ChunkEntry& e = chain.entry(c);  // pinned chunks cannot have been evicted
     assert(e.pin_count > 0);
     --e.pin_count;
   }
@@ -90,13 +103,13 @@ void MigrationScheduler::complete(MigrationBatch m) {
   // one interval crosses several boundaries at once (a 512-page tree-
   // prefetch plan crosses 8): the policy's per-interval work (threshold
   // checks, accumulator resets) must run once per boundary, not once per
-  // batch.
-  const u64 crossed = chain_.note_pages_migrated(m.pages.size());
+  // batch. Per-tenant domains advance their own interval clocks.
+  const u64 crossed = chain.note_pages_migrated(m.pages.size());
   for (u64 i = 0; i < crossed; ++i) {
-    record_event(rec_, EventType::kIntervalBoundary,
-                 chain_.current_interval() - crossed + i + 1,
-                 chain_.pages_migrated());
-    policy_->on_interval_boundary();
+    record_event_for(rec_, m.tenant, EventType::kIntervalBoundary,
+                     chain.current_interval() - crossed + i + 1,
+                     chain.pages_migrated());
+    policy->on_interval_boundary();
   }
 
   if (fault_batch_ > 1)
@@ -105,7 +118,7 @@ void MigrationScheduler::complete(MigrationBatch m) {
 
   // Driver facade: pre-evict ahead of the next fault, release the slot and
   // admit the next batch.
-  hook_();
+  hook_(m.tenant);
 }
 
 }  // namespace uvmsim

@@ -6,6 +6,11 @@
 // chain, advances the interval clock and wakes the stalled warps, then
 // hands control back to the driver facade (pre-eviction + admission of the
 // next batch) through the completion hook.
+//
+// Multi-tenant runs: batches are tenant-homogeneous, so completion fills
+// the batch tenant's own chain/policy domain (its own interval clock) and
+// reports the per-tenant migration statistics; the completion hook carries
+// the tenant so the facade can scope pre-eviction.
 #pragma once
 
 #include <functional>
@@ -17,7 +22,9 @@
 #include "obs/flight_recorder.hpp"
 #include "policy/eviction_policy.hpp"
 #include "sim/event_queue.hpp"
+#include "tenancy/tenant.hpp"
 #include "tlb/page_table.hpp"
+#include "uvm/chain_set.hpp"
 #include "uvm/driver_types.hpp"
 #include "uvm/frame_pool.hpp"
 
@@ -27,16 +34,18 @@ class MigrationScheduler {
  public:
   MigrationScheduler(EventQueue& eq, const SystemConfig& sys,
                      const PolicyConfig& pol, FramePool& frames, PageTable& pt,
-                     ChunkChain& chain, DriverStats& stats);
+                     ChainSet& chains, DriverStats& stats);
 
   MigrationScheduler(const MigrationScheduler&) = delete;
   MigrationScheduler& operator=(const MigrationScheduler&) = delete;
 
-  void set_policy(EvictionPolicy* p) noexcept { policy_ = p; }
   void set_recorder(FlightRecorder* rec) noexcept { rec_ = rec; }
+  void set_tenant_table(TenantTable* table) noexcept { tenants_ = table; }
   /// Runs after each completed batch (driver facade: pre-evict, release the
-  /// slot, admit the next batch).
-  void set_completion_hook(std::function<void()> hook) { hook_ = std::move(hook); }
+  /// slot, admit the next batch) with the batch's tenant.
+  void set_completion_hook(std::function<void(TenantId)> hook) {
+    hook_ = std::move(hook);
+  }
 
   // --- Driver-concurrency slots --------------------------------------------
   [[nodiscard]] bool has_free_slot() const noexcept {
@@ -72,7 +81,7 @@ class MigrationScheduler {
   EventQueue& eq_;
   FramePool& frames_;
   PageTable& pt_;
-  ChunkChain& chain_;
+  ChainSet& chains_;
   DriverStats& stats_;
   BandwidthLink h2d_;  ///< host -> device page migrations
   Cycle fault_latency_cycles_;
@@ -83,9 +92,9 @@ class MigrationScheduler {
 
   /// page -> warps waiting for it (migration underway).
   std::unordered_map<PageId, PendingFault> inflight_;
-  EvictionPolicy* policy_ = nullptr;
   FlightRecorder* rec_ = nullptr;
-  std::function<void()> hook_;
+  TenantTable* tenants_ = nullptr;
+  std::function<void(TenantId)> hook_;
 };
 
 }  // namespace uvmsim

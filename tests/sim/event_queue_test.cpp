@@ -57,8 +57,53 @@ TEST(EventQueue, RunRespectsMaxCycle) {
   const u64 executed = eq.run(500);
   EXPECT_EQ(executed, 1u);
   EXPECT_EQ(ran, 1);
-  EXPECT_EQ(eq.now(), 500u);  // clock advanced to the cap
+  // With an event still pending past the cap the clock must NOT fast-forward
+  // — it stays at the last executed event so later relative scheduling
+  // cannot interleave ahead of the pending event.
+  EXPECT_EQ(eq.now(), 10u);
   EXPECT_EQ(eq.pending(), 1u);
+}
+
+TEST(EventQueue, RunFastForwardsOnlyWhenDrained) {
+  EventQueue eq;
+  eq.schedule_at(10, [] {});
+  eq.run(500);
+  EXPECT_TRUE(eq.empty());
+  EXPECT_EQ(eq.now(), 500u);  // drained: clock advances to the cap
+}
+
+TEST(EventQueue, ScheduleInAfterCappedRunStaysBehindPending) {
+  // Regression for the fast-forward bug: a capped run with a pending event
+  // at 1000 used to advance now() to the cap, so schedule_in(10) would land
+  // at cap+10 — *after* the pending event even though it was requested
+  // earlier in causal order. Now it lands at last-event+10, before it.
+  EventQueue eq;
+  std::vector<int> order;
+  eq.schedule_at(10, [&] { order.push_back(1); });
+  eq.schedule_at(1000, [&] { order.push_back(3); });
+  eq.run(500);
+  eq.schedule_in(10, [&] { order.push_back(2); });  // at 20, not 510+
+  eq.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(eq.now(), 1000u);
+}
+
+TEST(EventQueue, ScheduleAtInPastClampsToNow) {
+  // The past-scheduling guard must hold even when assert() compiles out:
+  // the event is clamped to now() (keeping time monotonic) and counted.
+  EventQueue eq;
+  eq.schedule_at(100, [] {});
+  eq.run();
+  ASSERT_EQ(eq.now(), 100u);
+  EXPECT_EQ(eq.clamped_past(), 0u);
+#ifdef NDEBUG
+  Cycle seen = 0;
+  eq.schedule_at(50, [&] { seen = eq.now(); });  // in the past: clamped
+  EXPECT_EQ(eq.clamped_past(), 1u);
+  eq.run();
+  EXPECT_EQ(seen, 100u);   // ran at now(), not before
+  EXPECT_EQ(eq.now(), 100u);  // clock never moved backwards
+#endif
 }
 
 TEST(EventQueue, StepOnEmptyReturnsFalse) {

@@ -14,10 +14,16 @@
 //   uvmsim --workload NW --oversub 0.5 --trace-out t.jsonl
 //   uvmsim --workload NW --trace-out t.jsonl --trace-events fault_raised,eviction_chosen
 //   uvmsim --workload NW --interval-metrics intervals.csv
+//
+// Multi-tenancy (docs/multitenancy.md):
+//
+//   uvmsim --tenants NW,BFS --oversub 0.5 --tenant-mode quota
+//   uvmsim --tenants NW,BFS,MVT --tenant-mode shared --tenant-evict self
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/policy_factory.hpp"
 #include "core/uvm_system.hpp"
@@ -25,6 +31,8 @@
 #include "harness/report.hpp"
 #include "obs/interval_metrics.hpp"
 #include "obs/trace_sink.hpp"
+#include "tenancy/fairness.hpp"
+#include "tenancy/multi_tenant_system.hpp"
 #include "trace/trace_io.hpp"
 #include "trace/trace_workload.hpp"
 #include "workloads/benchmarks.hpp"
@@ -91,6 +99,54 @@ void print_text(const RunResult& r) {
   std::cout << t.str();
 }
 
+std::vector<std::string> split_csv_list(const std::string& s) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : s) {
+    if (c == ',') {
+      if (!cur.empty()) out.push_back(cur);
+      cur.clear();
+    } else if (c != ' ') {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+void print_tenants(const RunResult& r, bool have_solos) {
+  TextTable t({"tenant", "workload", "quota", "finish", "done", "slowdown",
+               "faults", "evicted", "by self", "by others", "of others"});
+  for (const TenantRunResult& tr : r.tenants)
+    t.add_row({std::to_string(tr.id), tr.workload,
+               tr.quota_frames ? std::to_string(tr.quota_frames) : "-",
+               std::to_string(tr.finish_cycle), tr.completed ? "yes" : "NO",
+               have_solos ? fmt(tr.slowdown_vs_solo, 2) + "x" : "-",
+               std::to_string(tr.stats.page_faults),
+               std::to_string(tr.stats.pages_evicted),
+               std::to_string(tr.stats.evicted_by_self),
+               std::to_string(tr.stats.evicted_by_others),
+               std::to_string(tr.stats.evictions_of_others)});
+  std::cout << "\nper-tenant (" << r.tenant_mode << " mode):\n" << t.str();
+  if (have_solos)
+    std::cout << "Jain fairness index: " << fmt(r.jain_fairness, 4) << "\n";
+}
+
+void print_tenant_csv(const RunResult& r) {
+  std::cout << "tenant,workload,tenant_mode,quota_frames,finish_cycle,"
+               "completed,slowdown_vs_solo,jain_fairness,page_faults,"
+               "pages_evicted,evicted_by_self,evicted_by_others,"
+               "evictions_of_others\n";
+  for (const TenantRunResult& tr : r.tenants)
+    std::cout << tr.id << ',' << tr.workload << ',' << r.tenant_mode << ','
+              << tr.quota_frames << ',' << tr.finish_cycle << ','
+              << tr.completed << ',' << tr.slowdown_vs_solo << ','
+              << r.jain_fairness << ',' << tr.stats.page_faults << ','
+              << tr.stats.pages_evicted << ',' << tr.stats.evicted_by_self
+              << ',' << tr.stats.evicted_by_others << ','
+              << tr.stats.evictions_of_others << "\n";
+}
+
 void print_csv(const RunResult& r) {
   std::cout << "workload,eviction,prefetcher,oversub,cycles,completed,faults,"
                "migration_ops,pages_in,pages_demanded,pages_prefetched,"
@@ -123,6 +179,12 @@ int main(int argc, char** argv) {
   cli.add_option("interval", "interval length in migrated pages", "64");
   cli.add_option("fault-batch",
                  "pending faults drained per driver wakeup (1 = classic)", "1");
+  cli.add_option("tenants",
+                 "comma-separated workloads co-scheduled on one GPU, e.g. NW,BFS");
+  cli.add_option("tenant-mode", "shared | partitioned | quota", "shared");
+  cli.add_option("tenant-evict",
+                 "victim scope in shared mode: global | self", "global");
+  cli.add_flag("no-solo", "skip the solo baselines (no slowdown/Jain output)");
   cli.add_option("sms", "number of SMs", "28");
   cli.add_option("warps", "warps per SM", "8");
   cli.add_option("seed", "experiment seed", "24301");
@@ -184,6 +246,72 @@ int main(int argc, char** argv) {
   sys.warps_per_sm = static_cast<u32>(cli.get_int("warps"));
 
   try {
+    if (cli.was_set("tenants")) {
+      const auto names = split_csv_list(cli.get("tenants"));
+      if (names.size() < 2) {
+        std::cerr << "--tenants needs at least two workloads, e.g. NW,BFS\n";
+        return 2;
+      }
+      const auto mode = parse_tenant_mode(cli.get("tenant-mode"));
+      if (!mode) {
+        std::cerr << "unknown --tenant-mode: " << cli.get("tenant-mode") << "\n";
+        return 2;
+      }
+      const auto scope = parse_eviction_scope(cli.get("tenant-evict"));
+      if (!scope) {
+        std::cerr << "unknown --tenant-evict: " << cli.get("tenant-evict") << "\n";
+        return 2;
+      }
+
+      std::vector<std::unique_ptr<Workload>> workloads;
+      std::vector<const Workload*> ptrs;
+      for (const auto& n : names) {
+        workloads.push_back(make_benchmark(n));
+        ptrs.push_back(workloads.back().get());
+      }
+
+      MultiTenantSystem system(sys, pol, ptrs, cli.get_double("oversub"),
+                               *mode, *scope);
+      std::ofstream trace_file;
+      std::unique_ptr<JsonlSink> trace_sink;
+      system.recorder().set_event_mask(*event_mask);
+      if (cli.was_set("trace-out")) {
+        trace_file.open(cli.get("trace-out"));
+        if (!trace_file) {
+          std::cerr << "error: cannot open " << cli.get("trace-out") << "\n";
+          return 2;
+        }
+        trace_sink = std::make_unique<JsonlSink>(trace_file);
+        system.recorder().add_sink(trace_sink.get());
+      }
+
+      RunResult r = system.run();
+
+      const bool solos = !cli.get_flag("no-solo");
+      if (solos) {
+        // Solo baseline: same workload alone on the tenant's SM slice at
+        // the same oversubscription, so slowdown isolates memory-system
+        // interference from the static SM split.
+        SystemConfig solo_cfg = sys;
+        solo_cfg.num_sms = system.sms_per_tenant();
+        std::vector<Cycle> solo_cycles;
+        for (const Workload* w : ptrs) {
+          UvmSystem solo(solo_cfg, pol, *w, cli.get_double("oversub"));
+          solo_cycles.push_back(solo.run().cycles);
+        }
+        apply_solo_baselines(r, solo_cycles);
+      }
+
+      if (cli.get_flag("csv")) {
+        print_csv(r);
+        print_tenant_csv(r);
+      } else {
+        print_text(r);
+        print_tenants(r, solos);
+      }
+      return r.completed ? 0 : 1;
+    }
+
     std::unique_ptr<Workload> workload;
     if (cli.was_set("trace")) {
       workload = std::make_unique<TraceWorkload>(load_trace(cli.get("trace")));

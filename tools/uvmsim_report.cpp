@@ -4,6 +4,7 @@
 //
 //   uvmsim_report --out report.md
 //   uvmsim_report --oversubs 0.5 --out -        (stdout)
+//   uvmsim_report --tenants "NW+BFS;MVT+SRD" --out -   (adds fairness section)
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -28,12 +29,26 @@ std::vector<double> parse_rates(const std::string& s) {
   return out;
 }
 
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, sep))
+    if (!item.empty()) out.push_back(item);
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   CliParser cli("uvmsim_report — one-shot reproduction report (Markdown)");
   cli.add_option("out", "output path ('-' = stdout)", "-");
   cli.add_option("oversubs", "comma-separated oversubscription rates", "0.75,0.5");
+  cli.add_option("tenants",
+                 "';'-separated '+'-joined tenant groups (e.g. \"NW+BFS\") — "
+                 "adds a multi-tenant fairness section");
+  cli.add_option("tenant-modes", "comma-separated: shared,partitioned,quota",
+                 "shared,partitioned,quota");
   cli.add_option("threads", "worker threads (0 = hardware)", "0");
   if (!cli.parse(argc, argv)) return cli.error().empty() ? 0 : 2;
 
@@ -96,6 +111,60 @@ int main(int argc, char** argv) {
       chart.add(b.abbr,
                 idx[{b.abbr, "CPPE", ov}]->speedup_vs(*idx[{b.abbr, "baseline", ov}]));
     md << "```\n" << chart.str() << "```\n\n";
+  }
+
+  // Optional multi-tenant fairness section: tenant groups × sharing modes,
+  // CPPE policy, first oversubscription rate. Off by default so the classic
+  // report stays byte-identical.
+  if (cli.was_set("tenants") && !rates.empty()) {
+    const double ov = rates.front();
+    std::vector<ExperimentSpec> tspecs;
+    for (const auto& group : split(cli.get("tenants"), ';')) {
+      const auto members = split(group, '+');
+      if (members.size() < 2) {
+        std::cerr << "tenant group needs >= 2 workloads: " << group << "\n";
+        return 2;
+      }
+      for (const auto& mode_str : split(cli.get("tenant-modes"), ',')) {
+        const auto mode = parse_tenant_mode(mode_str);
+        if (!mode) {
+          std::cerr << "unknown tenant mode: " << mode_str << "\n";
+          return 2;
+        }
+        ExperimentSpec s;
+        s.workload = group;
+        s.label = mode_str;
+        s.policy = presets::cppe();
+        s.oversub = ov;
+        s.tenants = members;
+        s.tenant_mode = *mode;
+        tspecs.push_back(std::move(s));
+      }
+    }
+    std::cerr << "running " << tspecs.size() << " multi-tenant experiments...\n";
+    const auto tresults =
+        run_sweep(tspecs, static_cast<unsigned>(cli.get_int("threads")));
+
+    md << "## Multi-tenant fairness (CPPE, " << fmt(ov * 100, 0)
+       << "% fits)\n\n"
+       << "Slowdown is each tenant's finish time over its solo run on the "
+          "same SM slice at the same oversubscription; Jain index is over "
+          "the per-tenant rates (1 = perfectly fair).\n\n"
+       << "| tenants | mode | per-tenant slowdown | Jain | cross-tenant "
+          "evictions |\n|---|---|---|---|---|\n";
+    for (const auto& r : tresults) {
+      u64 cross = 0;
+      std::string slow;
+      for (const auto& t : r.result.tenants) {
+        if (!slow.empty()) slow += ", ";
+        slow += t.workload + " " + fmt(t.slowdown_vs_solo) + "x";
+        cross += t.stats.evicted_by_others;
+      }
+      md << "| " << r.spec.workload << " | " << r.spec.label << " | " << slow
+         << " | " << fmt(r.result.jain_fairness, 3) << " | " << cross
+         << " |\n";
+    }
+    md << "\n";
   }
 
   md << "## Health indicators\n\n";

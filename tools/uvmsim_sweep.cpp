@@ -3,6 +3,12 @@
 //
 //   uvmsim_sweep --out results.csv
 //   uvmsim_sweep --workloads NW,MVT,SRD --oversubs 0.75,0.5 --json results.json
+//
+// Multi-tenant grids: tenant groups are '+'-joined workloads separated by
+// ';' and crossed with --tenant-modes; per-tenant rows land in --tenant-out.
+//
+//   uvmsim_sweep --tenants "NW+BFS;MVT+SRD" --tenant-modes shared,quota
+//                --out results.csv --tenant-out tenants.csv
 #include <iostream>
 #include <sstream>
 
@@ -36,6 +42,14 @@ int main(int argc, char** argv) {
                  "reserved10,reserved20,hpe,demand,noprefetch-full",
                  "baseline,cppe");
   cli.add_option("oversubs", "comma-separated oversubscription rates", "0.75,0.5");
+  cli.add_option("tenants",
+                 "';'-separated tenant groups of '+'-joined workloads, e.g. "
+                 "\"NW+BFS;MVT+SRD\" (replaces --workloads)");
+  cli.add_option("tenant-modes", "comma-separated: shared,partitioned,quota",
+                 "shared,partitioned,quota");
+  cli.add_option("tenant-evict", "shared-mode victim scope: global | self",
+                 "global");
+  cli.add_option("tenant-out", "per-tenant CSV output path");
   cli.add_option("out", "CSV output path (empty = stdout table)");
   cli.add_option("json", "JSON output path");
   cli.add_option("threads", "worker threads (0 = hardware)", "0");
@@ -63,16 +77,49 @@ int main(int argc, char** argv) {
   }
 
   std::vector<ExperimentSpec> specs;
-  for (const auto& w : workloads)
-    for (const auto& ov_str : split(cli.get("oversubs")))
-      for (const auto& [label, pol] : policies) {
-        ExperimentSpec s;
-        s.workload = w;
-        s.label = label;
-        s.policy = pol;
-        s.oversub = std::stod(ov_str);
-        specs.push_back(std::move(s));
+  if (cli.was_set("tenants")) {
+    const auto scope = parse_eviction_scope(cli.get("tenant-evict"));
+    if (!scope) {
+      std::cerr << "unknown --tenant-evict: " << cli.get("tenant-evict") << "\n";
+      return 2;
+    }
+    for (const auto& group : split(cli.get("tenants"), ';')) {
+      const auto members = split(group, '+');
+      if (members.size() < 2) {
+        std::cerr << "tenant group needs >= 2 workloads: " << group << "\n";
+        return 2;
       }
+      for (const auto& mode_str : split(cli.get("tenant-modes")))
+        for (const auto& ov_str : split(cli.get("oversubs")))
+          for (const auto& [label, pol] : policies) {
+            const auto mode = parse_tenant_mode(mode_str);
+            if (!mode) {
+              std::cerr << "unknown tenant mode: " << mode_str << "\n";
+              return 2;
+            }
+            ExperimentSpec s;
+            s.workload = group;
+            s.label = label + "/" + mode_str;
+            s.policy = pol;
+            s.oversub = std::stod(ov_str);
+            s.tenants = members;
+            s.tenant_mode = *mode;
+            s.tenant_scope = *scope;
+            specs.push_back(std::move(s));
+          }
+    }
+  } else {
+    for (const auto& w : workloads)
+      for (const auto& ov_str : split(cli.get("oversubs")))
+        for (const auto& [label, pol] : policies) {
+          ExperimentSpec s;
+          s.workload = w;
+          s.label = label;
+          s.policy = pol;
+          s.oversub = std::stod(ov_str);
+          specs.push_back(std::move(s));
+        }
+  }
 
   std::cerr << "running " << specs.size() << " experiments...\n";
   const auto results =
@@ -85,6 +132,10 @@ int main(int argc, char** argv) {
   if (cli.was_set("json")) {
     save_json(cli.get("json"), results);
     std::cerr << "wrote " << cli.get("json") << "\n";
+  }
+  if (cli.was_set("tenant-out")) {
+    save_tenant_csv(cli.get("tenant-out"), results);
+    std::cerr << "wrote " << cli.get("tenant-out") << "\n";
   }
   if (!cli.was_set("out") && !cli.was_set("json")) {
     TextTable t({"workload", "label", "oversub", "cycles", "faults", "pages in",
