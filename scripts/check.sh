@@ -23,6 +23,28 @@ cmp "$TRACE_DIR/a.jsonl" "$TRACE_DIR/b.jsonl"
 echo "trace OK: $(wc -l < "$TRACE_DIR/a.jsonl") events, byte-identical rerun"
 
 echo
+echo "== event-queue health (no past-scheduled events in a clean run) =="
+if "$BUILD"/tools/uvmsim --workload NW --oversub 0.5 | grep -q "clamped"; then
+  echo "FAIL: EventQueue clamped past-scheduled events in a clean run"
+  exit 1
+fi
+echo "clamp gate OK"
+
+echo
+echo "== 2-GPU fabric determinism (device-stamped trace, byte-identical rerun) =="
+"$BUILD"/tools/uvmsim --workload NW --oversub 0.5 --gpus 2 --fabric ring \
+  --trace-out "$TRACE_DIR/f_a.jsonl" >/dev/null
+"$BUILD"/tools/uvmsim --workload NW --oversub 0.5 --gpus 2 --fabric ring \
+  --trace-out "$TRACE_DIR/f_b.jsonl" >/dev/null
+grep -q '"dev":' "$TRACE_DIR/f_a.jsonl"
+cmp "$TRACE_DIR/f_a.jsonl" "$TRACE_DIR/f_b.jsonl"
+echo "fabric trace OK: $(wc -l < "$TRACE_DIR/f_a.jsonl") events, byte-identical rerun"
+
+echo
+echo "== fabric spill smoke (spill-to-peer must cut host write-back) =="
+"$BUILD"/bench/fabric_scaling --smoke
+
+echo
 echo "== bench binaries =="
 for b in "$BUILD"/bench/*; do
   [ -f "$b" ] && [ -x "$b" ] || continue  # skip CMakeFiles/ etc.

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Standalone UBSan build and test run: undefined behaviour is fatal
+# (-fno-sanitize-recover), unlike the combined ASan job where UBSan only
+# warns. Finishes with a 2-GPU fabric smoke, whose peer-path arithmetic
+# (fixed-point link rates, hop accounting) is exactly the kind of code UB
+# creeps into.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build-ubsan -G Ninja \
+  -DCMAKE_BUILD_TYPE=Debug \
+  -DCMAKE_CXX_FLAGS="-fsanitize=undefined -fno-sanitize-recover=undefined -fno-omit-frame-pointer"
+cmake --build build-ubsan
+ctest --test-dir build-ubsan -j"$(nproc)" --output-on-failure
+
+build-ubsan/tools/uvmsim --workload NW --oversub 0.5 \
+  --gpus 2 --fabric ring --spill >/dev/null
+echo "ubsan fabric smoke OK"

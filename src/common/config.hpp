@@ -2,11 +2,44 @@
 // plus the policy constants fixed in §IV-B / §VI-A.
 #pragma once
 
+#include <optional>
 #include <string>
+#include <string_view>
 
 #include "common/types.hpp"
 
 namespace uvmsim {
+
+/// Peer-link graph joining the GPUs of a multi-GPU run (src/fabric).
+enum class FabricKind : u8 {
+  kPcie,    ///< no peer links: peer traffic is routed through the host
+  kRing,    ///< NVLink ring, adjacent devices linked bidirectionally
+  kSwitch,  ///< fully connected NVSwitch: every ordered pair linked
+};
+
+/// Where a faulted page is homed when it is first brought onto the fabric.
+enum class PlacementKind : u8 {
+  kFirstTouch,  ///< home = first device to fault any page of the chunk
+  kRoundRobin,  ///< home = chunk id modulo device count
+  kAffinity,    ///< contiguous chunk ranges, one slice per device
+};
+
+/// Multi-GPU fabric parameters (tentpole of src/fabric; gpus == 1 keeps the
+/// single-GPU system byte-identical — no fabric object is even built).
+struct FabricConfig {
+  u32 gpus = 1;                       ///< devices sharing the fabric
+  FabricKind topology = FabricKind::kRing;
+  PlacementKind placement = PlacementKind::kFirstTouch;
+  /// Remote accesses a page absorbs before it migrates to the accessor
+  /// (remote map over NVLink below the threshold, migrate at it);
+  /// 0 = always migrate (remote access disabled).
+  u32 remote_threshold = 4;
+  /// Evictions spill to a peer with free frames over NVLink instead of
+  /// writing back to host over PCIe (second-chance hop back on re-fault).
+  bool spill = false;
+  double nvlink_bw_gbps = 25.0;       ///< per peer link, per direction
+  double nvlink_latency_us = 0.5;     ///< per-hop remote-access round trip
+};
 
 /// GPU core / translation / memory-system parameters (Table I).
 struct SystemConfig {
@@ -168,6 +201,40 @@ struct PolicyConfig {
     case PrefetchKind::kPatternAware: return "pattern-aware";
   }
   return "?";
+}
+
+[[nodiscard]] constexpr const char* to_string(FabricKind k) noexcept {
+  switch (k) {
+    case FabricKind::kPcie: return "pcie";
+    case FabricKind::kRing: return "ring";
+    case FabricKind::kSwitch: return "switch";
+  }
+  return "?";
+}
+
+[[nodiscard]] constexpr const char* to_string(PlacementKind k) noexcept {
+  switch (k) {
+    case PlacementKind::kFirstTouch: return "first-touch";
+    case PlacementKind::kRoundRobin: return "round-robin";
+    case PlacementKind::kAffinity: return "affinity";
+  }
+  return "?";
+}
+
+[[nodiscard]] inline std::optional<FabricKind> parse_fabric_kind(
+    std::string_view s) noexcept {
+  if (s == "pcie") return FabricKind::kPcie;
+  if (s == "ring") return FabricKind::kRing;
+  if (s == "switch" || s == "nvswitch") return FabricKind::kSwitch;
+  return std::nullopt;
+}
+
+[[nodiscard]] inline std::optional<PlacementKind> parse_placement_kind(
+    std::string_view s) noexcept {
+  if (s == "first-touch") return PlacementKind::kFirstTouch;
+  if (s == "round-robin") return PlacementKind::kRoundRobin;
+  if (s == "affinity") return PlacementKind::kAffinity;
+  return std::nullopt;
 }
 
 }  // namespace uvmsim

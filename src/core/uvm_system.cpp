@@ -64,6 +64,7 @@ RunResult UvmSystem::run(Cycle max_cycles) {
     r.pattern_capacity_evictions = pa->capacity_evictions();
   }
   r.trace_events_recorded = recorder_.events_recorded();
+  r.clamped_past = eq_.clamped_past();
   recorder_.flush();
   return r;
 }

@@ -41,6 +41,24 @@ struct TenantRunResult {
   double slowdown_vs_solo = 0.0;
 };
 
+/// Per-device slice of a multi-GPU fabric run (fabric/fabric_system.hpp).
+struct DeviceRunResult {
+  u32 id = 0;
+  u64 capacity_pages = 0;
+  Cycle finish_cycle = 0;
+  bool completed = false;
+  UvmDriver::Stats driver;
+  u64 h2d_pages = 0;  ///< this device's host PCIe traffic
+  u64 d2h_pages = 0;
+};
+
+/// Per-link slice of a multi-GPU fabric run.
+struct LinkRunResult {
+  std::string name;      ///< e.g. "d0->d1", "d2->host"
+  u64 units_moved = 0;   ///< cache-line transfer units
+  double utilisation = 0.0;
+};
+
 struct RunResult {
   std::string workload;
   std::string eviction_name;
@@ -82,6 +100,16 @@ struct RunResult {
   std::string tenant_mode;            ///< "", or shared|partitioned|quota
   std::vector<TenantRunResult> tenants;
   double jain_fairness = 0.0;         ///< Jain's index over 1/slowdown; 0 = n/a
+
+  // Multi-GPU fabric runs only (empty vectors, gpus == 1 otherwise).
+  std::string fabric;                 ///< "", or pcie|ring|switch
+  u32 gpus = 1;
+  std::vector<DeviceRunResult> devices;
+  std::vector<LinkRunResult> links;
+
+  /// EventQueue::clamped_past() — events scheduled in the past and clamped
+  /// to "now". Always 0 in a healthy run; scripts/check.sh gates on it.
+  u64 clamped_past = 0;
 
   [[nodiscard]] double speedup_vs(const RunResult& baseline) const {
     return cycles == 0 ? 0.0

@@ -1,0 +1,184 @@
+#include "fabric/fabric.hpp"
+
+#include <algorithm>
+
+namespace uvmsim {
+
+FabricCoordinator::FabricCoordinator(EventQueue& eq, const SystemConfig& sys,
+                                     const FabricConfig& cfg,
+                                     u64 footprint_pages)
+    : eq_(eq),
+      cfg_(cfg),
+      topo_(sys, cfg),
+      hop_latency_cycles_(static_cast<Cycle>(cfg.nvlink_latency_us *
+                                             sys.core_ghz * 1000.0)),
+      lines_per_page_(static_cast<u32>(kPageBytes) / sys.cache_line_bytes),
+      drivers_(cfg.gpus, nullptr),
+      invalidators_(cfg.gpus),
+      owner_(footprint_pages, kNone8),
+      remote_count_(footprint_pages, 0),
+      spilled_(footprint_pages, 0) {
+  const u64 chunks = (footprint_pages + kChunkPages - 1) / kChunkPages;
+  home_.assign(chunks, kNone8);
+  switch (cfg.placement) {
+    case PlacementKind::kFirstTouch:
+      break;  // assigned lazily in note_page_mapped
+    case PlacementKind::kRoundRobin:
+      for (u64 c = 0; c < chunks; ++c)
+        home_[c] = static_cast<u8>(c % cfg.gpus);
+      break;
+    case PlacementKind::kAffinity: {
+      // Contiguous chunk ranges, one slice per device (Mosaic-style
+      // affinity hinting: neighbouring chunks share a home).
+      const u64 per = (chunks + cfg.gpus - 1) / cfg.gpus;
+      for (u64 c = 0; c < chunks; ++c)
+        home_[c] = static_cast<u8>(std::min<u64>(c / per, cfg.gpus - 1));
+      break;
+    }
+  }
+}
+
+void FabricCoordinator::attach_device(u32 dev, UvmDriver* driver) {
+  assert(dev < drivers_.size() && driver != nullptr);
+  drivers_[dev] = driver;
+}
+
+void FabricCoordinator::set_invalidator(u32 dev,
+                                        std::function<void(PageId)> inv) {
+  assert(dev < invalidators_.size());
+  invalidators_[dev] = std::move(inv);
+}
+
+FabricDecision FabricCoordinator::route_fault(u32 dev, PageId p) {
+  // Another device is already fetching this page: wait for its migration to
+  // land, then re-route (the page will then be remote-accessible).
+  for (u32 d = 0; d < drivers_.size(); ++d)
+    if (d != dev && drivers_[d]->migration_in_flight(p))
+      return {FabricRoute::kRetry, d, false};
+
+  const u32 owner = owner_of(p);
+  if (owner != kHostDevice) {
+    assert(owner != dev);  // locally-resident faults never reach the fabric
+    // Spilled pages hop back on first re-fault (the spill's second chance);
+    // otherwise the per-page counter arbitrates remote-vs-migrate. Without
+    // peer links (pcie preset) remote mapping is meaningless, so migrate.
+    const bool hopback = spilled_[p] != 0;
+    const bool migrate = hopback || !topo_.peer_capable() ||
+                         cfg_.remote_threshold == 0 ||
+                         remote_count_[p] >= cfg_.remote_threshold;
+    if (migrate) {
+      // Pin the source chunk so the copy survives until it is surrendered.
+      drivers_[owner]->pin_for_transfer(chunk_of_page(p));
+      return {FabricRoute::kPeerFetch, owner, hopback};
+    }
+    if (remote_count_[p] < 0xFFFF) ++remote_count_[p];
+    return {FabricRoute::kRemoteAccess, owner, false};
+  }
+
+  // Host-resident: respect the placement homing — a page homed elsewhere is
+  // faulted in by its home device, not by us.
+  const u32 home = home_of(chunk_of_page(p));
+  if (home != kHostDevice && home != dev)
+    return {FabricRoute::kForward, home, false};
+  return {};
+}
+
+Cycle FabricCoordinator::charge_remote(u32 dev, u32 owner, PageId p) {
+  (void)p;
+  // Request out, one line of data back: two latency traversals plus the
+  // line's occupancy on the owner -> accessor path.
+  const Cycle latency = 2 * topo_.hops(owner, dev) * hop_latency_cycles_;
+  return topo_.reserve_path(owner, dev, 1, eq_.now() + latency);
+}
+
+void FabricCoordinator::forward_fault(u32 from, u32 home, PageId p,
+                                      WakeCallback wake) {
+  // The home device services the fault as its own (its chain, its policy,
+  // its prefetcher); the faulting warp then consumes the page with one
+  // remote access, which also starts the remote-vs-migrate counter.
+  drivers_[home]->fault(p, [this, from, home, p, w = std::move(wake)]() mutable {
+    if (remote_count_[p] < 0xFFFF) ++remote_count_[p];
+    eq_.schedule_at(charge_remote(from, home, p), std::move(w));
+  });
+}
+
+Cycle FabricCoordinator::reserve_transfer(u32 src, u32 dst, u64 pages,
+                                          Cycle earliest) {
+  return topo_.reserve_path(src, dst, pages * lines_per_page_,
+                            earliest + topo_.hops(src, dst) * hop_latency_cycles_);
+}
+
+void FabricCoordinator::note_page_mapped(u32 dev, PageId p) {
+  owner_[p] = static_cast<u8>(dev);
+  remote_count_[p] = 0;
+  spilled_[p] = 0;
+  if (cfg_.placement == PlacementKind::kFirstTouch) {
+    const ChunkId c = chunk_of_page(p);
+    if (home_[c] == kNone8) home_[c] = static_cast<u8>(dev);
+  }
+}
+
+void FabricCoordinator::note_page_unmapped(u32 dev, PageId p) {
+  if (owner_[p] != static_cast<u8>(dev)) return;  // already moved on
+  owner_[p] = kNone8;
+  remote_count_[p] = 0;
+  spilled_[p] = 0;
+  // Remote accessors may hold TLB entries and page-tagged cache lines for
+  // the departing page: broadcast the shootdown.
+  for (u32 d = 0; d < invalidators_.size(); ++d)
+    if (d != dev && invalidators_[d]) invalidators_[d](p);
+}
+
+void FabricCoordinator::surrender_at(u32 src, PageId p) {
+  assert(src < drivers_.size());
+  drivers_[src]->surrender_page(p);
+}
+
+u32 FabricCoordinator::spill_target(u32 from, u64 pages) {
+  // Spilling over the pcie preset would ride the same host link it is meant
+  // to relieve; write back to host instead.
+  if (!topo_.peer_capable()) return kHostDevice;
+  // Nearest peer (fewest hops) that can absorb the chunk without dipping
+  // into its own pre-eviction headroom; ties go to the lowest device id.
+  u32 best = kHostDevice;
+  u32 best_hops = ~u32{0};
+  for (u32 d = 0; d < drivers_.size(); ++d) {
+    if (d == from) continue;
+    const FramePool& fp = drivers_[d]->frame_pool();
+    if (fp.free_frames() < pages + fp.watermark_pages()) continue;
+    const u32 h = topo_.hops(from, d);
+    if (h < best_hops) {
+      best = d;
+      best_hops = h;
+    }
+  }
+  return best;
+}
+
+void FabricCoordinator::spill_chunk(u32 from, u32 dst, ChunkId c,
+                                    const TouchBits& resident) {
+  // The victim's pages cross the fabric (occupancy only — the spill happens
+  // off the fault critical path) and the peer adopts the chunk.
+  topo_.reserve_path(from, dst, resident.count() * lines_per_page_,
+                     eq_.now() + topo_.hops(from, dst) * hop_latency_cycles_);
+  drivers_[dst]->adopt_spilled_chunk(c, resident);
+  const PageId base = first_page_of_chunk(c);
+  for (u32 i = 0; i < kChunkPages; ++i) {
+    if (!resident.test(i)) continue;
+    const PageId p = base + i;
+    owner_[p] = static_cast<u8>(dst);
+    remote_count_[p] = 0;
+    spilled_[p] = 1;  // re-fault anywhere hops it back (second chance)
+  }
+}
+
+bool FabricCoordinator::host_fetchable(u32 dev, PageId p) const {
+  const u32 owner = owner_of(p);
+  if (owner != kHostDevice && owner != dev) return false;
+  for (u32 d = 0; d < drivers_.size(); ++d)
+    if (d != dev && drivers_[d]->migration_in_flight(p)) return false;
+  const u32 home = home_of(chunk_of_page(p));
+  return home == kHostDevice || home == dev;
+}
+
+}  // namespace uvmsim

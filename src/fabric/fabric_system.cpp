@@ -1,0 +1,168 @@
+#include "fabric/fabric_system.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "core/policy_factory.hpp"
+
+namespace uvmsim {
+
+namespace {
+
+void accumulate(DriverStats& into, const DriverStats& s) {
+  into.page_faults += s.page_faults;
+  into.faults_coalesced += s.faults_coalesced;
+  into.pages_migrated_in += s.pages_migrated_in;
+  into.pages_demanded += s.pages_demanded;
+  into.pages_prefetched += s.pages_prefetched;
+  into.pages_evicted += s.pages_evicted;
+  into.chunks_evicted += s.chunks_evicted;
+  into.migration_ops += s.migration_ops;
+  into.demand_evictions += s.demand_evictions;
+  into.pre_evictions += s.pre_evictions;
+  into.fault_wait_cycles += s.fault_wait_cycles;
+  into.remote_accesses += s.remote_accesses;
+  into.peer_fetches += s.peer_fetches;
+  into.spill_hopbacks += s.spill_hopbacks;
+  into.faults_forwarded += s.faults_forwarded;
+  into.chunks_spilled += s.chunks_spilled;
+  into.pages_spilled += s.pages_spilled;
+  into.pages_surrendered += s.pages_surrendered;
+}
+
+}  // namespace
+
+FabricSystem::FabricSystem(const SystemConfig& sys, const PolicyConfig& pol,
+                           const Workload& workload, double oversub,
+                           const FabricConfig& fabric)
+    : sys_cfg_(sys),
+      pol_cfg_(pol),
+      fab_cfg_(fabric),
+      workload_(workload),
+      oversub_(oversub) {
+  const u32 n = std::max(1u, fabric.gpus);
+  fab_cfg_.gpus = n;
+  const u64 footprint = workload.footprint_pages();
+  // Per-device share of the capacity the oversubscription rate grants, with
+  // UvmSystem's per-driver floor (admission-pinning deadlock freedom). At
+  // N = 1 this is exactly UvmSystem's capacity.
+  const u64 floor_pages = 16 * kChunkPages;
+  const u64 capacity = std::max<u64>(
+      floor_pages,
+      std::min<u64>(footprint,
+                    static_cast<u64>(std::ceil(
+                        oversub * static_cast<double>(footprint) /
+                        static_cast<double>(n)))));
+
+  if (n > 1)
+    coord_ = std::make_unique<FabricCoordinator>(eq_, sys_cfg_, fab_cfg_,
+                                                 footprint);
+
+  const u32 warps_per_device = sys_cfg_.num_sms * sys_cfg_.warps_per_sm;
+  for (u32 d = 0; d < n; ++d) {
+    auto rec = std::make_unique<FlightRecorder>(eq_);
+    if (n > 1) rec->set_device(d);
+
+    auto driver = std::make_unique<UvmDriver>(eq_, sys_cfg_, pol_cfg_,
+                                              footprint, capacity);
+    driver->set_recorder(rec.get());
+    driver->set_policy(make_eviction_policy(pol_cfg_, driver->chain()));
+    driver->set_prefetcher(make_prefetcher(pol_cfg_));
+    if (n > 1) driver->attach_fabric(coord_.get(), d, fab_cfg_.spill);
+
+    shards_.push_back(std::make_unique<ShardedWorkload>(
+        workload_, d * warps_per_device, n * warps_per_device));
+    // Per-device warp seeds derive from pol.seed + device id, so device 0
+    // of a 1-GPU fabric matches UvmSystem's seeding exactly.
+    auto gpu = std::make_unique<Gpu>(eq_, sys_cfg_, *driver, *shards_.back(),
+                                     pol_cfg_.seed + d);
+    if (n > 1) {
+      coord_->attach_device(d, driver.get());
+      coord_->set_invalidator(
+          d, [g = gpu.get()](PageId p) { g->remote_shootdown(p); });
+    }
+    recorders_.push_back(std::move(rec));
+    drivers_.push_back(std::move(driver));
+    gpus_.push_back(std::move(gpu));
+  }
+}
+
+FabricSystem::~FabricSystem() = default;
+
+void FabricSystem::add_sink(TraceSink* sink) {
+  for (auto& rec : recorders_) rec->add_sink(sink);
+}
+
+void FabricSystem::set_event_mask(u32 mask) {
+  for (auto& rec : recorders_) rec->set_event_mask(mask);
+}
+
+RunResult FabricSystem::run(Cycle max_cycles) {
+  for (auto& g : gpus_) g->launch();
+  eq_.run(max_cycles);
+
+  RunResult r;
+  r.workload = workload_.abbr();
+  r.eviction_name = drivers_[0]->policy().name();
+  r.prefetcher_name = drivers_[0]->prefetcher().name();
+  r.oversub = oversub_;
+  r.footprint_pages = workload_.footprint_pages();
+  // Fabric-shaped result fields stay at their defaults for 1-GPU systems so
+  // the result (and its JSON) is indistinguishable from a UvmSystem run.
+  if (coord_ != nullptr) {
+    r.fabric = to_string(fab_cfg_.topology);
+    r.gpus = num_gpus();
+  }
+
+  r.completed = true;
+  Cycle last_finish = 0;
+  for (u32 d = 0; d < num_gpus(); ++d) {
+    const Gpu& g = *gpus_[d];
+    const UvmDriver& drv = *drivers_[d];
+    r.capacity_pages += drv.capacity_pages();
+    r.completed = r.completed && g.finished();
+    const Cycle fin = g.finished() ? g.finish_cycle() : eq_.now();
+    last_finish = std::max(last_finish, fin);
+
+    DeviceRunResult dr;
+    dr.id = d;
+    dr.capacity_pages = drv.capacity_pages();
+    dr.finish_cycle = fin;
+    dr.completed = g.finished();
+    dr.driver = drv.stats();
+    dr.h2d_pages = drv.h2d().units_moved();
+    dr.d2h_pages = drv.d2h().units_moved();
+    if (coord_ != nullptr) r.devices.push_back(dr);
+
+    accumulate(r.driver, drv.stats());
+    r.h2d_pages += dr.h2d_pages;
+    r.d2h_pages += dr.d2h_pages;
+    const Gpu::Stats gs = g.stats();
+    r.gpu.accesses += gs.accesses;
+    r.gpu.l1_tlb_hits += gs.l1_tlb_hits;
+    r.gpu.l1_tlb_misses += gs.l1_tlb_misses;
+    r.gpu.l2_tlb_hits += gs.l2_tlb_hits;
+    r.gpu.l2_tlb_misses += gs.l2_tlb_misses;
+    r.gpu.far_faults += gs.far_faults;
+    r.gpu.l1d_hits += gs.l1d_hits;
+    r.gpu.l1d_misses += gs.l1d_misses;
+    r.gpu.l2c_hits += gs.l2c_hits;
+    r.gpu.l2c_misses += gs.l2c_misses;
+    r.final_chain_length += drv.chain().size();
+    r.trace_events_recorded += recorders_[d]->events_recorded();
+  }
+  r.cycles = r.completed ? last_finish : eq_.now();
+  r.h2d_utilisation = drivers_[0]->h2d().utilisation(r.cycles);
+
+  if (coord_ != nullptr) {
+    for (const FabricTopology::Link& l : coord_->topology().links())
+      r.links.push_back(
+          {l.name, l.link.units_moved(), l.link.utilisation(r.cycles)});
+  }
+  r.clamped_past = eq_.clamped_past();
+  for (auto& rec : recorders_) rec->flush();
+  return r;
+}
+
+}  // namespace uvmsim

@@ -1,0 +1,81 @@
+// FabricSystem: N GPUs on one NVLink fabric running one shared workload —
+// the multi-GPU sibling of UvmSystem (core/uvm_system.hpp).
+//
+// One EventQueue and one host drive N full Gpu instances, each with its OWN
+// UvmDriver (frame pool, chunk chains, prefetcher, PCIe link pair) — unlike
+// MultiTenantSystem, which shares one driver. The FabricCoordinator joins
+// the drivers: fault routing (remote access / peer fetch / placement
+// forwarding), eviction spill-to-peer and the link-graph timing all flow
+// through it (docs/fabric.md).
+//
+// Each device records through its own FlightRecorder stamped with its
+// device id; all recorders share the caller's sinks, so one JSONL stream
+// interleaves every device's events in simulation order.
+//
+// A 1-GPU FabricSystem builds no coordinator and is cycle-for-cycle
+// identical to UvmSystem (tests/fabric/fabric_system_test.cpp holds this).
+#pragma once
+
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "common/config.hpp"
+#include "core/uvm_system.hpp"
+#include "fabric/fabric.hpp"
+#include "fabric/sharded_workload.hpp"
+#include "gpu/gpu.hpp"
+#include "obs/flight_recorder.hpp"
+#include "sim/event_queue.hpp"
+#include "uvm/driver.hpp"
+#include "workloads/workload.hpp"
+
+namespace uvmsim {
+
+class FabricSystem {
+ public:
+  /// `oversub` is the fraction of the footprint that fits in the COMBINED
+  /// device memory; each device gets a 1/N share (with UvmSystem's
+  /// per-driver capacity floor), so oversubscription pressure per device
+  /// matches the single-GPU run at N = 1.
+  FabricSystem(const SystemConfig& sys, const PolicyConfig& pol,
+               const Workload& workload, double oversub,
+               const FabricConfig& fabric);
+  ~FabricSystem();
+
+  FabricSystem(const FabricSystem&) = delete;
+  FabricSystem& operator=(const FabricSystem&) = delete;
+
+  /// Simulate until every device's warps finish (or `max_cycles`).
+  [[nodiscard]] RunResult run(
+      Cycle max_cycles = std::numeric_limits<Cycle>::max());
+
+  /// Attach a trace sink / event mask to every device's recorder.
+  void add_sink(TraceSink* sink);
+  void set_event_mask(u32 mask);
+
+  [[nodiscard]] u32 num_gpus() const noexcept {
+    return static_cast<u32>(gpus_.size());
+  }
+  [[nodiscard]] UvmDriver& driver(u32 d) noexcept { return *drivers_[d]; }
+  [[nodiscard]] Gpu& gpu(u32 d) noexcept { return *gpus_[d]; }
+  [[nodiscard]] EventQueue& queue() noexcept { return eq_; }
+  /// Null for 1-GPU systems (no fabric is built).
+  [[nodiscard]] FabricCoordinator* fabric() noexcept { return coord_.get(); }
+
+ private:
+  SystemConfig sys_cfg_;
+  PolicyConfig pol_cfg_;
+  FabricConfig fab_cfg_;
+  const Workload& workload_;
+  double oversub_;
+
+  EventQueue eq_;
+  std::unique_ptr<FabricCoordinator> coord_;
+  std::vector<std::unique_ptr<FlightRecorder>> recorders_;
+  std::vector<std::unique_ptr<UvmDriver>> drivers_;
+  std::vector<std::unique_ptr<ShardedWorkload>> shards_;
+  std::vector<std::unique_ptr<Gpu>> gpus_;
+};
+
+}  // namespace uvmsim

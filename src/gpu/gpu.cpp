@@ -139,6 +139,16 @@ void Gpu::finish_access(u32 sm, u32 warp, PageId page, Cycle ready) {
   eq_.schedule_at(done, [this, sm, warp] { warp_step(sm, warp); });
 }
 
+void Gpu::remote_shootdown(PageId p) {
+  l2_tlb_.invalidate(p);
+  for (auto& sm : sms_) sm.l1_tlb->invalidate(p);
+  for (u32 line = 0; line < lines_per_page_; ++line) {
+    const u64 tag = p * lines_per_page_ + line;  // page-as-frame fallback tag
+    l2_cache_.invalidate(tag);
+    for (auto& sm : sms_) sm.l1d->invalidate(tag);
+  }
+}
+
 void Gpu::warp_finished() {
   assert(live_warps_ > 0);
   if (--live_warps_ == 0) finish_cycle_ = eq_.now();

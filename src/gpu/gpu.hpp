@@ -62,6 +62,13 @@ class Gpu {
   [[nodiscard]] const PageWalker& walker() const noexcept { return walker_; }
   [[nodiscard]] const Dram& dram() const noexcept { return dram_; }
 
+  /// Invalidate every translation and cached line this GPU holds for a page
+  /// it accessed *remotely* (multi-GPU fabric): the page was never in this
+  /// GPU's page table, so remote lines are tagged with the page-as-frame
+  /// fallback (see finish_access). Called by the FabricCoordinator when the
+  /// page's owner unmaps it (eviction, spill, or surrender to a peer).
+  void remote_shootdown(PageId p);
+
  private:
   struct Warp {
     std::unique_ptr<AccessStream> stream;

@@ -5,6 +5,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "harness/version.hpp"
+
 namespace uvmsim {
 
 CliParser::CliParser(std::string program_description)
@@ -26,6 +28,10 @@ bool CliParser::parse(int argc, const char* const* argv) {
     std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") {
       std::cout << help();
+      return false;
+    }
+    if (arg == "--version") {
+      std::cout << uvmsim_version_string() << "\n";
       return false;
     }
     if (arg.rfind("--", 0) != 0) {
@@ -109,6 +115,7 @@ std::string CliParser::help() const {
     os << "\n      " << o.help << "\n";
   }
   os << "  --help\n      show this message\n";
+  os << "  --version\n      print build identification and exit\n";
   return os.str();
 }
 

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "fabric/fabric_system.hpp"
 #include "obs/trace_sink.hpp"
 #include "tenancy/fairness.hpp"
 #include "tenancy/multi_tenant_system.hpp"
@@ -54,10 +55,32 @@ LabelledResult run_multi_tenant(const ExperimentSpec& spec) {
   return out;
 }
 
+// Multi-GPU experiments shard one workload across a FabricSystem. The sink
+// wiring mirrors the single-GPU path; every device's recorder shares one
+// JSONL stream (device-stamped events interleave in simulation order).
+LabelledResult run_fabric(const ExperimentSpec& spec) {
+  const auto workload = make_benchmark(spec.workload);
+  FabricSystem system(spec.system, spec.policy, *workload, spec.oversub,
+                      spec.fabric);
+
+  std::ofstream trace_file;
+  std::unique_ptr<JsonlSink> trace_sink;
+  if (!spec.trace_out.empty()) {
+    trace_file.open(spec.trace_out);
+    if (!trace_file) throw std::runtime_error("cannot open trace file: " + spec.trace_out);
+    trace_sink = std::make_unique<JsonlSink>(trace_file);
+    system.set_event_mask(spec.trace_event_mask);
+    system.add_sink(trace_sink.get());
+  }
+
+  return {spec, system.run(spec.max_cycles)};
+}
+
 }  // namespace
 
 LabelledResult run_experiment(const ExperimentSpec& spec) {
   if (spec.tenants.size() >= 2) return run_multi_tenant(spec);
+  if (spec.fabric.gpus >= 2) return run_fabric(spec);
 
   const auto workload = make_benchmark(spec.workload);
   UvmSystem system(spec.system, spec.policy, *workload, spec.oversub);

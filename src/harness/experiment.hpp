@@ -32,6 +32,11 @@ struct ExperimentSpec {
   /// oversubscription) to fill slowdown_vs_solo and the Jain index.
   bool tenant_solo_baselines = true;
 
+  // --- Multi-GPU fabric (src/fabric) ---------------------------------------
+  /// fabric.gpus >= 2 switches the experiment to a FabricSystem run (one
+  /// workload sharded over N devices). Mutually exclusive with `tenants`.
+  FabricConfig fabric;
+
   // --- Observability hooks (src/obs) ---------------------------------------
   /// When non-empty, the run's full event stream is written here as JSONL
   /// (filtered by trace_event_mask) — any bench can dump a timeline by

@@ -154,6 +154,47 @@ void write_json(std::ostream& os, const std::vector<LabelledResult>& results) {
       }
       os << "]";
     }
+    // Fabric extension: same additive discipline — single-GPU runs emit no
+    // fabric keys, keeping their JSON byte-identical to the pre-fabric
+    // format.
+    if (!x.devices.empty()) {
+      os << ",\"fabric\":\"" << escape_json(x.fabric) << "\","
+         << "\"gpus\":" << x.gpus << ','
+         << "\"devices\":[";
+      for (std::size_t d = 0; d < x.devices.size(); ++d) {
+        const DeviceRunResult& dr = x.devices[d];
+        os << (d ? "," : "") << "{"
+           << "\"id\":" << dr.id << ','
+           << "\"capacity_pages\":" << dr.capacity_pages << ','
+           << "\"finish_cycle\":" << dr.finish_cycle << ','
+           << "\"completed\":" << (dr.completed ? "true" : "false") << ','
+           << "\"page_faults\":" << dr.driver.page_faults << ','
+           << "\"pages_in\":" << dr.driver.pages_migrated_in << ','
+           << "\"pages_evicted\":" << dr.driver.pages_evicted << ','
+           << "\"remote_accesses\":" << dr.driver.remote_accesses << ','
+           << "\"peer_fetches\":" << dr.driver.peer_fetches << ','
+           << "\"spill_hopbacks\":" << dr.driver.spill_hopbacks << ','
+           << "\"faults_forwarded\":" << dr.driver.faults_forwarded << ','
+           << "\"chunks_spilled\":" << dr.driver.chunks_spilled << ','
+           << "\"pages_spilled\":" << dr.driver.pages_spilled << ','
+           << "\"h2d_pages\":" << dr.h2d_pages << ','
+           << "\"d2h_pages\":" << dr.d2h_pages
+           << "}";
+      }
+      os << "],\"links\":[";
+      for (std::size_t l = 0; l < x.links.size(); ++l) {
+        const LinkRunResult& lr = x.links[l];
+        os << (l ? "," : "") << "{"
+           << "\"name\":\"" << escape_json(lr.name) << "\","
+           << "\"units_moved\":" << lr.units_moved << ','
+           << "\"utilisation\":" << lr.utilisation
+           << "}";
+      }
+      os << "]";
+    }
+    // Event-queue health: only surfaced when something actually clamped, so
+    // clean runs keep the historical key set.
+    if (x.clamped_past != 0) os << ",\"clamped_past\":" << x.clamped_past;
     os << "}" << (i + 1 < results.size() ? "," : "") << '\n';
   }
   os << "]\n";

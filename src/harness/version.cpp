@@ -1,0 +1,16 @@
+#include "harness/version.hpp"
+
+#ifndef UVMSIM_GIT_DESCRIBE
+#define UVMSIM_GIT_DESCRIBE "unknown"
+#endif
+#ifndef UVMSIM_BUILD_TYPE
+#define UVMSIM_BUILD_TYPE "unknown"
+#endif
+
+namespace uvmsim {
+
+const char* uvmsim_version_string() {
+  return "uvmsim " UVMSIM_GIT_DESCRIBE " (" UVMSIM_BUILD_TYPE ")";
+}
+
+}  // namespace uvmsim

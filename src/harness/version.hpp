@@ -1,0 +1,11 @@
+// Build identification for the uvmsim tools (`--version` in every binary).
+// The string is stamped at configure time from `git describe` and the CMake
+// build type; see src/harness/CMakeLists.txt.
+#pragma once
+
+namespace uvmsim {
+
+/// e.g. "uvmsim 656b348 (RelWithDebInfo)". Never null.
+[[nodiscard]] const char* uvmsim_version_string();
+
+}  // namespace uvmsim

@@ -1,9 +1,16 @@
 // A serialised bandwidth-limited link: transfers occupy the link back to
 // back, so a burst of page migrations queues up. Models the CPU-GPU
-// interconnect (16 GB/s) and, with per-channel instances, DRAM channels.
+// interconnect (16 GB/s), NVLink peer links, and, with per-channel
+// instances, DRAM channels.
+//
+// Occupancy is tracked with a fixed-point accumulator so fractional
+// cycles-per-unit rates (NVLink 25 GB/s vs PCIe 16 GB/s give non-integral
+// ratios) charge the link exactly: the fractional remainder of each reserve
+// carries into the next one instead of being truncated per transfer.
 #pragma once
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/types.hpp"
 
@@ -11,15 +18,27 @@ namespace uvmsim {
 
 class BandwidthLink {
  public:
-  /// `cycles_per_unit` — link occupancy of one transfer unit (e.g. one 4 KB page).
-  explicit BandwidthLink(Cycle cycles_per_unit) : cycles_per_unit_(cycles_per_unit) {}
+  /// Fraction bits of the fixed-point occupancy accumulator. 20 bits give
+  /// sub-microcycle resolution while leaving 44 whole-cycle bits — enough
+  /// for any simulated run length.
+  static constexpr u32 kFracBits = 20;
+
+  /// `cycles_per_unit` — link occupancy of one transfer unit (e.g. one 4 KB
+  /// page, one 128 B line). May be fractional; integral values behave
+  /// exactly as the pre-fixed-point link did (zero remainder ever).
+  explicit BandwidthLink(double cycles_per_unit)
+      : fp_cycles_per_unit_(static_cast<u64>(
+            std::llround(cycles_per_unit * static_cast<double>(u64{1} << kFracBits)))) {}
 
   /// Reserve the link for `units` transfer units starting no earlier than `now`.
   /// Returns the cycle at which the last unit completes.
   Cycle reserve(Cycle now, u64 units) {
     const Cycle start = std::max(now, free_at_);
-    free_at_ = start + units * cycles_per_unit_;
-    busy_cycles_ += units * cycles_per_unit_;
+    fp_accum_ += units * fp_cycles_per_unit_;
+    const Cycle whole = static_cast<Cycle>(fp_accum_ >> kFracBits);
+    fp_accum_ &= (u64{1} << kFracBits) - 1;
+    free_at_ = start + whole;
+    busy_cycles_ += whole;
     units_moved_ += units;
     return free_at_;
   }
@@ -28,7 +47,10 @@ class BandwidthLink {
   [[nodiscard]] Cycle free_at() const noexcept { return free_at_; }
   [[nodiscard]] u64 units_moved() const noexcept { return units_moved_; }
   [[nodiscard]] Cycle busy_cycles() const noexcept { return busy_cycles_; }
-  [[nodiscard]] Cycle cycles_per_unit() const noexcept { return cycles_per_unit_; }
+  /// Whole-cycle part of the configured rate (fractional part truncated).
+  [[nodiscard]] Cycle cycles_per_unit() const noexcept {
+    return static_cast<Cycle>(fp_cycles_per_unit_ >> kFracBits);
+  }
 
   /// Link utilisation over [0, now].
   [[nodiscard]] double utilisation(Cycle now) const noexcept {
@@ -37,7 +59,8 @@ class BandwidthLink {
   }
 
  private:
-  Cycle cycles_per_unit_;
+  u64 fp_cycles_per_unit_;  ///< cycles per unit, kFracBits fixed point
+  u64 fp_accum_ = 0;        ///< fractional-cycle remainder carried forward
   Cycle free_at_ = 0;
   Cycle busy_cycles_ = 0;
   u64 units_moved_ = 0;

@@ -44,10 +44,15 @@ class FlightRecorder {
   /// so every event keeps tenant == kNoTenant and the JSONL is unchanged.
   void set_tenant_table(const TenantTable* table) noexcept { tenants_ = table; }
 
+  /// Stamp every event with the emitting device id. Only called by the
+  /// multi-GPU fabric (one recorder per device, shared sinks); single-GPU
+  /// recorders keep the kNoTraceDevice sentinel and the JSONL is unchanged.
+  void set_device(u32 dev) noexcept { device_ = dev; }
+
   void record(EventType t, u64 a = 0, u64 b = 0, u64 c = 0,
               TenantId tenant = kNoTenant) {
     if (!wants(t)) return;
-    TraceEvent e{eq_->now(), t, a, b, c, tenant};
+    TraceEvent e{eq_->now(), t, a, b, c, tenant, device_};
     if (tenants_ != nullptr && e.tenant == kNoTenant) {
       switch (tenant_key_kind(t)) {
         case TenantKeyKind::kPage: e.tenant = tenants_->tenant_of_page(a); break;
@@ -69,6 +74,7 @@ class FlightRecorder {
   const EventQueue* eq_;
   std::vector<TraceSink*> sinks_;
   const TenantTable* tenants_ = nullptr;
+  u32 device_ = kNoTraceDevice;
   u32 mask_ = kAllEventsMask;
   u64 recorded_ = 0;
 };

@@ -50,6 +50,12 @@ void IntervalMetricsSink::emit(const TraceEvent& e) {
       // Batch bookkeeping (fault_batch > 1 only); per-interval counters
       // already capture the underlying faults and migrations.
       break;
+    case EventType::kPageSpilled:
+    case EventType::kRemoteAccess:
+    case EventType::kPeerMigration:
+      // Fabric traffic (--gpus > 1 only); per-device counters live in
+      // RunResult::devices, not the per-interval CSV.
+      break;
   }
   cur_dirty_ = true;
 }

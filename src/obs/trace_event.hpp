@@ -33,9 +33,14 @@ enum class EventType : u8 {
   // window=1 traces stay byte-identical across schema revisions).
   kFaultBatchFormed,       ///< a: lead page, b: faults in batch, c: backlog left
   kBatchServiced,          ///< a: lead page, b: faults in batch, c: cycles/fault
+  // Multi-GPU fabric (emitted only when --gpus > 1, so single-GPU traces
+  // stay byte-identical across schema revisions).
+  kPageSpilled,            ///< a: chunk, b: destination device, c: pages spilled
+  kRemoteAccess,           ///< a: page, b: owning device, c: round-trip cycles
+  kPeerMigration,          ///< a: page, b: source device, c: 1 = spill hop-back
 };
 
-inline constexpr u32 kNumEventTypes = 13;
+inline constexpr u32 kNumEventTypes = 16;
 
 /// Reasons carried in kPatternDeleted's `b` field.
 enum class PatternDeleteReason : u8 {
@@ -54,9 +59,17 @@ struct TraceEvent {
   /// where the JSONL field is omitted entirely (traces stay byte-identical,
   /// so the field is additive within schema v1).
   TenantId tenant = kNoTenant;
+  /// Emitting device in multi-GPU runs; kNoTraceDevice in single-GPU runs,
+  /// where the JSONL field is omitted entirely (additive within schema v1,
+  /// same discipline as `tenant`).
+  u32 dev = ~u32{0};
 
   friend constexpr bool operator==(const TraceEvent&, const TraceEvent&) = default;
 };
+
+/// Sentinel `dev` value meaning "not a multi-GPU run" — the JSONL field is
+/// suppressed so single-GPU traces stay byte-identical.
+inline constexpr u32 kNoTraceDevice = ~u32{0};
 
 /// How a tenant id can be derived from an event's payload: from the page in
 /// `a`, from the chunk in `a`, or not at all (global events — the recorder
@@ -71,7 +84,10 @@ enum class TenantKeyKind : u8 { kNone, kPage, kChunk };
     case EventType::kShootdownIssued:
     case EventType::kFaultBatchFormed:
     case EventType::kBatchServiced:
+    case EventType::kRemoteAccess:
+    case EventType::kPeerMigration:
       return TenantKeyKind::kPage;
+    case EventType::kPageSpilled:
     case EventType::kEvictionChosen:
     case EventType::kWrongEvictionDetected:
     case EventType::kPatternHit:
@@ -102,6 +118,9 @@ enum class TenantKeyKind : u8 { kNone, kPage, kChunk };
     case EventType::kShootdownIssued: return "shootdown_issued";
     case EventType::kFaultBatchFormed: return "fault_batch_formed";
     case EventType::kBatchServiced: return "batch_serviced";
+    case EventType::kPageSpilled: return "page_spilled";
+    case EventType::kRemoteAccess: return "remote_access";
+    case EventType::kPeerMigration: return "peer_migration";
   }
   return "?";
 }
@@ -127,6 +146,9 @@ struct EventFieldNames {
     case EventType::kShootdownIssued: return {"page", "frame", {}};
     case EventType::kFaultBatchFormed: return {"page", "faults", "backlog"};
     case EventType::kBatchServiced: return {"page", "faults", "amortised"};
+    case EventType::kPageSpilled: return {"chunk", "dst", "pages"};
+    case EventType::kRemoteAccess: return {"page", "owner", "cycles"};
+    case EventType::kPeerMigration: return {"page", "src", "hopback"};
   }
   return {{}, {}, {}};
 }

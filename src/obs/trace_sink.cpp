@@ -31,6 +31,8 @@ std::string to_jsonl(const TraceEvent& e) {
   // Additive within schema v1: present only in multi-tenant runs, so
   // single-tenant traces remain byte-identical.
   if (e.tenant != kNoTenant) append_field(out, "tenant", e.tenant);
+  // Same discipline for multi-GPU: single-GPU traces never carry "dev".
+  if (e.dev != kNoTraceDevice) append_field(out, "dev", e.dev);
   out += '}';
   return out;
 }

@@ -32,6 +32,10 @@ struct ChunkEntry {
   u64 arrival_interval = 0;     ///< interval when the chunk was migrated in
   u64 last_touch_interval = 0;  ///< interval of the most recent demand touch
   u32 pin_count = 0;            ///< in-flight migrations targeting this chunk
+  /// Chunk arrived by eviction spill from a peer device (src/fabric). A
+  /// spilled chunk never re-spills (it writes back to host when evicted
+  /// again) and its synthetic touch state stays out of the pattern buffer.
+  bool spilled = false;
 
   /// Pinned chunks have pages arriving and must not be evicted.
   [[nodiscard]] bool pinned() const { return pin_count > 0; }

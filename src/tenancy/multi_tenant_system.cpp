@@ -123,6 +123,7 @@ RunResult MultiTenantSystem::run(Cycle max_cycles) {
   for (u64 d = 0; d < driver_->chains().domains(); ++d)
     r.final_chain_length += driver_->chains().chain(d).size();
   r.trace_events_recorded = recorder_.events_recorded();
+  r.clamped_past = eq_.clamped_past();
   recorder_.flush();
   return r;
 }

@@ -8,11 +8,16 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "tlb/page_table.hpp"  // FrameId
 
 namespace uvmsim {
 
 /// Fires when a faulted page has become resident (warp replay point).
 using WakeCallback = std::function<void()>;
+
+/// Device id meaning "the host" as a migration source/destination (also the
+/// single-GPU default everywhere a device id appears in the driver stack).
+inline constexpr u32 kHostDevice = ~u32{0};
 
 /// TLB/cache shootdown hook, invoked for every page unmapped by an eviction
 /// with the physical frame it occupied (caches are physically indexed).
@@ -40,6 +45,10 @@ struct MigrationBatch {
   /// batch at the first fault from a different tenant); kNoTenant when
   /// tenancy is off.
   TenantId tenant = kNoTenant;
+  /// Where the pages come from: kHostDevice for ordinary host migrations,
+  /// a peer device id for NVLink peer migrations (src/fabric). Peer batches
+  /// bypass the FaultBatcher and the driver-concurrency slots.
+  u32 src_device = kHostDevice;
 };
 
 /// Driver-wide counters, updated by all four layers.
@@ -57,6 +66,15 @@ struct DriverStats {
   /// Sum over raised faults of raise -> wake delay; divided by page_faults
   /// this is the mean fault-service latency (bench/abl_fault_batch).
   u64 fault_wait_cycles = 0;
+
+  // --- Multi-GPU fabric (all zero when --gpus == 1) -------------------------
+  u64 remote_accesses = 0;    ///< faults satisfied by a remote NVLink access
+  u64 peer_fetches = 0;       ///< pages migrated in from a peer device
+  u64 spill_hopbacks = 0;     ///< peer fetches that were spill second chances
+  u64 faults_forwarded = 0;   ///< faults routed to the page's home device
+  u64 chunks_spilled = 0;     ///< evictions that spilled to a peer, not host
+  u64 pages_spilled = 0;
+  u64 pages_surrendered = 0;  ///< resident pages handed to a fetching peer
 };
 
 }  // namespace uvmsim

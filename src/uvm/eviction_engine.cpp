@@ -103,7 +103,17 @@ void EvictionEngine::evict_chunk(ChunkId victim, TenantId initiator) {
   policy->on_chunk_evicted(e);
   // CPPE coordination point: the evicted chunk's demand-touch pattern flows
   // to the prefetcher (pattern buffer) — §IV-A's fine-grained interplay.
-  prefetcher_->on_chunk_evicted(victim, e.touched);
+  // Chunks that arrived by spill are skipped: their touch state restarted
+  // empty at adoption and would poison the pattern buffer.
+  if (!e.spilled) prefetcher_->on_chunk_evicted(victim, e.touched);
+
+  // Spill-to-peer (docs/fabric.md): if a peer has room, the victim's pages
+  // move over NVLink instead of writing back to host over PCIe. Spilled
+  // chunks never re-spill — their second eviction is a host write-back.
+  const u64 resident_pages = e.resident.count();
+  u32 spill_dst = kHostDevice;
+  if (fabric_ != nullptr && spill_ && !e.spilled && resident_pages > 0)
+    spill_dst = fabric_->spill_target(device_, resident_pages);
 
   const TenantId owner =
       tenants_ != nullptr ? tenants_->tenant_of_chunk(victim) : kNoTenant;
@@ -115,12 +125,19 @@ void EvictionEngine::evict_chunk(ChunkId victim, TenantId initiator) {
     const FrameId frame = pt_.unmap(page);
     frames_.release(frame, owner);
     ++pages_out;
-    record_event(rec_, EventType::kShootdownIssued, page, frame);
-    for (const ShootdownHandler& h : shootdowns_) h(page, frame);
+    shootdown(page, frame);
+    if (fabric_ != nullptr) fabric_->note_page_unmapped(device_, page);
   }
-  record_event(rec_, EventType::kEvictionChosen, victim, e.untouch_level(),
-               pages_out);
-  d2h_.reserve(eq_.now(), pages_out);  // write-back occupancy (full duplex)
+  if (spill_dst != kHostDevice) {
+    fabric_->spill_chunk(device_, spill_dst, victim, e.resident);
+    record_event(rec_, EventType::kPageSpilled, victim, spill_dst, pages_out);
+    ++stats_.chunks_spilled;
+    stats_.pages_spilled += pages_out;
+  } else {
+    record_event(rec_, EventType::kEvictionChosen, victim, e.untouch_level(),
+                 pages_out);
+    d2h_.reserve(eq_.now(), pages_out);  // write-back occupancy (full duplex)
+  }
   chain.erase(victim);
   ++stats_.chunks_evicted;
   stats_.pages_evicted += pages_out;

@@ -32,6 +32,7 @@
 #include "tlb/page_table.hpp"
 #include "uvm/chain_set.hpp"
 #include "uvm/driver_types.hpp"
+#include "uvm/fabric_port.hpp"
 #include "uvm/frame_pool.hpp"
 
 namespace uvmsim {
@@ -64,6 +65,21 @@ class EvictionEngine {
     tenants_ = table;
     mode_ = mode;
     scope_ = scope;
+  }
+  /// Multi-GPU wiring: evictions update the fabric directory, and with
+  /// `spill` set victims move to a peer with free frames over NVLink
+  /// instead of writing back to host over PCIe.
+  void set_fabric(FabricPort* fabric, u32 device, bool spill) noexcept {
+    fabric_ = fabric;
+    device_ = device;
+    spill_ = spill;
+  }
+
+  /// Record and fan out one page's TLB/cache shootdown (also used by the
+  /// driver when a page is surrendered to a fetching peer).
+  void shootdown(PageId p, FrameId f) {
+    record_event(rec_, EventType::kShootdownIssued, p, f);
+    for (const ShootdownHandler& h : shootdowns_) h(p, f);
   }
 
   [[nodiscard]] const BandwidthLink& d2h() const noexcept { return d2h_; }
@@ -101,6 +117,9 @@ class EvictionEngine {
   TenantTable* tenants_ = nullptr;
   TenantMode mode_ = TenantMode::kShared;
   EvictionScope scope_ = EvictionScope::kGlobal;
+  FabricPort* fabric_ = nullptr;
+  u32 device_ = kHostDevice;
+  bool spill_ = false;
 };
 
 }  // namespace uvmsim

@@ -35,7 +35,12 @@ void MigrationScheduler::dispatch(MigrationBatch&& m, u64 demand_evictions) {
   // demand_evictions at zero), then the pages occupy the H2D link.
   const Cycle service_done = eq_.now() + fault_latency_cycles_ +
                              demand_evictions * evict_service_cycles_;
-  const Cycle transfer_done = h2d_.reserve(service_done, m.pages.size());
+  // Peer batches cross the fabric instead of the host H2D link.
+  const Cycle transfer_done =
+      m.src_device != kHostDevice && fabric_ != nullptr
+          ? fabric_->reserve_transfer(m.src_device, device_, m.pages.size(),
+                                      service_done)
+          : h2d_.reserve(service_done, m.pages.size());
   record_event(rec_, EventType::kMigrationPlanned, m.lead, m.pages.size(),
                transfer_done - service_done);
   eq_.schedule_at(transfer_done, [this, mig = std::move(m)]() mutable {
@@ -52,9 +57,15 @@ void MigrationScheduler::complete(MigrationBatch m) {
   TenantStats* ts =
       tenants_ != nullptr && m.tenant != kNoTenant ? &tenants_->stats(m.tenant)
                                                    : nullptr;
+  const bool peer = m.src_device != kHostDevice;
   for (const PageId page : m.pages) {
     // Bind a physical frame (accounting was done at service time).
     pt_.map(page, frames_.allocate());
+    if (fabric_ != nullptr) {
+      fabric_->note_page_mapped(device_, page);
+      // Peer fetch: the source now surrenders its (pinned) copy.
+      if (peer) fabric_->surrender_at(m.src_device, page);
+    }
 
     const ChunkId c = chunk_of_page(page);
     ChunkEntry* e = chain.find(c);
@@ -118,7 +129,7 @@ void MigrationScheduler::complete(MigrationBatch m) {
 
   // Driver facade: pre-evict ahead of the next fault, release the slot and
   // admit the next batch.
-  hook_(m.tenant);
+  hook_(m.tenant, peer);
 }
 
 }  // namespace uvmsim

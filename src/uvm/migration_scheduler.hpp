@@ -26,6 +26,7 @@
 #include "tlb/page_table.hpp"
 #include "uvm/chain_set.hpp"
 #include "uvm/driver_types.hpp"
+#include "uvm/fabric_port.hpp"
 #include "uvm/frame_pool.hpp"
 
 namespace uvmsim {
@@ -41,9 +42,16 @@ class MigrationScheduler {
 
   void set_recorder(FlightRecorder* rec) noexcept { rec_ = rec; }
   void set_tenant_table(TenantTable* table) noexcept { tenants_ = table; }
+  /// Multi-GPU wiring: peer batches reserve fabric (not H2D) occupancy, and
+  /// completions maintain the fabric directory.
+  void set_fabric(FabricPort* fabric, u32 device) noexcept {
+    fabric_ = fabric;
+    device_ = device;
+  }
   /// Runs after each completed batch (driver facade: pre-evict, release the
-  /// slot, admit the next batch) with the batch's tenant.
-  void set_completion_hook(std::function<void(TenantId)> hook) {
+  /// slot, admit the next batch) with the batch's tenant; `peer` marks peer
+  /// fetches, which never held a driver slot.
+  void set_completion_hook(std::function<void(TenantId, bool)> hook) {
     hook_ = std::move(hook);
   }
 
@@ -94,7 +102,9 @@ class MigrationScheduler {
   std::unordered_map<PageId, PendingFault> inflight_;
   FlightRecorder* rec_ = nullptr;
   TenantTable* tenants_ = nullptr;
-  std::function<void(TenantId)> hook_;
+  FabricPort* fabric_ = nullptr;
+  u32 device_ = kHostDevice;
+  std::function<void(TenantId, bool)> hook_;
 };
 
 }  // namespace uvmsim

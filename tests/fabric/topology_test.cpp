@@ -1,0 +1,107 @@
+// FabricTopology: link-graph shape, hop counts, store-and-forward path
+// timing, and the fractional per-line rates the fixed-point BandwidthLink
+// carries exactly (128 B line at 25 GB/s and 1.4 GHz = 7.168 cy/line).
+#include <gtest/gtest.h>
+
+#include "fabric/topology.hpp"
+
+namespace uvmsim {
+namespace {
+
+FabricConfig fabric_of(u32 gpus, FabricKind kind) {
+  FabricConfig f;
+  f.gpus = gpus;
+  f.topology = kind;
+  return f;
+}
+
+TEST(FabricTopology, PresetShapes) {
+  const SystemConfig sys;
+  const FabricTopology pcie(sys, fabric_of(4, FabricKind::kPcie));
+  EXPECT_FALSE(pcie.peer_capable());
+  EXPECT_EQ(pcie.links().size(), 8u);  // up + down per device
+
+  const FabricTopology ring(sys, fabric_of(4, FabricKind::kRing));
+  EXPECT_TRUE(ring.peer_capable());
+  EXPECT_EQ(ring.links().size(), 8u);  // 4 edges, both directions
+
+  const FabricTopology sw(sys, fabric_of(4, FabricKind::kSwitch));
+  EXPECT_EQ(sw.links().size(), 12u);  // every ordered pair
+
+  // 2-GPU ring: exactly one link per direction, not duplicated.
+  const FabricTopology ring2(sys, fabric_of(2, FabricKind::kRing));
+  EXPECT_EQ(ring2.links().size(), 2u);
+}
+
+TEST(FabricTopology, HopCounts) {
+  const SystemConfig sys;
+  const FabricTopology ring(sys, fabric_of(4, FabricKind::kRing));
+  EXPECT_EQ(ring.hops(0, 1), 1u);
+  EXPECT_EQ(ring.hops(0, 2), 2u);  // either way round
+  EXPECT_EQ(ring.hops(0, 3), 1u);  // shorter direction is backwards
+  EXPECT_EQ(ring.hops(3, 1), 2u);
+
+  const FabricTopology sw(sys, fabric_of(8, FabricKind::kSwitch));
+  EXPECT_EQ(sw.hops(0, 7), 1u);
+
+  const FabricTopology pcie(sys, fabric_of(2, FabricKind::kPcie));
+  EXPECT_EQ(pcie.hops(0, 1), 2u);  // through the host
+}
+
+TEST(FabricTopology, FractionalLineRateTimesExactly) {
+  // 125 lines * 7.168 cy/line = 896.0 cycles — exact despite the fractional
+  // per-line occupancy (the BandwidthLink Q20 accumulator carries it).
+  const SystemConfig sys;
+  FabricTopology ring(sys, fabric_of(2, FabricKind::kRing));
+  EXPECT_EQ(ring.reserve_path(0, 1, 125, 0), 896u);
+}
+
+TEST(FabricTopology, StoreAndForwardSerialisesHops) {
+  const SystemConfig sys;
+  FabricTopology ring(sys, fabric_of(4, FabricKind::kRing));
+  // 0 -> 2 is two hops; the second starts when the first completes.
+  EXPECT_EQ(ring.reserve_path(0, 2, 125, 0), 2u * 896u);
+}
+
+TEST(FabricTopology, RingTiesWalkClockwise) {
+  const SystemConfig sys;
+  FabricTopology ring(sys, fabric_of(4, FabricKind::kRing));
+  ring.reserve_path(0, 2, 10, 0);  // tie: 0->1->2, not 0->3->2
+  u64 d01 = 0, d03 = 0;
+  for (const FabricTopology::Link& l : ring.links()) {
+    if (l.name == "d0->d1") d01 = l.link.units_moved();
+    if (l.name == "d0->d3") d03 = l.link.units_moved();
+  }
+  EXPECT_EQ(d01, 10u);
+  EXPECT_EQ(d03, 0u);
+}
+
+TEST(FabricTopology, SwitchDirectionsAreIndependentLinks) {
+  const SystemConfig sys;
+  FabricTopology sw(sys, fabric_of(2, FabricKind::kSwitch));
+  const Cycle fwd = sw.reserve_path(0, 1, 100, 0);
+  // The reverse direction is an idle link: same duration from zero, not
+  // queued behind the forward transfer.
+  EXPECT_EQ(sw.reserve_path(1, 0, 100, 0), fwd);
+}
+
+TEST(FabricTopology, PcieBouncesThroughBothHostLinks) {
+  const SystemConfig sys;
+  FabricTopology pcie(sys, fabric_of(2, FabricKind::kPcie));
+  // 10 lines at PCIe rate (11.2 cy/line) per hop, store-and-forward. The
+  // exact product is 2 * 112.0; Q20 rounds 11.2 down by ~2e-7 cy/line, so
+  // each hop books 111 whole cycles and carries the ~0.999998 remainder —
+  // deferred to the link's next reservation, never lost.
+  const Cycle done = pcie.reserve_path(0, 1, 10, 0);
+  EXPECT_EQ(done, 222u);
+  u64 up = 0, down = 0;
+  for (const FabricTopology::Link& l : pcie.links()) {
+    if (l.name == "d0->host") up = l.link.units_moved();
+    if (l.name == "host->d1") down = l.link.units_moved();
+  }
+  EXPECT_EQ(up, 10u);
+  EXPECT_EQ(down, 10u);
+}
+
+}  // namespace
+}  // namespace uvmsim

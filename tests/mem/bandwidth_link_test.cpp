@@ -39,5 +39,45 @@ TEST(BandwidthLink, ZeroUnitsIsFree) {
   EXPECT_EQ(link.units_moved(), 0u);
 }
 
+// --- Fixed-point accumulator (fractional cycles-per-unit) -------------------
+// NVLink rates are non-integral (a 128B line at 25 GB/s and 1.4 GHz is 7.168
+// cycles); the Q20 accumulator must carry the fraction instead of truncating
+// it per reservation.
+
+TEST(BandwidthLink, FractionalRateIsExactWhereTheProductIsWhole) {
+  // 7.168 cy/line * 125 lines = 896.0 cycles exactly.
+  BandwidthLink link(7.168);
+  EXPECT_EQ(link.reserve(0, 125), 896u);
+  EXPECT_EQ(link.busy_cycles(), 896u);
+}
+
+TEST(BandwidthLink, HalfCycleRateAlternates) {
+  BandwidthLink link(0.5);
+  EXPECT_EQ(link.reserve(0, 3), 1u);  // 1.5 -> 1 whole, 0.5 carried
+  EXPECT_EQ(link.reserve(0, 1), 2u);  // carry completes the second cycle
+  EXPECT_EQ(link.busy_cycles(), 2u);
+}
+
+TEST(BandwidthLink, PerUnitReservationsDoNotDriftFromBulk) {
+  // Truncating per call would lose ~0.168 cycles per line; with the carry,
+  // 1000 single-line reservations land exactly where one bulk one does.
+  BandwidthLink bulk(7.168);
+  BandwidthLink steps(7.168);
+  const Cycle bulk_done = bulk.reserve(0, 1000);
+  Cycle done = 0;
+  for (int i = 0; i < 1000; ++i) done = steps.reserve(done, 1);
+  EXPECT_EQ(done, bulk_done);
+  EXPECT_EQ(steps.busy_cycles(), bulk.busy_cycles());
+}
+
+TEST(BandwidthLink, IntegralRatesStayExact) {
+  // PCIe page cost (~358 cy/page) is integral; the fixed-point path must
+  // reproduce the historical integer behaviour bit-for-bit.
+  BandwidthLink link(358.0);
+  EXPECT_EQ(link.reserve(0, 1), 358u);
+  EXPECT_EQ(link.reserve(0, 2), 3u * 358u);
+  EXPECT_EQ(link.cycles_per_unit(), 358u);
+}
+
 }  // namespace
 }  // namespace uvmsim

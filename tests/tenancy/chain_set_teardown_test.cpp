@@ -1,0 +1,87 @@
+// ChainSet domain lifecycle: configure_domains is the tenant teardown +
+// re-registration point — it must discard every chain and installed policy,
+// and chunk -> domain resolution must follow the newly attached table.
+#include <gtest/gtest.h>
+
+#include "core/policy_factory.hpp"
+#include "tenancy/tenant.hpp"
+#include "uvm/chain_set.hpp"
+
+namespace uvmsim {
+namespace {
+
+TEST(ChainSetTeardown, ConfigureDomainsDiscardsChainsAndPolicies) {
+  ChainSet cs(64);
+  EXPECT_EQ(cs.domains(), 1u);
+  cs.chain(0).insert(5);
+  cs.chain(0).insert(9);
+  cs.set_policy(0, make_eviction_policy(PolicyConfig{}, cs.chain(0)));
+  ASSERT_NE(cs.policy(0), nullptr);
+
+  TenantTable table;
+  table.add("A", 1000);
+  table.add("B", 1000);
+  cs.configure_domains(2, &table);
+
+  EXPECT_EQ(cs.domains(), 2u);
+  EXPECT_TRUE(cs.per_tenant());
+  EXPECT_EQ(cs.chain(0).size(), 0u);  // pre-split chain state is gone
+  EXPECT_EQ(cs.chain(1).size(), 0u);
+  EXPECT_EQ(cs.policy(0), nullptr);  // installed policies dropped with it
+  EXPECT_EQ(cs.policy(1), nullptr);
+}
+
+TEST(ChainSetTeardown, ReRegistrationYieldsFreshDomainsUnderTheNewTable) {
+  // Session 1: two tenants, chains populated, policies installed.
+  TenantTable two;
+  two.add("A", 1000);
+  two.add("B", 1000);
+  ChainSet cs(64);
+  cs.configure_domains(2, &two);
+  cs.chain_for(0).insert(1);
+  cs.chain_for(1).insert(
+      chunk_of_page(two.info(1).base));  // B's first chunk, B's chain
+  cs.set_policy(0, make_eviction_policy(PolicyConfig{}, cs.chain(0)));
+  cs.set_policy(1, make_eviction_policy(PolicyConfig{}, cs.chain(1)));
+  EXPECT_EQ(cs.chain(1).size(), 1u);
+
+  // Teardown + re-registration as a three-tenant session.
+  TenantTable three;
+  three.add("C", 500);
+  three.add("D", 500);
+  three.add("E", 500);
+  cs.configure_domains(3, &three);
+
+  EXPECT_EQ(cs.domains(), 3u);
+  for (u64 d = 0; d < 3; ++d) {
+    EXPECT_EQ(cs.chain(d).size(), 0u) << "stale chain in domain " << d;
+    EXPECT_EQ(cs.policy(d), nullptr) << "stale policy in domain " << d;
+  }
+
+  // Resolution follows the NEW table: tenant E's chunks land in domain 2.
+  const ChunkId e_chunk = chunk_of_page(three.info(2).base);
+  cs.chain_of_chunk(e_chunk).insert(e_chunk);
+  EXPECT_EQ(cs.chain(2).size(), 1u);
+  EXPECT_EQ(cs.chain(0).size(), 0u);
+  EXPECT_NE(cs.find(e_chunk), nullptr);
+}
+
+TEST(ChainSetTeardown, CollapseBackToSingleDomain) {
+  TenantTable two;
+  two.add("A", 1000);
+  two.add("B", 1000);
+  ChainSet cs(64);
+  cs.configure_domains(2, &two);
+  cs.chain_for(1).insert(chunk_of_page(two.info(1).base));
+
+  // Back to one shared domain: everything maps to domain 0 regardless of
+  // tenant, reproducing the single-tenant driver shape.
+  cs.configure_domains(1, nullptr);
+  EXPECT_FALSE(cs.per_tenant());
+  EXPECT_EQ(cs.chain(0).size(), 0u);
+  EXPECT_EQ(cs.domain_of(1), 0u);
+  EXPECT_EQ(cs.domain_of_chunk(chunk_of_page(131072)), 0u);
+}
+
+}  // namespace
+}  // namespace uvmsim

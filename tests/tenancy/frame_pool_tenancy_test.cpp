@@ -81,6 +81,46 @@ TEST(FramePoolTenancy, SharedModeIsGlobalAccounting) {
   EXPECT_EQ(tt.table.used_frames(tt.a), 150u);
 }
 
+// --- Quotas below one chunk -------------------------------------------------
+// compute_quotas raises starved tenants to one chunk when a donor exists;
+// when capacity is too small for that, quota mode must still admit a
+// whole-chunk migration (borrowing) while partitioned mode caps at the
+// quota — the reason quota mode is deadlock-free at tiny capacities.
+
+TEST(FramePoolTenancy, TinyTenantQuotaIsRaisedToOneChunk) {
+  // Proportional split would give B ~1 frame; the raise pulls it to a full
+  // chunk at the expense of A, keeping the sum exactly at capacity.
+  TwoTenants tt(10000, 100, 160);
+  EXPECT_GE(tt.table.quota_frames(tt.b), kChunkPages);
+  EXPECT_EQ(tt.table.quota_frames(tt.a) + tt.table.quota_frames(tt.b), 160u);
+}
+
+TEST(FramePoolTenancy, QuotaModeAdmitsAChunkEvenWhenQuotaCannotHoldOne) {
+  // Capacity 24 split two ways: 12 frames each, no donor above one chunk,
+  // so both quotas stay below kChunkPages (= 16).
+  TwoTenants tt(1000, 1000, 24);
+  ASSERT_LT(tt.table.quota_frames(tt.a), kChunkPages);
+
+  FramePool pool(24, 0);
+  pool.attach_tenants(&tt.table, TenantMode::kQuota);
+  ASSERT_GE(pool.admissible_frames(tt.a), kChunkPages);
+  pool.reserve(kChunkPages, tt.a);
+  EXPECT_EQ(tt.table.over_quota_by(tt.a),
+            kChunkPages - tt.table.quota_frames(tt.a));
+  EXPECT_TRUE(pool.under_pressure(tt.a));
+}
+
+TEST(FramePoolTenancy, PartitionedModeCapsBelowAChunkAtTinyQuotas) {
+  TwoTenants tt(1000, 1000, 24);
+  FramePool pool(24, 0);
+  pool.attach_tenants(&tt.table, TenantMode::kPartitioned);
+  // Admission can never reach one chunk: the caller must detect this (the
+  // driver falls back to a retry; see UvmDriver::service_batch) rather than
+  // waiting for room that cannot appear.
+  EXPECT_LT(pool.admissible_frames(tt.a), kChunkPages);
+  EXPECT_TRUE(pool.under_pressure(tt.a));
+}
+
 TEST(FramePoolTenancy, NoTableMeansTenancyOff) {
   FramePool pool(64, 0);
   EXPECT_EQ(pool.admissible_frames(kNoTenant), 64u);

@@ -27,6 +27,7 @@
 
 #include "core/policy_factory.hpp"
 #include "core/uvm_system.hpp"
+#include "fabric/fabric_system.hpp"
 #include "harness/cli.hpp"
 #include "harness/report.hpp"
 #include "obs/interval_metrics.hpp"
@@ -96,7 +97,52 @@ void print_text(const RunResult& r) {
   }
   if (r.trace_events_recorded > 0)
     t.add_row({"trace events recorded", std::to_string(r.trace_events_recorded)});
+  if (r.clamped_past > 0)
+    t.add_row({"events clamped to now (BUG?)", std::to_string(r.clamped_past)});
   std::cout << t.str();
+}
+
+void print_fabric(const RunResult& r) {
+  TextTable t({"device", "capacity", "finish", "done", "faults", "remote",
+               "peer in", "hopbacks", "fwd", "spilled", "h2d", "d2h"});
+  for (const DeviceRunResult& d : r.devices)
+    t.add_row({std::to_string(d.id), std::to_string(d.capacity_pages),
+               std::to_string(d.finish_cycle), d.completed ? "yes" : "NO",
+               std::to_string(d.driver.page_faults),
+               std::to_string(d.driver.remote_accesses),
+               std::to_string(d.driver.peer_fetches),
+               std::to_string(d.driver.spill_hopbacks),
+               std::to_string(d.driver.faults_forwarded),
+               std::to_string(d.driver.pages_spilled),
+               std::to_string(d.h2d_pages), std::to_string(d.d2h_pages)});
+  std::cout << "\nper-device (" << r.fabric << " fabric, " << r.gpus
+            << " GPUs):\n"
+            << t.str();
+  if (!r.links.empty()) {
+    TextTable lt({"link", "units moved", "utilisation"});
+    for (const LinkRunResult& l : r.links)
+      lt.add_row({l.name, std::to_string(l.units_moved),
+                  fmt(l.utilisation * 100, 1) + "%"});
+    std::cout << "\nper-link:\n" << lt.str();
+  }
+}
+
+void print_fabric_csv(const RunResult& r) {
+  std::cout << "device,fabric,capacity_pages,finish_cycle,completed,"
+               "page_faults,remote_accesses,peer_fetches,spill_hopbacks,"
+               "faults_forwarded,chunks_spilled,pages_spilled,h2d_pages,"
+               "d2h_pages\n";
+  for (const DeviceRunResult& d : r.devices)
+    std::cout << d.id << ',' << r.fabric << ',' << d.capacity_pages << ','
+              << d.finish_cycle << ',' << d.completed << ','
+              << d.driver.page_faults << ',' << d.driver.remote_accesses << ','
+              << d.driver.peer_fetches << ',' << d.driver.spill_hopbacks << ','
+              << d.driver.faults_forwarded << ',' << d.driver.chunks_spilled
+              << ',' << d.driver.pages_spilled << ',' << d.h2d_pages << ','
+              << d.d2h_pages << "\n";
+  std::cout << "link,units_moved,utilisation\n";
+  for (const LinkRunResult& l : r.links)
+    std::cout << l.name << ',' << l.units_moved << ',' << l.utilisation << "\n";
 }
 
 std::vector<std::string> split_csv_list(const std::string& s) {
@@ -185,6 +231,15 @@ int main(int argc, char** argv) {
   cli.add_option("tenant-evict",
                  "victim scope in shared mode: global | self", "global");
   cli.add_flag("no-solo", "skip the solo baselines (no slowdown/Jain output)");
+  cli.add_option("gpus", "number of GPUs on the NVLink fabric (>=2 enables it)", "1");
+  cli.add_option("fabric", "link topology: pcie | ring | switch", "ring");
+  cli.add_option("placement",
+                 "page homing: first-touch | round-robin | affinity",
+                 "first-touch");
+  cli.add_option("remote-threshold",
+                 "remote accesses before a page migrates to the accessor "
+                 "(0 = always migrate)", "4");
+  cli.add_flag("spill", "evict to the least-loaded peer instead of the host");
   cli.add_option("sms", "number of SMs", "28");
   cli.add_option("warps", "warps per SM", "8");
   cli.add_option("seed", "experiment seed", "24301");
@@ -308,6 +363,51 @@ int main(int argc, char** argv) {
       } else {
         print_text(r);
         print_tenants(r, solos);
+      }
+      return r.completed ? 0 : 1;
+    }
+
+    if (cli.get_int("gpus") >= 2) {
+      FabricConfig fab;
+      fab.gpus = static_cast<u32>(cli.get_int("gpus"));
+      const auto kind = parse_fabric_kind(cli.get("fabric"));
+      if (!kind) {
+        std::cerr << "unknown --fabric: " << cli.get("fabric") << "\n";
+        return 2;
+      }
+      fab.topology = *kind;
+      const auto placement = parse_placement_kind(cli.get("placement"));
+      if (!placement) {
+        std::cerr << "unknown --placement: " << cli.get("placement") << "\n";
+        return 2;
+      }
+      fab.placement = *placement;
+      fab.remote_threshold = static_cast<u32>(cli.get_int("remote-threshold"));
+      fab.spill = cli.get_flag("spill");
+
+      const auto workload = make_benchmark(cli.get("workload"));
+      FabricSystem system(sys, pol, *workload, cli.get_double("oversub"), fab);
+
+      std::ofstream trace_file;
+      std::unique_ptr<JsonlSink> trace_sink;
+      system.set_event_mask(*event_mask);
+      if (cli.was_set("trace-out")) {
+        trace_file.open(cli.get("trace-out"));
+        if (!trace_file) {
+          std::cerr << "error: cannot open " << cli.get("trace-out") << "\n";
+          return 2;
+        }
+        trace_sink = std::make_unique<JsonlSink>(trace_file);
+        system.add_sink(trace_sink.get());
+      }
+
+      const RunResult r = system.run();
+      if (cli.get_flag("csv")) {
+        print_csv(r);
+        print_fabric_csv(r);
+      } else {
+        print_text(r);
+        print_fabric(r);
       }
       return r.completed ? 0 : 1;
     }

@@ -49,6 +49,9 @@ int main(int argc, char** argv) {
                  "adds a multi-tenant fairness section");
   cli.add_option("tenant-modes", "comma-separated: shared,partitioned,quota",
                  "shared,partitioned,quota");
+  cli.add_option("fabric",
+                 "comma-separated GPU counts (e.g. 2,4) — adds a multi-GPU "
+                 "fabric section (ring topology, spill on/off)");
   cli.add_option("threads", "worker threads (0 = hardware)", "0");
   if (!cli.parse(argc, argv)) return cli.error().empty() ? 0 : 2;
 
@@ -164,6 +167,50 @@ int main(int argc, char** argv) {
          << " | " << fmt(r.result.jain_fairness, 3) << " | " << cross
          << " |\n";
     }
+    md << "\n";
+  }
+
+  // Optional multi-GPU fabric section: NW sharded over the requested GPU
+  // counts, spill off vs on. Off by default so the classic report stays
+  // byte-identical.
+  if (cli.was_set("fabric") && !rates.empty()) {
+    const double ov = rates.front();
+    std::vector<ExperimentSpec> fspecs;
+    for (const double gpus_d : parse_rates(cli.get("fabric"))) {
+      const u32 gpus = static_cast<u32>(gpus_d);
+      if (gpus < 2) {
+        std::cerr << "--fabric GPU counts must be >= 2\n";
+        return 2;
+      }
+      for (bool spill : {false, true}) {
+        ExperimentSpec s;
+        s.workload = "NW";
+        s.label = std::to_string(gpus) + (spill ? "+spill" : "");
+        s.policy = presets::cppe();
+        s.oversub = ov;
+        s.fabric.gpus = gpus;
+        s.fabric.spill = spill;
+        fspecs.push_back(std::move(s));
+      }
+    }
+    std::cerr << "running " << fspecs.size() << " fabric experiments...\n";
+    const auto fresults =
+        run_sweep(fspecs, static_cast<unsigned>(cli.get_int("threads")));
+
+    md << "## Multi-GPU fabric (NW, ring, " << fmt(ov * 100, 0)
+       << "% fits)\n\n"
+       << "One workload sharded over N GPUs (docs/fabric.md); d2h counts "
+          "host write-backs, which eviction spill-to-peer retargets over "
+          "NVLink.\n\n"
+       << "| gpus | spill | cycles | h2d | d2h | remote | peer in | spilled "
+          "|\n|---|---|---|---|---|---|---|---|\n";
+    for (const auto& r : fresults)
+      md << "| " << r.result.gpus << " | "
+         << (r.spec.fabric.spill ? "on" : "off") << " | " << r.result.cycles
+         << " | " << r.result.h2d_pages << " | " << r.result.d2h_pages
+         << " | " << r.result.driver.remote_accesses << " | "
+         << r.result.driver.peer_fetches << " | "
+         << r.result.driver.pages_spilled << " |\n";
     md << "\n";
   }
 
