@@ -2,8 +2,20 @@
 // chunk-chain operations, MHPE victim search, TLB lookups, pattern-buffer
 // planning, and the event queue. These bound the simulator's own throughput
 // (and, for the policy structures, the cost a real driver would pay).
+//
+// The BM_Ref* benchmarks are local reference implementations of what the
+// hot structures looked like before the fast-path rewrite (std::function +
+// std::priority_queue event loop, std::list + std::unordered_map chunk
+// chain, std::unordered_map page index) so the per-structure win stays
+// measurable after the old code is gone — see docs/performance.md.
 #include <benchmark/benchmark.h>
 
+#include <functional>
+#include <list>
+#include <queue>
+#include <unordered_map>
+
+#include "common/flat_map.hpp"
 #include "common/rng.hpp"
 #include "mem/set_assoc_cache.hpp"
 #include "policy/chunk_chain.hpp"
@@ -107,6 +119,122 @@ void BM_EventQueueScheduleRun(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EventQueueScheduleRun);
+
+// ---- pre-rewrite reference implementations ---------------------------------
+
+/// The old event loop: type-erased std::function callbacks (one heap
+/// allocation per capture beyond the small-buffer size) in a
+/// std::priority_queue, with the const_cast-to-move pop.
+struct RefEventQueue {
+  struct Event {
+    Cycle when;
+    u64 seq;
+    std::function<void()> fn;
+    bool operator>(const Event& o) const {
+      return when != o.when ? when > o.when : seq > o.seq;
+    }
+  };
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> pq;
+  u64 seq = 0;
+
+  void schedule_at(Cycle when, std::function<void()> fn) {
+    pq.push(Event{when, seq++, std::move(fn)});
+  }
+  void run() {
+    while (!pq.empty()) {
+      auto fn = std::move(const_cast<Event&>(pq.top()).fn);
+      pq.pop();
+      fn();
+    }
+  }
+};
+
+void BM_RefEventQueueScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    RefEventQueue eq;
+    int sink = 0;
+    for (int i = 0; i < 1000; ++i)
+      eq.schedule_at(static_cast<Cycle>(i * 7 % 997), [&sink] { ++sink; });
+    eq.run();
+    benchmark::DoNotOptimize(sink);
+  }
+}
+BENCHMARK(BM_RefEventQueueScheduleRun);
+
+/// The old chunk chain: node-per-entry std::list plus a std::unordered_map
+/// from chunk id to list iterator.
+struct RefChunkChain {
+  std::list<ChunkEntry> list;
+  std::unordered_map<ChunkId, std::list<ChunkEntry>::iterator> index;
+
+  ChunkEntry& insert(ChunkId id) {
+    list.emplace_back();
+    list.back().id = id;
+    auto it = std::prev(list.end());
+    index.emplace(id, it);
+    return *it;
+  }
+  void erase(ChunkId id) {
+    auto it = index.find(id);
+    list.erase(it->second);
+    index.erase(it);
+  }
+  void move_to_tail(ChunkId id) {
+    auto it = index.find(id);
+    list.splice(list.end(), list, it->second);
+  }
+};
+
+void BM_RefChunkChainInsertErase(benchmark::State& state) {
+  RefChunkChain chain;
+  ChunkId next = 0;
+  for (; next < 1024; ++next) chain.insert(next);
+  for (auto _ : state) {
+    chain.erase(next - 1024);
+    chain.insert(next);
+    ++next;
+  }
+}
+BENCHMARK(BM_RefChunkChainInsertErase);
+
+void BM_RefChunkChainMoveToTail(benchmark::State& state) {
+  RefChunkChain chain;
+  for (ChunkId c = 0; c < 1024; ++c) chain.insert(c);
+  Xoshiro256 rng(1);
+  for (auto _ : state) chain.move_to_tail(rng.below(1024));
+}
+BENCHMARK(BM_RefChunkChainMoveToTail);
+
+// ---- FlatMap vs std::unordered_map (page-table-shaped churn) ---------------
+
+template <typename Map>
+void map_churn(benchmark::State& state) {
+  Map map;
+  Xoshiro256 rng(1);
+  for (PageId p = 0; p < 4096; ++p) map[p] = p;
+  PageId next = 4096;
+  for (auto _ : state) {
+    // The oversubscription steady state: unmap an old page, map a new one,
+    // look up a few residents (fault-path frame_of probes).
+    map.erase(next - 4096);
+    map[next] = next;
+    for (int i = 0; i < 4; ++i) {
+      auto hit = map.find(next - 1 - rng.below(4095));
+      benchmark::DoNotOptimize(hit);
+    }
+    ++next;
+  }
+}
+
+void BM_FlatMapChurn(benchmark::State& state) {
+  map_churn<FlatMap<PageId, PageId>>(state);
+}
+BENCHMARK(BM_FlatMapChurn);
+
+void BM_RefUnorderedMapChurn(benchmark::State& state) {
+  map_churn<std::unordered_map<PageId, PageId>>(state);
+}
+BENCHMARK(BM_RefUnorderedMapChurn);
 
 }  // namespace
 }  // namespace uvmsim

@@ -9,12 +9,14 @@ cmake -B build-asan -G Ninja \
 cmake --build build-asan
 ctest --test-dir build-asan -j"$(nproc)" --output-on-failure
 
-# One traced run end-to-end under the sanitizers: the flight-recorder path
-# (driver/policy/prefetcher instrumentation -> JSONL + interval metrics)
-# only fully exercises itself in a real oversubscribed simulation.
+# One traced Fig 8 workload end-to-end under the sanitizers: the
+# flight-recorder path (driver/policy/prefetcher instrumentation -> JSONL +
+# interval metrics) and the fast-path structures (InlineFunction relocation,
+# FlatMap backward-shift erase, chunk-chain slab reuse) only fully exercise
+# themselves in a real oversubscribed simulation.
 TRACE_DIR="$(mktemp -d)"
 trap 'rm -rf "$TRACE_DIR"' EXIT
-build-asan/tools/uvmsim --workload NW --oversub 0.5 \
+build-asan/tools/uvmsim --workload NW --oversub 0.5 --sim-stats \
   --trace-out "$TRACE_DIR/t.jsonl" --interval-metrics "$TRACE_DIR/iv.csv" >/dev/null
 head -1 "$TRACE_DIR/t.jsonl" | grep -q '"schema":"uvmsim-trace"'
 echo "sanitized traced run OK: $(wc -l < "$TRACE_DIR/t.jsonl") events"

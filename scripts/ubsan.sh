@@ -16,3 +16,12 @@ ctest --test-dir build-ubsan -j"$(nproc)" --output-on-failure
 build-ubsan/tools/uvmsim --workload NW --oversub 0.5 \
   --gpus 2 --fabric ring --spill >/dev/null
 echo "ubsan fabric smoke OK"
+
+# Traced Fig 8 workload: drives the full fault/evict/prefetch hot path (heap
+# sift arithmetic, FlatMap probe masks, slab index links) with UB fatal.
+TRACE_DIR="$(mktemp -d)"
+trap 'rm -rf "$TRACE_DIR"' EXIT
+build-ubsan/tools/uvmsim --workload SRD --oversub 0.5 --sim-stats \
+  --trace-out "$TRACE_DIR/t.jsonl" >/dev/null
+head -1 "$TRACE_DIR/t.jsonl" | grep -q '"schema":"uvmsim-trace"'
+echo "ubsan traced run OK: $(wc -l < "$TRACE_DIR/t.jsonl") events"

@@ -1,0 +1,258 @@
+// Open-addressing hash containers for the simulation hot path.
+//
+// FlatMap is a linear-probing, power-of-two-capacity hash map with
+// backward-shift deletion (no tombstones, so load never degrades over a
+// long run) and all entries in one contiguous slab — one cache line probe
+// for the common hit instead of unordered_map's bucket-pointer chase plus
+// per-node allocation. FlatSet is the keys-only counterpart.
+//
+// Determinism: the hash function is fixed (no per-process seeding) and the
+// containers expose NO iteration order — there is deliberately no
+// begin()/end(). Every consumer performs point operations only, so
+// simulation behaviour cannot depend on where keys land in the table;
+// tests/common/flat_map_test.cpp pins this API property.
+//
+// Values must be default-constructible and move-assignable (backward-shift
+// deletion moves entries); keys must be trivially hashable via Hash.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace uvmsim {
+
+/// Mixes all input bits into all output bits (splitmix64 finaliser) —
+/// PageIds/ChunkIds are sequential, and a power-of-two table masks the low
+/// bits, so identity hashing would cluster every probe chain.
+struct U64Hash {
+  [[nodiscard]] std::size_t operator()(u64 x) const noexcept {
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ull;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    return static_cast<std::size_t>(x);
+  }
+};
+
+template <class K, class V, class Hash = U64Hash>
+class FlatMap {
+ public:
+  FlatMap() = default;
+  FlatMap(const FlatMap&) = default;
+  FlatMap& operator=(const FlatMap&) = default;
+
+  // Moves must leave the source as a valid empty map (the implicit move
+  // would leave stale capacity/mask over emptied vectors).
+  FlatMap(FlatMap&& o) noexcept
+      : slots_(std::move(o.slots_)),
+        occupied_(std::move(o.occupied_)),
+        capacity_(o.capacity_),
+        mask_(o.mask_),
+        size_(o.size_) {
+    o.capacity_ = o.mask_ = o.size_ = 0;
+  }
+  FlatMap& operator=(FlatMap&& o) noexcept {
+    if (this != &o) {
+      slots_ = std::move(o.slots_);
+      occupied_ = std::move(o.occupied_);
+      capacity_ = o.capacity_;
+      mask_ = o.mask_;
+      size_ = o.size_;
+      o.capacity_ = o.mask_ = o.size_ = 0;
+    }
+    return *this;
+  }
+
+  /// Size the table for `n` live entries up front (e.g. the workload's
+  /// footprint or the device's frame capacity), so the hot loop never pays
+  /// a rehash.
+  void reserve(std::size_t n) {
+    std::size_t want = kMinCapacity;
+    while (want * 3 < n * 4) want <<= 1;  // keep load factor <= 0.75
+    if (want > capacity_) rehash(want);
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  /// Current table capacity in slots (0 until the first insert/reserve).
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] double load_factor() const noexcept {
+    return capacity_ == 0
+               ? 0.0
+               : static_cast<double>(size_) / static_cast<double>(capacity_);
+  }
+
+  void clear() {
+    for (std::size_t i = 0; i < capacity_; ++i) {
+      if (occupied_[i]) slots_[i] = Slot{};
+      occupied_[i] = 0;
+    }
+    size_ = 0;
+  }
+
+  [[nodiscard]] V* find(const K& key) {
+    const std::size_t i = find_index(key);
+    return i == kNotFound ? nullptr : &slots_[i].value;
+  }
+  [[nodiscard]] const V* find(const K& key) const {
+    const std::size_t i = find_index(key);
+    return i == kNotFound ? nullptr : &slots_[i].value;
+  }
+  [[nodiscard]] bool contains(const K& key) const {
+    return find_index(key) != kNotFound;
+  }
+
+  /// The mapped value for a key that must be present.
+  [[nodiscard]] V& at(const K& key) {
+    V* v = find(key);
+    assert(v != nullptr);
+    return *v;
+  }
+  [[nodiscard]] const V& at(const K& key) const {
+    const V* v = find(key);
+    assert(v != nullptr);
+    return *v;
+  }
+
+  /// Insert default-constructed value if absent; return the mapped value.
+  V& operator[](const K& key) { return *try_emplace(key).first; }
+
+  /// Insert `value` only if `key` is absent (unordered_map::try_emplace
+  /// semantics: an existing entry is left untouched). Returns the mapped
+  /// value and whether an insert happened.
+  template <class... Args>
+  std::pair<V*, bool> try_emplace(const K& key, Args&&... args) {
+    grow_if_needed();
+    std::size_t i = bucket_of(key);
+    while (occupied_[i]) {
+      if (slots_[i].key == key) return {&slots_[i].value, false};
+      i = (i + 1) & mask_;
+    }
+    slots_[i].key = key;
+    slots_[i].value = V(std::forward<Args>(args)...);
+    occupied_[i] = 1;
+    ++size_;
+    return {&slots_[i].value, true};
+  }
+
+  /// Remove `key`. Returns true if it was present.
+  bool erase(const K& key) {
+    const std::size_t i = find_index(key);
+    if (i == kNotFound) return false;
+    erase_at(i);
+    return true;
+  }
+
+  /// Remove `key`, moving its value into `out` (unordered_map::extract
+  /// analogue). Returns false — and leaves `out` untouched — when absent.
+  bool take(const K& key, V& out) {
+    const std::size_t i = find_index(key);
+    if (i == kNotFound) return false;
+    out = std::move(slots_[i].value);
+    erase_at(i);
+    return true;
+  }
+
+ private:
+  struct Slot {
+    K key{};
+    V value{};
+  };
+
+  static constexpr std::size_t kMinCapacity = 16;
+  static constexpr std::size_t kNotFound = ~std::size_t{0};
+
+  [[nodiscard]] std::size_t bucket_of(const K& key) const noexcept {
+    return Hash{}(key)&mask_;
+  }
+
+  [[nodiscard]] std::size_t find_index(const K& key) const noexcept {
+    if (capacity_ == 0) return kNotFound;
+    std::size_t i = bucket_of(key);
+    while (occupied_[i]) {
+      if (slots_[i].key == key) return i;
+      i = (i + 1) & mask_;
+    }
+    return kNotFound;
+  }
+
+  void grow_if_needed() {
+    if (capacity_ == 0) {
+      rehash(kMinCapacity);
+    } else if ((size_ + 1) * 4 > capacity_ * 3) {  // load factor > 0.75
+      rehash(capacity_ * 2);
+    }
+  }
+
+  void rehash(std::size_t new_capacity) {
+    std::vector<Slot> old_slots = std::move(slots_);
+    std::vector<u8> old_occ = std::move(occupied_);
+    const std::size_t old_capacity = capacity_;
+    slots_ = std::vector<Slot>(new_capacity);  // values may be move-only
+    occupied_.assign(new_capacity, 0);
+    capacity_ = new_capacity;
+    mask_ = new_capacity - 1;
+    for (std::size_t i = 0; i < old_capacity; ++i) {
+      if (!old_occ[i]) continue;
+      std::size_t j = bucket_of(old_slots[i].key);
+      while (occupied_[j]) j = (j + 1) & mask_;
+      slots_[j] = std::move(old_slots[i]);
+      occupied_[j] = 1;
+    }
+  }
+
+  /// Backward-shift deletion (Knuth 6.4, algorithm R): walk the probe chain
+  /// after the hole and pull back every entry whose home bucket lies at or
+  /// before the hole, so lookups never need tombstones.
+  void erase_at(std::size_t hole) {
+    std::size_t j = hole;
+    for (std::size_t k = (hole + 1) & mask_; occupied_[k]; k = (k + 1) & mask_) {
+      const std::size_t home = bucket_of(slots_[k].key);
+      // `k - home` is the entry's probe distance; if the hole at `j` is
+      // within it (cyclically), the entry is unreachable once `j` empties —
+      // move it back into the hole and continue with the new hole at `k`.
+      if (((k - home) & mask_) >= ((k - j) & mask_)) {
+        slots_[j] = std::move(slots_[k]);
+        j = k;
+      }
+    }
+    occupied_[j] = 0;
+    slots_[j] = Slot{};  // release the value's resources
+    --size_;
+  }
+
+  std::vector<Slot> slots_;
+  std::vector<u8> occupied_;
+  std::size_t capacity_ = 0;
+  std::size_t mask_ = 0;
+  std::size_t size_ = 0;
+};
+
+/// Keys-only companion with identical probing/deletion behaviour. Like
+/// FlatMap it exposes no iteration order.
+template <class K, class Hash = U64Hash>
+class FlatSet {
+ public:
+  void reserve(std::size_t n) { map_.reserve(n); }
+  [[nodiscard]] std::size_t size() const noexcept { return map_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return map_.empty(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return map_.capacity(); }
+  void clear() { map_.clear(); }
+
+  /// Returns true if the key was newly inserted.
+  bool insert(const K& key) { return map_.try_emplace(key).second; }
+  [[nodiscard]] bool contains(const K& key) const { return map_.contains(key); }
+  /// Returns true if the key was present (usable as `erase(k) > 0`).
+  bool erase(const K& key) { return map_.erase(key); }
+
+ private:
+  struct Empty {};
+  FlatMap<K, Empty, Hash> map_;
+};
+
+}  // namespace uvmsim

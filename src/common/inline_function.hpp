@@ -1,0 +1,237 @@
+// InlineFunction: a move-only callable with fixed inline storage, built for
+// the event kernel. The common simulation lambdas (`[this, sm, warp, page]`
+// and friends) fit the inline buffer, so scheduling an event performs zero
+// heap allocations and invoking it is one indirect call. Captures larger
+// than the buffer (e.g. a MigrationBatch moved into a completion event) are
+// placed in storage drawn from a thread-local size-bucketed free list, so
+// even the oversized path stops hitting the global allocator once the
+// simulation reaches steady state.
+//
+// Differences from std::function, chosen deliberately for the hot path:
+//   * move-only (no copy — events are scheduled once and consumed once);
+//   * invoking an empty InlineFunction is undefined (assert), not a throw;
+//   * `is_inline()` is observable so the event queue can count spills.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace uvmsim {
+
+/// Inline capture budget for simulation callbacks. 48 bytes holds the
+/// largest per-access lambda (`this` + a few ids) with room to spare; see
+/// the static_asserts at the call sites in src/gpu/gpu.cpp.
+inline constexpr std::size_t kCallbackInlineBytes = 48;
+
+namespace detail {
+
+/// Thread-local recycled storage for oversized captures. Blocks are
+/// bucketed by 64-byte size class and never returned to the allocator
+/// until thread exit; sweeps are per-thread, so no locking is needed.
+class OversizePool {
+ public:
+  static constexpr std::size_t kClassBytes = 64;
+  static constexpr std::size_t kClasses = 16;  // up to 1 KiB pooled
+
+  struct Stats {
+    u64 allocs = 0;    ///< total oversized placements
+    u64 reused = 0;    ///< served from the free list
+    u64 outstanding = 0;
+  };
+
+  [[nodiscard]] static void* allocate(std::size_t bytes) {
+    OversizePool& pool = instance();
+    ++pool.stats_.allocs;
+    ++pool.stats_.outstanding;
+    const std::size_t cls = class_of(bytes);
+    if (cls < kClasses && !pool.free_[cls].empty()) {
+      void* p = pool.free_[cls].back();
+      pool.free_[cls].pop_back();
+      ++pool.stats_.reused;
+      return p;
+    }
+    const std::size_t rounded =
+        cls < kClasses ? (cls + 1) * kClassBytes : bytes;
+    void* p = ::operator new(rounded, std::align_val_t{alignof(std::max_align_t)});
+    return p;
+  }
+
+  static void deallocate(void* p, std::size_t bytes) {
+    OversizePool& pool = instance();
+    --pool.stats_.outstanding;
+    const std::size_t cls = class_of(bytes);
+    if (cls < kClasses) {
+      pool.free_[cls].push_back(p);
+      return;
+    }
+    ::operator delete(p, std::align_val_t{alignof(std::max_align_t)});
+  }
+
+  [[nodiscard]] static const Stats& stats() { return instance().stats_; }
+
+ private:
+  [[nodiscard]] static std::size_t class_of(std::size_t bytes) {
+    return (bytes - 1) / kClassBytes;
+  }
+
+  static OversizePool& instance() {
+    thread_local OversizePool pool;
+    return pool;
+  }
+
+  OversizePool() = default;
+  ~OversizePool() {
+    for (auto& cls : free_)
+      for (void* p : cls)
+        ::operator delete(p, std::align_val_t{alignof(std::max_align_t)});
+  }
+
+  std::vector<void*> free_[kClasses];
+  Stats stats_;
+};
+
+}  // namespace detail
+
+template <class Sig, std::size_t Capacity = kCallbackInlineBytes>
+class InlineFunction;  // primary template left undefined
+
+template <class R, class... Args, std::size_t Capacity>
+class InlineFunction<R(Args...), Capacity> {
+ public:
+  /// True when a callable of type F stores inline (no pool allocation).
+  template <class F>
+  static constexpr bool fits_inline =
+      sizeof(F) <= Capacity && alignof(F) <= alignof(std::max_align_t) &&
+      std::is_nothrow_move_constructible_v<F>;
+
+  InlineFunction() = default;
+
+  template <class F,
+            class = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineFunction> &&
+                std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
+  InlineFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    if constexpr (fits_inline<Fn>) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      ops_ = &inline_ops<Fn>;
+    } else {
+      void* mem = detail::OversizePool::allocate(sizeof(Fn));
+      ::new (mem) Fn(std::forward<F>(f));
+      *reinterpret_cast<void**>(buf_) = mem;
+      ops_ = &pooled_ops<Fn>;
+    }
+  }
+
+  InlineFunction(InlineFunction&& other) noexcept { move_from(other); }
+
+  InlineFunction& operator=(InlineFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
+
+  ~InlineFunction() { reset(); }
+
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return ops_ != nullptr;
+  }
+  /// False when the capture lives in pooled storage.
+  [[nodiscard]] bool is_inline() const noexcept {
+    return ops_ == nullptr || ops_->pooled_bytes == 0;
+  }
+
+  R operator()(Args... args) {
+    assert(ops_ != nullptr && "invoking empty InlineFunction");
+    return ops_->invoke(buf_, std::forward<Args>(args)...);
+  }
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    R (*invoke)(unsigned char*, Args&&...);
+    /// Move-construct into dst from src's storage, then destroy src's.
+    void (*relocate)(unsigned char* dst, unsigned char* src);
+    void (*destroy)(unsigned char*);
+    std::size_t pooled_bytes;  ///< 0 for inline storage
+  };
+
+  template <class Fn>
+  static constexpr Ops inline_ops = {
+      /*invoke=*/[](unsigned char* buf, Args&&... args) -> R {
+        return (*std::launder(reinterpret_cast<Fn*>(buf)))(
+            std::forward<Args>(args)...);
+      },
+      /*relocate=*/
+      [](unsigned char* dst, unsigned char* src) {
+        Fn* s = std::launder(reinterpret_cast<Fn*>(src));
+        ::new (static_cast<void*>(dst)) Fn(std::move(*s));
+        s->~Fn();
+      },
+      /*destroy=*/
+      [](unsigned char* buf) {
+        std::launder(reinterpret_cast<Fn*>(buf))->~Fn();
+      },
+      /*pooled_bytes=*/0,
+  };
+
+  template <class Fn>
+  static constexpr Ops pooled_ops = {
+      /*invoke=*/[](unsigned char* buf, Args&&... args) -> R {
+        void* mem = *reinterpret_cast<void**>(buf);
+        return (*std::launder(reinterpret_cast<Fn*>(mem)))(
+            std::forward<Args>(args)...);
+      },
+      /*relocate=*/
+      [](unsigned char* dst, unsigned char* src) {
+        // Pooled storage is owned by pointer: relocation is a pointer copy.
+        *reinterpret_cast<void**>(dst) = *reinterpret_cast<void**>(src);
+      },
+      /*destroy=*/
+      [](unsigned char* buf) {
+        void* mem = *reinterpret_cast<void**>(buf);
+        std::launder(reinterpret_cast<Fn*>(mem))->~Fn();
+        detail::OversizePool::deallocate(mem, sizeof(Fn));
+      },
+      /*pooled_bytes=*/sizeof(Fn),
+  };
+
+  void move_from(InlineFunction& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(buf_, other.buf_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[Capacity];
+  const Ops* ops_ = nullptr;
+};
+
+static_assert(sizeof(void*) <= kCallbackInlineBytes,
+              "inline buffer must at least hold the pooled pointer");
+
+/// Stats for the oversized-capture pool of the calling thread.
+[[nodiscard]] inline const detail::OversizePool::Stats& oversize_pool_stats() {
+  return detail::OversizePool::stats();
+}
+
+}  // namespace uvmsim

@@ -65,6 +65,13 @@ RunResult UvmSystem::run(Cycle max_cycles) {
   }
   r.trace_events_recorded = recorder_.events_recorded();
   r.clamped_past = eq_.clamped_past();
+  r.sim.events_executed = eq_.executed();
+  r.sim.event_heap_peak = eq_.peak_pending();
+  r.sim.event_heap_capacity = eq_.heap_capacity();
+  r.sim.oversize_events = eq_.oversize_events();
+  r.sim.chain_slab_capacity = driver_->chains().total_slab_capacity();
+  r.sim.page_table_capacity = driver_->page_table().table_capacity();
+  r.sim.page_table_load = driver_->page_table().load_factor();
   recorder_.flush();
   return r;
 }

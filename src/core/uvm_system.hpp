@@ -59,6 +59,22 @@ struct LinkRunResult {
   double utilisation = 0.0;
 };
 
+/// Simulator-overhead counters (the cost of simulating, not the simulated
+/// cost): allocation and sizing behaviour of the hot-path structures. Filled
+/// by every system's run(); surfaced in sweep JSON, `uvmsim --sim-stats`
+/// and bench/tab5_overhead. See docs/performance.md.
+struct SimPerfCounters {
+  u64 events_executed = 0;     ///< events the kernel ran (all devices share one queue)
+  u64 event_heap_peak = 0;     ///< high-water mark of pending events
+  u64 event_heap_capacity = 0; ///< final heap allocation, in events
+  /// Events whose callback capture exceeded the inline buffer and took the
+  /// pooled path — should stay a tiny fraction of events_executed.
+  u64 oversize_events = 0;
+  u64 chain_slab_capacity = 0; ///< chunk-chain slab slots across all domains/devices
+  u64 page_table_capacity = 0; ///< page-table hash slots across all devices
+  double page_table_load = 0.0;  ///< final load factor (max across devices)
+};
+
 struct RunResult {
   std::string workload;
   std::string eviction_name;
@@ -110,6 +126,9 @@ struct RunResult {
   /// EventQueue::clamped_past() — events scheduled in the past and clamped
   /// to "now". Always 0 in a healthy run; scripts/check.sh gates on it.
   u64 clamped_past = 0;
+
+  /// Simulator-overhead counters (cost of simulating, not simulated cost).
+  SimPerfCounters sim;
 
   [[nodiscard]] double speedup_vs(const RunResult& baseline) const {
     return cycles == 0 ? 0.0

@@ -161,6 +161,16 @@ RunResult FabricSystem::run(Cycle max_cycles) {
           {l.name, l.link.units_moved(), l.link.utilisation(r.cycles)});
   }
   r.clamped_past = eq_.clamped_past();
+  r.sim.events_executed = eq_.executed();
+  r.sim.event_heap_peak = eq_.peak_pending();
+  r.sim.event_heap_capacity = eq_.heap_capacity();
+  r.sim.oversize_events = eq_.oversize_events();
+  for (const auto& drv : drivers_) {
+    r.sim.chain_slab_capacity += drv->chains().total_slab_capacity();
+    r.sim.page_table_capacity += drv->page_table().table_capacity();
+    r.sim.page_table_load =
+        std::max(r.sim.page_table_load, drv->page_table().load_factor());
+  }
   for (auto& rec : recorders_) rec->flush();
   return r;
 }

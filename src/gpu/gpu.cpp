@@ -70,7 +70,11 @@ void Gpu::warp_step(u32 sm, u32 warp) {
     return;
   }
   ++accesses_;
-  eq_.schedule_in(a.think, [this, sm, warp, page = a.page] { do_access(sm, warp, page); });
+  auto ev = [this, sm, warp, page = a.page] { do_access(sm, warp, page); };
+  // One event per access: the capture must stay in the SBO buffer, or the
+  // simulator is back to one heap allocation per simulated access.
+  static_assert(EventQueue::Callback::fits_inline<decltype(ev)>);
+  eq_.schedule_in(a.think, std::move(ev));
 }
 
 void Gpu::do_access(u32 sm, u32 warp, PageId page) {
@@ -90,7 +94,7 @@ void Gpu::do_access(u32 sm, u32 warp, PageId page) {
     return;
   }
   // (3)-(5) page table walk.
-  walker_.walk(page, [this, sm, warp](PageId p, bool resident) {
+  auto done = [this, sm, warp](PageId p, bool resident) {
     if (resident) {
       l2_tlb_.fill(p);
       sms_[sm].l1_tlb->fill(p);
@@ -101,12 +105,16 @@ void Gpu::do_access(u32 sm, u32 warp, PageId page) {
     // Replayable far fault: the warp parks until the page is migrated; the
     // SM continues with its other warps (they have their own events).
     ++far_faults_;
-    driver_.fault(p, [this, sm, warp, p] {
+    auto wake = [this, sm, warp, p] {
       l2_tlb_.fill(p);
       sms_[sm].l1_tlb->fill(p);
       finish_access(sm, warp, p, eq_.now());
-    });
-  });
+    };
+    static_assert(WakeCallback::fits_inline<decltype(wake)>);
+    driver_.fault(p, std::move(wake));
+  };
+  static_assert(PageWalker::WalkDone::fits_inline<decltype(done)>);
+  walker_.walk(page, std::move(done));
 }
 
 void Gpu::finish_access(u32 sm, u32 warp, PageId page, Cycle ready) {
@@ -136,7 +144,9 @@ void Gpu::finish_access(u32 sm, u32 warp, PageId page, Cycle ready) {
       done = dram_.access(ready + cfg_.l2_cache_latency, f);
     }
   }
-  eq_.schedule_at(done, [this, sm, warp] { warp_step(sm, warp); });
+  auto ev = [this, sm, warp] { warp_step(sm, warp); };
+  static_assert(EventQueue::Callback::fits_inline<decltype(ev)>);
+  eq_.schedule_at(done, std::move(ev));
 }
 
 void Gpu::remote_shootdown(PageId p) {

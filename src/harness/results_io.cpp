@@ -192,6 +192,18 @@ void write_json(std::ostream& os, const std::vector<LabelledResult>& results) {
       }
       os << "]";
     }
+    // Simulator-overhead counters (docs/performance.md). Only emitted for
+    // real runs (synthetic LabelledResults in tests execute no events), and
+    // flat rather than nested so existing consumers' object counts hold.
+    if (x.sim.events_executed != 0) {
+      os << ",\"sim_events_executed\":" << x.sim.events_executed << ','
+         << "\"sim_event_heap_peak\":" << x.sim.event_heap_peak << ','
+         << "\"sim_event_heap_capacity\":" << x.sim.event_heap_capacity << ','
+         << "\"sim_oversize_events\":" << x.sim.oversize_events << ','
+         << "\"sim_chain_slab_capacity\":" << x.sim.chain_slab_capacity << ','
+         << "\"sim_page_table_capacity\":" << x.sim.page_table_capacity << ','
+         << "\"sim_page_table_load\":" << x.sim.page_table_load;
+    }
     // Event-queue health: only surfaced when something actually clamped, so
     // clean runs keep the historical key set.
     if (x.clamped_past != 0) os << ",\"clamped_past\":" << x.clamped_past;

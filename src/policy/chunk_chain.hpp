@@ -13,12 +13,29 @@
 //   new    — stamped in the current interval,
 //   middle — stamped in the previous interval,
 //   old    — stamped earlier.
+//
+// Storage: a slab-linked list. Entries live in one std::vector<Node> slab
+// and are linked by u32 prev/next indices; freed slots go on a free list
+// and are reused by later inserts, so a steady-state thrash loop (insert at
+// tail, erase at head) runs allocation-free in reused cache-warm slots. A
+// FlatMap<ChunkId, slot> replaces the old unordered_map<ChunkId, iterator>.
+// List order, head-insert stamping and splice (move_to_tail) semantics are
+// identical to the std::list implementation; only the memory layout moved.
+//
+// Invalidation contract: erase() invalidates iterators/references to the
+// erased entry only, but insert() may grow the slab and invalidate ALL
+// entry references (not iterators — they hold indices). No simulator code
+// holds a ChunkEntry reference across an insert (audited; pinned by
+// tests/policy/chunk_chain_test.cpp churn tests).
 #pragma once
 
 #include <cassert>
-#include <list>
-#include <unordered_map>
+#include <cstddef>
+#include <iterator>
+#include <type_traits>
+#include <vector>
 
+#include "common/flat_map.hpp"
 #include "common/touch_bits.hpp"
 #include "common/types.hpp"
 
@@ -50,19 +67,96 @@ struct ChunkEntry {
 enum class Partition : u8 { kOld, kMiddle, kNew };
 
 class ChunkChain {
+  static constexpr u32 kNil = ~u32{0};
+
+  struct Node {
+    ChunkEntry entry;
+    u32 prev = kNil;
+    u32 next = kNil;
+  };
+
+  template <bool Const, bool Reverse>
+  class IterT {
+    using ChainPtr = std::conditional_t<Const, const ChunkChain*, ChunkChain*>;
+
+   public:
+    using iterator_category = std::bidirectional_iterator_tag;
+    using value_type = ChunkEntry;
+    using difference_type = std::ptrdiff_t;
+    using pointer = std::conditional_t<Const, const ChunkEntry*, ChunkEntry*>;
+    using reference = std::conditional_t<Const, const ChunkEntry&, ChunkEntry&>;
+
+    IterT() = default;
+    IterT(ChainPtr chain, u32 idx) : chain_(chain), idx_(idx) {}
+    /// const_iterator is constructible from iterator (std::list parity).
+    template <bool C = Const, class = std::enable_if_t<C>>
+    IterT(const IterT<false, Reverse>& o)  // NOLINT(google-explicit-constructor)
+        : chain_(o.chain_), idx_(o.idx_) {}
+
+    [[nodiscard]] reference operator*() const {
+      return chain_->slab_[idx_].entry;
+    }
+    [[nodiscard]] pointer operator->() const {
+      return &chain_->slab_[idx_].entry;
+    }
+
+    IterT& operator++() {
+      idx_ = Reverse ? chain_->slab_[idx_].prev : chain_->slab_[idx_].next;
+      return *this;
+    }
+    IterT operator++(int) {
+      IterT tmp = *this;
+      ++*this;
+      return tmp;
+    }
+    IterT& operator--() {
+      if (idx_ == kNil) {
+        idx_ = Reverse ? chain_->head_ : chain_->tail_;
+      } else {
+        idx_ = Reverse ? chain_->slab_[idx_].next : chain_->slab_[idx_].prev;
+      }
+      return *this;
+    }
+    IterT operator--(int) {
+      IterT tmp = *this;
+      --*this;
+      return tmp;
+    }
+
+    [[nodiscard]] bool operator==(const IterT& o) const { return idx_ == o.idx_; }
+    [[nodiscard]] bool operator!=(const IterT& o) const { return idx_ != o.idx_; }
+
+   private:
+    friend class ChunkChain;
+    template <bool, bool>
+    friend class IterT;
+    ChainPtr chain_ = nullptr;
+    u32 idx_ = kNil;
+  };
+
  public:
-  using List = std::list<ChunkEntry>;
-  using Iter = List::iterator;
-  using ConstIter = List::const_iterator;
+  using Iter = IterT<false, false>;
+  using ConstIter = IterT<true, false>;
+  using ReverseIter = IterT<false, true>;
+  using ConstReverseIter = IterT<true, true>;
 
   explicit ChunkChain(u32 interval_pages = 64) : interval_pages_(interval_pages) {}
 
-  // Copying would leave index_ pointing into the source's list; moving keeps
-  // list iterators valid (std::list guarantee) and is allowed.
+  // Copying would leave index_ pointing into the source's slab. Moves are
+  // plain vector/map moves — slot indices stay valid in the destination
+  // (unlike the old iterator-based index, which made move-assignment during
+  // ChainSet teardown a latent hazard).
   ChunkChain(const ChunkChain&) = delete;
   ChunkChain& operator=(const ChunkChain&) = delete;
   ChunkChain(ChunkChain&&) = default;
   ChunkChain& operator=(ChunkChain&&) = default;
+
+  /// Pre-size the slab and index for `chunks` resident chunks (typically the
+  /// device's frame capacity in chunks) so steady state never reallocates.
+  void reserve(std::size_t chunks) {
+    slab_.reserve(chunks);
+    index_.reserve(chunks);
+  }
 
   /// Insert a new chunk. `at_head` places it at the LRU position (used for
   /// wrongly-evicted chunks under MHPE); default is the MRU tail.
@@ -75,51 +169,65 @@ class ChunkChain {
   /// hiding the reinserted chunk from MHPE's old-partition MRU search.
   ChunkEntry& insert(ChunkId id, bool at_head = false) {
     assert(!contains(id));
-    ChunkEntry e;
-    e.id = id;
+    const u32 slot = acquire_slot();
+    Node& node = slab_[slot];
+    node.entry = ChunkEntry{};
+    node.entry.id = id;
     const u64 stamp =
         at_head ? (current_interval_ >= 2 ? current_interval_ - 2 : 0)
                 : current_interval_;
-    e.arrival_interval = stamp;
-    e.last_touch_interval = stamp;
-    Iter it = at_head ? chain_.insert(chain_.begin(), e)
-                      : chain_.insert(chain_.end(), e);
-    index_.emplace(id, it);
-    return *it;
+    node.entry.arrival_interval = stamp;
+    node.entry.last_touch_interval = stamp;
+    if (at_head) {
+      link_head(slot);
+    } else {
+      link_tail(slot);
+    }
+    index_.try_emplace(id, slot);
+    ++size_;
+    return node.entry;
   }
 
   [[nodiscard]] bool contains(ChunkId id) const { return index_.contains(id); }
 
   ChunkEntry& entry(ChunkId id) {
-    auto it = index_.find(id);
-    assert(it != index_.end());
-    return *it->second;
+    const u32* slot = index_.find(id);
+    assert(slot != nullptr);
+    return slab_[*slot].entry;
   }
   [[nodiscard]] const ChunkEntry& entry(ChunkId id) const {
-    auto it = index_.find(id);
-    assert(it != index_.end());
-    return *it->second;
+    const u32* slot = index_.find(id);
+    assert(slot != nullptr);
+    return slab_[*slot].entry;
   }
   [[nodiscard]] ChunkEntry* find(ChunkId id) {
-    auto it = index_.find(id);
-    return it == index_.end() ? nullptr : &*it->second;
+    const u32* slot = index_.find(id);
+    return slot == nullptr ? nullptr : &slab_[*slot].entry;
   }
 
-  /// Remove a chunk (after eviction) and return its final metadata.
+  /// Remove a chunk (after eviction) and return its final metadata. The
+  /// freed slot goes to the free list for reuse by a later insert.
   ChunkEntry erase(ChunkId id) {
-    auto it = index_.find(id);
-    assert(it != index_.end());
-    ChunkEntry out = *it->second;
-    chain_.erase(it->second);
-    index_.erase(it);
+    const u32* found = index_.find(id);
+    assert(found != nullptr);
+    const u32 slot = *found;
+    ChunkEntry out = std::move(slab_[slot].entry);
+    unlink(slot);
+    release_slot(slot);
+    index_.erase(id);
+    --size_;
     return out;
   }
 
   /// Move a chunk to the MRU tail (HPE-style recency update on touch).
+  /// Pure index relink — the entry itself does not move in memory.
   void move_to_tail(ChunkId id) {
-    auto it = index_.find(id);
-    assert(it != index_.end());
-    chain_.splice(chain_.end(), chain_, it->second);
+    const u32* found = index_.find(id);
+    assert(found != nullptr);
+    const u32 slot = *found;
+    if (slot == tail_) return;
+    unlink(slot);
+    link_tail(slot);
   }
 
   /// Advance the interval clock by `n` migrated pages. Returns the number of
@@ -146,23 +254,92 @@ class ChunkChain {
     return Partition::kOld;
   }
 
-  [[nodiscard]] std::size_t size() const noexcept { return chain_.size(); }
-  [[nodiscard]] bool empty() const noexcept { return chain_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  // --- Simulator-perf observability (RunResult.sim / --sim-stats) ----------
+  /// Allocated slab slots (live + free-listed).
+  [[nodiscard]] std::size_t slab_capacity() const noexcept { return slab_.size(); }
+  /// Load factor of the ChunkId -> slot index.
+  [[nodiscard]] double index_load_factor() const noexcept {
+    return index_.load_factor();
+  }
 
   // LRU-first iteration (head -> tail).
-  [[nodiscard]] Iter begin() { return chain_.begin(); }
-  [[nodiscard]] Iter end() { return chain_.end(); }
-  [[nodiscard]] ConstIter begin() const { return chain_.begin(); }
-  [[nodiscard]] ConstIter end() const { return chain_.end(); }
+  [[nodiscard]] Iter begin() { return {this, head_}; }
+  [[nodiscard]] Iter end() { return {this, kNil}; }
+  [[nodiscard]] ConstIter begin() const { return {this, head_}; }
+  [[nodiscard]] ConstIter end() const { return {this, kNil}; }
   // MRU-first iteration (tail -> head).
-  [[nodiscard]] List::reverse_iterator rbegin() { return chain_.rbegin(); }
-  [[nodiscard]] List::reverse_iterator rend() { return chain_.rend(); }
-  [[nodiscard]] List::const_reverse_iterator rbegin() const { return chain_.rbegin(); }
-  [[nodiscard]] List::const_reverse_iterator rend() const { return chain_.rend(); }
+  [[nodiscard]] ReverseIter rbegin() { return {this, tail_}; }
+  [[nodiscard]] ReverseIter rend() { return {this, kNil}; }
+  [[nodiscard]] ConstReverseIter rbegin() const { return {this, tail_}; }
+  [[nodiscard]] ConstReverseIter rend() const { return {this, kNil}; }
 
  private:
-  List chain_;
-  std::unordered_map<ChunkId, Iter> index_;
+  [[nodiscard]] u32 acquire_slot() {
+    if (free_head_ != kNil) {
+      const u32 slot = free_head_;
+      free_head_ = slab_[slot].next;
+      return slot;
+    }
+    slab_.emplace_back();
+    return static_cast<u32>(slab_.size() - 1);
+  }
+
+  void release_slot(u32 slot) {
+    slab_[slot].entry = ChunkEntry{};  // drop stale metadata in the free slot
+    slab_[slot].prev = kNil;
+    slab_[slot].next = free_head_;
+    free_head_ = slot;
+  }
+
+  void link_head(u32 slot) {
+    Node& node = slab_[slot];
+    node.prev = kNil;
+    node.next = head_;
+    if (head_ != kNil) {
+      slab_[head_].prev = slot;
+    } else {
+      tail_ = slot;
+    }
+    head_ = slot;
+  }
+
+  void link_tail(u32 slot) {
+    Node& node = slab_[slot];
+    node.next = kNil;
+    node.prev = tail_;
+    if (tail_ != kNil) {
+      slab_[tail_].next = slot;
+    } else {
+      head_ = slot;
+    }
+    tail_ = slot;
+  }
+
+  void unlink(u32 slot) {
+    Node& node = slab_[slot];
+    if (node.prev != kNil) {
+      slab_[node.prev].next = node.next;
+    } else {
+      head_ = node.next;
+    }
+    if (node.next != kNil) {
+      slab_[node.next].prev = node.prev;
+    } else {
+      tail_ = node.prev;
+    }
+    node.prev = kNil;
+    node.next = kNil;
+  }
+
+  std::vector<Node> slab_;
+  FlatMap<ChunkId, u32> index_;
+  u32 head_ = kNil;
+  u32 tail_ = kNil;
+  u32 free_head_ = kNil;
+  std::size_t size_ = 0;
   u32 interval_pages_;
   u64 pages_migrated_ = 0;
   u64 current_interval_ = 0;

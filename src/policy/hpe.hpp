@@ -22,9 +22,9 @@
 #pragma once
 
 #include <deque>
-#include <unordered_set>
 
 #include "common/config.hpp"
+#include "common/flat_map.hpp"
 #include "policy/eviction_policy.hpp"
 
 namespace uvmsim {
@@ -64,7 +64,7 @@ class HpePolicy final : public EvictionPolicy {
   u64 wrong_total_ = 0;
 
   std::deque<ChunkId> recent_evicted_;
-  std::unordered_multiset<ChunkId> recent_lookup_;
+  FlatMap<ChunkId, u32> recent_lookup_;  ///< chunk -> live FIFO occurrences
   std::size_t recent_capacity_ = 64;
 };
 

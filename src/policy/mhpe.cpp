@@ -35,9 +35,9 @@ void MhpePolicy::lazy_init() {
 
 void MhpePolicy::on_fault(PageId page) {
   const ChunkId c = chunk_of_page(page);
-  if (auto it = wrong_lookup_.find(c); it != wrong_lookup_.end()) {
+  if (u32* n = wrong_lookup_.find(c); n != nullptr) {
     // A recently evicted chunk faulted again: that eviction was wrong.
-    wrong_lookup_.erase(it);  // one instance only
+    if (--*n == 0) wrong_lookup_.erase(c);  // one instance only
     ++w_;
     ++wrong_total_;
     reinsert_at_head_.insert(c);
@@ -56,10 +56,12 @@ void MhpePolicy::on_chunk_evicted(const ChunkEntry& e) {
   if (intervals_seen_ < 4) u2_ += untouch;
 
   wrong_fifo_.push_back(e.id);
-  wrong_lookup_.insert(e.id);
+  ++wrong_lookup_[e.id];
   while (wrong_fifo_.size() > wrong_capacity_) {
-    if (auto it = wrong_lookup_.find(wrong_fifo_.front()); it != wrong_lookup_.end())
-      wrong_lookup_.erase(it);  // one instance: newer duplicates survive
+    if (u32* n = wrong_lookup_.find(wrong_fifo_.front()); n != nullptr) {
+      if (--*n == 0) wrong_lookup_.erase(wrong_fifo_.front());
+      // one instance: newer duplicates survive
+    }
     wrong_fifo_.pop_front();
   }
 }

@@ -19,10 +19,10 @@
 #pragma once
 
 #include <deque>
-#include <unordered_set>
 #include <vector>
 
 #include "common/config.hpp"
+#include "common/flat_map.hpp"
 #include "policy/eviction_policy.hpp"
 
 namespace uvmsim {
@@ -75,12 +75,13 @@ class MhpePolicy final : public EvictionPolicy {
   u64 intervals_seen_ = 0;
 
   // Wrong-eviction detection: FIFO of recently evicted chunks + fast lookup.
-  // A multiset because a chunk can be evicted, refetched, and evicted again
-  // while its first FIFO entry is still ageing out.
+  // The lookup is a count map (multiset semantics) because a chunk can be
+  // evicted, refetched, and evicted again while its first FIFO entry is
+  // still ageing out.
   std::deque<ChunkId> wrong_fifo_;
-  std::unordered_multiset<ChunkId> wrong_lookup_;
+  FlatMap<ChunkId, u32> wrong_lookup_;  ///< chunk -> live FIFO occurrences
   std::size_t wrong_capacity_ = 0;
-  std::unordered_set<ChunkId> reinsert_at_head_;
+  FlatSet<ChunkId> reinsert_at_head_;
 
   // §IV-B's reinsert-at-head guarantee ("not immediately re-victimised by
   // the MRU search") made explicit: reinserted chunks are exempt from the
@@ -89,9 +90,9 @@ class MhpePolicy final : public EvictionPolicy {
   // partition is shorter than the forward distance, select_mru's fallback
   // takes the LRU-most candidate, which would be exactly the chunk just
   // brought back. Two sets, aged at interval boundaries; never iterated, so
-  // unordered lookup keeps determinism.
-  std::unordered_set<ChunkId> head_protected_cur_;
-  std::unordered_set<ChunkId> head_protected_prev_;
+  // hashed lookup keeps determinism.
+  FlatSet<ChunkId> head_protected_cur_;
+  FlatSet<ChunkId> head_protected_prev_;
 
   u64 evictions_ = 0;
   u64 wrong_total_ = 0;

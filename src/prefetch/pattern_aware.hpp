@@ -20,9 +20,9 @@
 #pragma once
 
 #include <deque>
-#include <unordered_map>
 
 #include "common/config.hpp"
+#include "common/flat_map.hpp"
 #include "prefetch/prefetcher.hpp"
 
 namespace uvmsim {
@@ -40,13 +40,13 @@ class PatternAwarePrefetcher final : public Prefetcher {
     std::vector<PageId> out;
     out.reserve(kChunkPages);
 
-    auto it = buffer_.find(c);
-    if (it == buffer_.end()) {
+    Entry* entry = buffer_.find(c);
+    if (entry == nullptr) {
       append_chunk(c, view, out);
       return out;
     }
     ++lookups_;
-    Entry& e = it->second;
+    Entry& e = *entry;
     const bool first_lookup = !e.probed;
     e.probed = true;
 
@@ -70,9 +70,9 @@ class PatternAwarePrefetcher final : public Prefetcher {
     append_chunk(c, view, out);
     if (scheme_ == DeletionScheme::kScheme1 ||
         (scheme_ == DeletionScheme::kScheme2 && first_lookup)) {
-      erase_entry(it, scheme_ == DeletionScheme::kScheme1
-                          ? PatternDeleteReason::kScheme1Mismatch
-                          : PatternDeleteReason::kScheme2FirstMiss);
+      erase_entry(c, scheme_ == DeletionScheme::kScheme1
+                         ? PatternDeleteReason::kScheme1Mismatch
+                         : PatternDeleteReason::kScheme2FirstMiss);
       ++deletions_;
     }
     return out;
@@ -87,15 +87,14 @@ class PatternAwarePrefetcher final : public Prefetcher {
     if (touched.untouched() < min_untouch_) return;
     // Never record an empty pattern: it could prefetch zero pages.
     if (touched.empty()) return;
-    auto [it, inserted] = buffer_.try_emplace(chunk, Entry{touched, false});
+    auto [e, inserted] = buffer_.try_emplace(chunk, Entry{touched, false});
     if (!inserted) {
-      it->second = Entry{touched, /*probed=*/false};  // refresh, keep FIFO age
+      *e = Entry{touched, /*probed=*/false};  // refresh, keep FIFO age
     } else {
       fifo_.push_back(chunk);
       while (buffer_.size() > capacity_) {
         // fifo_ mirrors the live key set exactly, so the front is the oldest.
-        auto victim = buffer_.find(fifo_.front());
-        erase_entry(victim, PatternDeleteReason::kCapacityReplaced);
+        erase_entry(fifo_.front(), PatternDeleteReason::kCapacityReplaced);
         ++capacity_evictions_;
       }
     }
@@ -134,15 +133,15 @@ class PatternAwarePrefetcher final : public Prefetcher {
     bool probed = false;  ///< has this entry been looked up since recording?
   };
 
-  using Buffer = std::unordered_map<ChunkId, Entry>;
+  using Buffer = FlatMap<ChunkId, Entry>;
 
-  void erase_entry(Buffer::iterator it, PatternDeleteReason reason) {
-    record_event(recorder(), EventType::kPatternDeleted, it->first,
+  void erase_entry(ChunkId chunk, PatternDeleteReason reason) {
+    record_event(recorder(), EventType::kPatternDeleted, chunk,
                  static_cast<u64>(reason));
     // Keep fifo_ an exact mirror of the live keys so capacity replacement
     // never has to skip stale ids (O(capacity) erase, deletions are rare).
-    std::erase(fifo_, it->first);
-    buffer_.erase(it);
+    std::erase(fifo_, chunk);
+    buffer_.erase(chunk);
   }
 
   Buffer buffer_;

@@ -2,21 +2,33 @@
 //
 // A single EventQueue drives one simulation instance. Events scheduled for
 // the same cycle run in FIFO order of scheduling (stable sequence numbers),
-// which keeps component interactions deterministic.
+// which keeps component interactions deterministic: execution order is a
+// pure function of (when, seq), so any correct min-heap implementation —
+// including this hand-rolled one — replays the exact same event stream.
+//
+// The kernel is allocation-free on the hot path: callbacks are
+// InlineFunction (small-buffer optimised, pooled spill for oversized
+// captures) and the heap is a reserve-ahead std::vector binary heap. Popping
+// moves the root out *before* sifting, so a running callback may freely
+// schedule new events — no const_cast aliasing of a live heap node.
 #pragma once
 
 #include <cassert>
-#include <functional>
-#include <queue>
+#include <cstddef>
+#include <utility>
 #include <vector>
 
+#include "common/inline_function.hpp"
 #include "common/types.hpp"
 
 namespace uvmsim {
 
 class EventQueue {
  public:
-  using Callback = std::function<void()>;
+  using Callback = InlineFunction<void(), kCallbackInlineBytes>;
+
+  /// Pre-size the heap so steady-state scheduling never reallocates.
+  void reserve(std::size_t events) { heap_.reserve(events); }
 
   /// Schedule `fn` to run `delay` cycles from now.
   void schedule_in(Cycle delay, Callback fn) { schedule_at(now_ + delay, std::move(fn)); }
@@ -32,7 +44,8 @@ class EventQueue {
       when = now_;
       ++clamped_past_;
     }
-    heap_.push(Event{when, seq_++, std::move(fn)});
+    if (!fn.is_inline()) ++oversize_events_;
+    push(Event{when, seq_++, std::move(fn)});
   }
 
   [[nodiscard]] Cycle now() const noexcept { return now_; }
@@ -42,13 +55,22 @@ class EventQueue {
   /// Non-zero means a component computed a stale timestamp.
   [[nodiscard]] u64 clamped_past() const noexcept { return clamped_past_; }
 
+  // --- Simulator-perf observability (RunResult.sim / --sim-stats) ----------
+  /// Events executed so far (monotonic; == schedule count once drained).
+  [[nodiscard]] u64 executed() const noexcept { return executed_; }
+  /// High-water mark of pending events.
+  [[nodiscard]] u64 peak_pending() const noexcept { return peak_pending_; }
+  /// Current heap allocation in events.
+  [[nodiscard]] std::size_t heap_capacity() const noexcept { return heap_.capacity(); }
+  /// Events whose capture spilled to the oversized pool (non-inline).
+  [[nodiscard]] u64 oversize_events() const noexcept { return oversize_events_; }
+
   /// Pop and run the next event. Returns false if the queue was empty.
   bool step() {
     if (heap_.empty()) return false;
-    // Move the callback out before popping so it may schedule new events.
-    Event ev = std::move(const_cast<Event&>(heap_.top()));
-    heap_.pop();
+    Event ev = pop_min();
     now_ = ev.when;
+    ++executed_;
     ev.fn();
     return true;
   }
@@ -62,7 +84,7 @@ class EventQueue {
   /// would land *ahead* of work already committed before the cap.
   u64 run(Cycle max_cycle = ~Cycle{0}) {
     u64 executed = 0;
-    while (!heap_.empty() && heap_.top().when <= max_cycle) {
+    while (!heap_.empty() && heap_.front().when <= max_cycle) {
       step();
       ++executed;
     }
@@ -72,18 +94,62 @@ class EventQueue {
 
  private:
   struct Event {
-    Cycle when;
-    u64 seq;
+    Cycle when = 0;
+    u64 seq = 0;
     Callback fn;
-    bool operator>(const Event& o) const {
-      return when != o.when ? when > o.when : seq > o.seq;
+
+    /// Strict total order: earlier cycle first, then scheduling order.
+    [[nodiscard]] bool before(const Event& o) const noexcept {
+      return when != o.when ? when < o.when : seq < o.seq;
     }
   };
 
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
+  void push(Event ev) {
+    // Hole-based sift up: one move per level instead of a three-move swap.
+    heap_.emplace_back();
+    std::size_t i = heap_.size() - 1;
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 2;
+      if (!ev.before(heap_[parent])) break;
+      heap_[i] = std::move(heap_[parent]);
+      i = parent;
+    }
+    heap_[i] = std::move(ev);
+    if (heap_.size() > peak_pending_) peak_pending_ = heap_.size();
+  }
+
+  /// Remove and return the minimum. The root is moved out before the heap
+  /// is restructured, so the returned event's callback owns its storage
+  /// outright — it may schedule (push) new events while running.
+  Event pop_min() {
+    Event min = std::move(heap_.front());
+    Event last = std::move(heap_.back());
+    heap_.pop_back();
+    const std::size_t n = heap_.size();
+    if (n > 0) {
+      // Sift `last` down from the root.
+      std::size_t i = 0;
+      while (true) {
+        const std::size_t l = 2 * i + 1;
+        if (l >= n) break;
+        const std::size_t r = l + 1;
+        std::size_t child = (r < n && heap_[r].before(heap_[l])) ? r : l;
+        if (!heap_[child].before(last)) break;
+        heap_[i] = std::move(heap_[child]);
+        i = child;
+      }
+      heap_[i] = std::move(last);
+    }
+    return min;
+  }
+
+  std::vector<Event> heap_;
   Cycle now_ = 0;
   u64 seq_ = 0;
   u64 clamped_past_ = 0;
+  u64 executed_ = 0;
+  u64 peak_pending_ = 0;
+  u64 oversize_events_ = 0;
 };
 
 }  // namespace uvmsim

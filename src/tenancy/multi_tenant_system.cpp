@@ -124,6 +124,13 @@ RunResult MultiTenantSystem::run(Cycle max_cycles) {
     r.final_chain_length += driver_->chains().chain(d).size();
   r.trace_events_recorded = recorder_.events_recorded();
   r.clamped_past = eq_.clamped_past();
+  r.sim.events_executed = eq_.executed();
+  r.sim.event_heap_peak = eq_.peak_pending();
+  r.sim.event_heap_capacity = eq_.heap_capacity();
+  r.sim.oversize_events = eq_.oversize_events();
+  r.sim.chain_slab_capacity = driver_->chains().total_slab_capacity();
+  r.sim.page_table_capacity = driver_->page_table().table_capacity();
+  r.sim.page_table_load = driver_->page_table().load_factor();
   recorder_.flush();
   return r;
 }

@@ -4,11 +4,18 @@
 // physical frame number. The radix structure matters to the *walker*: each
 // level contributes a node whose tag is probed in the page walk cache, so
 // spatially-close pages share upper-level nodes exactly as on real x86-64.
+//
+// Mappings live in a FlatMap (src/common/flat_map.hpp) reserved from the
+// device's frame capacity at construction — mapped pages never exceed the
+// frames backing them, so the hot fault path neither rehashes nor touches
+// the allocator. Only point lookups are used; iteration order does not
+// exist in the API.
 #pragma once
 
 #include <cassert>
-#include <unordered_map>
+#include <cstddef>
 
+#include "common/flat_map.hpp"
 #include "common/types.hpp"
 
 namespace uvmsim {
@@ -32,31 +39,38 @@ class PageTable {
     return ((p >> (kBitsPerLevel * level)) << 2) | level;
   }
 
+  /// Size the mapping table for `pages` simultaneously-mapped pages
+  /// (normally the device's frame capacity).
+  void reserve(std::size_t pages) { map_.reserve(pages); }
+
   [[nodiscard]] bool resident(PageId p) const { return map_.contains(p); }
 
   [[nodiscard]] FrameId frame_of(PageId p) const {
-    auto it = map_.find(p);
-    return it == map_.end() ? kInvalidFrame : it->second;
+    const FrameId* f = map_.find(p);
+    return f == nullptr ? kInvalidFrame : *f;
   }
 
   void map(PageId p, FrameId f) {
     assert(!map_.contains(p));
-    map_.emplace(p, f);
+    map_.try_emplace(p, f);
   }
 
   /// Remove the mapping; returns the frame that backed it.
   FrameId unmap(PageId p) {
-    auto it = map_.find(p);
-    assert(it != map_.end());
-    const FrameId f = it->second;
-    map_.erase(it);
+    FrameId f = kInvalidFrame;
+    [[maybe_unused]] const bool present = map_.take(p, f);
+    assert(present);
     return f;
   }
 
   [[nodiscard]] std::size_t mapped_pages() const { return map_.size(); }
 
+  // --- Simulator-perf observability (RunResult.sim / --sim-stats) ----------
+  [[nodiscard]] std::size_t table_capacity() const { return map_.capacity(); }
+  [[nodiscard]] double load_factor() const { return map_.load_factor(); }
+
  private:
-  std::unordered_map<PageId, FrameId> map_;
+  FlatMap<PageId, FrameId> map_;
 };
 
 }  // namespace uvmsim

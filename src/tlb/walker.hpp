@@ -9,11 +9,11 @@
 
 #include <cassert>
 #include <deque>
-#include <functional>
-#include <unordered_map>
 #include <vector>
 
 #include "common/config.hpp"
+#include "common/flat_map.hpp"
+#include "common/inline_function.hpp"
 #include "mem/set_assoc_cache.hpp"
 #include "sim/event_queue.hpp"
 #include "tlb/page_table.hpp"
@@ -23,7 +23,9 @@ namespace uvmsim {
 class PageWalker {
  public:
   /// Called when the walk finishes: `resident` tells whether a PTE was found.
-  using WalkDone = std::function<void(PageId page, bool resident)>;
+  /// Move-only SBO callable: the per-miss `[this, sm, warp]` capture stays
+  /// inline, so raising a walk performs no allocation.
+  using WalkDone = InlineFunction<void(PageId page, bool resident)>;
 
   PageWalker(EventQueue& eq, const PageTable& pt, const SystemConfig& cfg)
       : eq_(eq),
@@ -35,10 +37,10 @@ class PageWalker {
   /// Request a translation walk for `page`; `done` fires on completion.
   void walk(PageId page, WalkDone done) {
     ++walks_requested_;
-    if (auto it = inflight_.find(page); it != inflight_.end()) {
+    if (auto* waiters = inflight_.find(page); waiters != nullptr) {
       // Coalesce with the in-progress walk for the same page.
       ++walks_coalesced_;
-      it->second.push_back(std::move(done));
+      waiters->push_back(std::move(done));
       return;
     }
     inflight_[page].push_back(std::move(done));
@@ -81,9 +83,10 @@ class PageWalker {
 
   void finish_walk(PageId page) {
     const bool resident = pt_.resident(page);
-    auto node = inflight_.extract(page);
-    assert(!node.empty());
-    for (auto& cb : node.mapped()) cb(page, resident);
+    std::vector<WalkDone> waiters;
+    [[maybe_unused]] const bool had = inflight_.take(page, waiters);
+    assert(had && !waiters.empty());
+    for (auto& cb : waiters) cb(page, resident);
     // Hand the freed walker thread to a queued request, if any.
     if (!queue_.empty()) {
       const PageId next = queue_.front();
@@ -99,7 +102,7 @@ class PageWalker {
   const SystemConfig& cfg_;
   SetAssocCache pwc_;
 
-  std::unordered_map<PageId, std::vector<WalkDone>> inflight_;
+  FlatMap<PageId, std::vector<WalkDone>> inflight_;
   std::deque<PageId> queue_;
   u32 active_ = 0;
   std::size_t peak_queue_ = 0;

@@ -40,8 +40,10 @@ class ChainSet {
     assert(domains >= 1);
     table_ = table;
     chains_.clear();
-    for (u64 d = 0; d < domains; ++d)
+    for (u64 d = 0; d < domains; ++d) {
       chains_.push_back(std::make_unique<ChunkChain>(interval_faults_));
+      if (reserve_chunks_ > 0) chains_.back()->reserve(reserve_chunks_);
+    }
     policies_.clear();
     policies_.resize(domains);
   }
@@ -49,6 +51,14 @@ class ChainSet {
   /// Attach the table without splitting (shared mode: one chain, but chunk
   /// ownership still resolvable for scoped selection and stats).
   void set_tenant_table(const TenantTable* table) noexcept { table_ = table; }
+
+  /// Pre-size every domain's slab/index for `chunks` resident chunks
+  /// (normally the device capacity in chunks). Also applied to domains
+  /// created by a later configure_domains().
+  void reserve_chunks(std::size_t chunks) {
+    reserve_chunks_ = chunks;
+    for (auto& c : chains_) c->reserve(chunks);
+  }
 
   [[nodiscard]] u64 domains() const noexcept { return chains_.size(); }
   [[nodiscard]] bool per_tenant() const noexcept { return chains_.size() > 1; }
@@ -90,8 +100,17 @@ class ChainSet {
       if (p) p->set_recorder(rec);
   }
 
+  // --- Simulator-perf observability (RunResult.sim / --sim-stats) ----------
+  /// Slab slots allocated across all domains (live + free-listed).
+  [[nodiscard]] u64 total_slab_capacity() const noexcept {
+    u64 n = 0;
+    for (const auto& c : chains_) n += c->slab_capacity();
+    return n;
+  }
+
  private:
   u64 interval_faults_;
+  std::size_t reserve_chunks_ = 0;
   std::vector<std::unique_ptr<ChunkChain>> chains_;
   std::vector<std::unique_ptr<EvictionPolicy>> policies_;
   const TenantTable* table_ = nullptr;

@@ -18,6 +18,10 @@ UvmDriver::UvmDriver(EventQueue& eq, const SystemConfig& sys,
       scheduler_(eq, sys, pol, frames_, pt_, chains_, stats_) {
   scheduler_.set_completion_hook(
       [this](TenantId t, bool peer) { post_migration(t, peer); });
+  // Mapped pages never exceed the frames backing them: size the page table
+  // once so the fault path never rehashes mid-run.
+  pt_.reserve(capacity_pages);
+  chains_.reserve_chunks(capacity_pages / kChunkPages + 1);
 }
 
 UvmDriver::~UvmDriver() = default;

@@ -7,13 +7,17 @@
 #include <functional>
 #include <vector>
 
+#include "common/inline_function.hpp"
 #include "common/types.hpp"
 #include "tlb/page_table.hpp"  // FrameId
 
 namespace uvmsim {
 
 /// Fires when a faulted page has become resident (warp replay point).
-using WakeCallback = std::function<void()>;
+/// Deliberately the same type as EventQueue::Callback: a wake moved into
+/// schedule_at() relocates instead of re-wrapping, and the per-fault
+/// `[this, sm, warp, page]` capture stays inline (move-only, no heap).
+using WakeCallback = InlineFunction<void(), kCallbackInlineBytes>;
 
 /// Device id meaning "the host" as a migration source/destination (also the
 /// single-GPU default everywhere a device id appears in the driver stack).

@@ -17,10 +17,10 @@
 #include <algorithm>
 #include <cassert>
 #include <deque>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "common/flat_map.hpp"
 #include "common/types.hpp"
 #include "tenancy/tenant.hpp"
 #include "uvm/driver_types.hpp"
@@ -39,9 +39,9 @@ class FaultBatcher {
   /// A fault for an already-raised page: attach the waiter, no new entry.
   /// Returns false when the page has no pending fault (caller must raise).
   bool coalesce(PageId p, WakeCallback&& wake) {
-    auto it = pending_.find(p);
-    if (it == pending_.end()) return false;
-    it->second.waiters.push_back(std::move(wake));
+    PendingFault* f = pending_.find(p);
+    if (f == nullptr) return false;
+    f->waiters.push_back(std::move(wake));
     return true;
   }
 
@@ -89,8 +89,9 @@ class FaultBatcher {
   /// Absorb `p` into a migration plan: remove and return its pending entry
   /// (empty default when the page was planned purely as a prefetch).
   [[nodiscard]] PendingFault extract(PageId p) {
-    auto node = pending_.extract(p);
-    return node.empty() ? PendingFault{} : std::move(node.mapped());
+    PendingFault out;
+    pending_.take(p, out);  // leaves the empty default when not pending
+    return out;
   }
 
   /// A still-pending lead fault was trimmed out of an admitted plan: put it
@@ -103,7 +104,7 @@ class FaultBatcher {
  private:
   u32 window_;
   /// Faults raised but not yet covered by a migration plan (page -> entry).
-  std::unordered_map<PageId, PendingFault> pending_;
+  FlatMap<PageId, PendingFault> pending_;
   std::deque<PageId> fault_queue_;  ///< admission-controlled backlog
 };
 

@@ -81,19 +81,17 @@ void MigrationScheduler::complete(MigrationBatch m) {
 
     // Wake any warps that faulted on this page; their presence marks the
     // page as demanded (touched) rather than purely prefetched.
-    if (auto node = inflight_.extract(page);
-        !node.empty() && !node.mapped().waiters.empty()) {
+    if (PendingFault pf; inflight_.take(page, pf) && !pf.waiters.empty()) {
       e->touched.set(idx);
       e->last_touch_interval = chain.current_interval();
       ++stats_.pages_demanded;
       if (ts != nullptr) ++ts->pages_demanded;
-      if (node.mapped().faulted) {
-        stats_.fault_wait_cycles += eq_.now() - node.mapped().raised_at;
-        if (ts != nullptr)
-          ts->fault_wait_cycles += eq_.now() - node.mapped().raised_at;
+      if (pf.faulted) {
+        stats_.fault_wait_cycles += eq_.now() - pf.raised_at;
+        if (ts != nullptr) ts->fault_wait_cycles += eq_.now() - pf.raised_at;
       }
       policy->on_page_touched(*e, idx);
-      for (auto& wake : node.mapped().waiters) wake();
+      for (auto& wake : pf.waiters) wake();
     } else {
       ++stats_.pages_prefetched;
       if (ts != nullptr) ++ts->pages_prefetched;

@@ -14,10 +14,10 @@
 #pragma once
 
 #include <functional>
-#include <unordered_map>
 #include <vector>
 
 #include "common/config.hpp"
+#include "common/flat_map.hpp"
 #include "mem/bandwidth_link.hpp"
 #include "obs/flight_recorder.hpp"
 #include "policy/eviction_policy.hpp"
@@ -71,7 +71,7 @@ class MigrationScheduler {
   /// Mark a planned page in flight, absorbing its pending fault (if any):
   /// the waiters ride this migration.
   void mark_in_flight(PageId p, PendingFault&& pf) {
-    inflight_.emplace(p, std::move(pf));
+    inflight_.try_emplace(p, std::move(pf));
   }
 
   /// Append `plan` to `merged`, deduplicating across the batch's plans.
@@ -99,7 +99,7 @@ class MigrationScheduler {
   u32 max_concurrent_migrations_;  ///< PolicyConfig::driver_concurrency
 
   /// page -> warps waiting for it (migration underway).
-  std::unordered_map<PageId, PendingFault> inflight_;
+  FlatMap<PageId, PendingFault> inflight_;
   FlightRecorder* rec_ = nullptr;
   TenantTable* tenants_ = nullptr;
   FabricPort* fabric_ = nullptr;

@@ -164,6 +164,90 @@ TEST(ChunkChain, HeadReinsertStampSaturatesAtIntervalZero) {
   EXPECT_EQ(chain.insert(2, /*at_head=*/true).arrival_interval, 0u);
 }
 
+// --- Slab-storage behaviour (fast-path rewrite) -----------------------------
+
+// Steady-state thrash (insert at tail, erase at head) must reuse freed slab
+// slots instead of growing: once the working set is resident, eviction churn
+// is allocation-free.
+TEST(ChunkChain, ChurnReusesFreedSlots) {
+  ChunkChain chain;
+  for (ChunkId c = 0; c < 64; ++c) chain.insert(c);
+  const std::size_t cap = chain.slab_capacity();
+  for (ChunkId c = 64; c < 10'064; ++c) {
+    chain.erase(chain.begin()->id);
+    chain.insert(c);
+  }
+  EXPECT_EQ(chain.size(), 64u);
+  EXPECT_EQ(chain.slab_capacity(), cap);  // no growth through 10k churns
+  // Order is still exact FIFO of insertion after all that churn.
+  ChunkId expect = 10'000;
+  for (const ChunkEntry& e : chain) EXPECT_EQ(e.id, expect++);
+}
+
+// Per-chunk metadata must survive erase/insert churn of *other* chunks even
+// though inserts may reuse freed slots and grow the slab: ids keep resolving
+// to their own entries, never to a recycled slot's stale state.
+TEST(ChunkChain, MetadataStableAcrossSlotReuse) {
+  ChunkChain chain;
+  for (ChunkId c = 0; c < 32; ++c) {
+    ChunkEntry& e = chain.insert(c);
+    e.hpe_counter = static_cast<u32>(c) * 10;
+    e.touched.set(static_cast<u32>(c) % kChunkPages);
+  }
+  // Erase the even chunks; their slots return to the free list.
+  for (ChunkId c = 0; c < 32; c += 2) chain.erase(c);
+  // New chunks land in recycled slots and must start from clean state.
+  for (ChunkId c = 100; c < 116; ++c) {
+    const ChunkEntry& e = chain.insert(c);
+    EXPECT_EQ(e.hpe_counter, 0u);
+    EXPECT_EQ(e.touched.count(), 0u);
+    EXPECT_EQ(e.pin_count, 0u);
+  }
+  // The surviving odd chunks still carry their own metadata.
+  for (ChunkId c = 1; c < 32; c += 2) {
+    ASSERT_TRUE(chain.contains(c));
+    EXPECT_EQ(chain.entry(c).hpe_counter, static_cast<u32>(c) * 10);
+    EXPECT_TRUE(chain.entry(c).touched.test(static_cast<u32>(c) % kChunkPages));
+  }
+}
+
+TEST(ChunkChain, MoveConstructAndAssignKeepSlabIndicesValid) {
+  ChunkChain a(64);
+  for (ChunkId c = 0; c < 16; ++c) a.insert(c).touched.set(0);
+  // Churn so the slab has free-listed holes and non-trivial links.
+  for (ChunkId c = 0; c < 8; ++c) a.erase(c);
+  a.move_to_tail(9);
+
+  ChunkChain b(std::move(a));
+  EXPECT_EQ(b.size(), 8u);
+  EXPECT_EQ(b.begin()->id, 8u);
+  EXPECT_EQ(b.rbegin()->id, 9u);  // splice survived the move
+  for (ChunkId c = 8; c < 16; ++c) {
+    ASSERT_TRUE(b.contains(c));
+    EXPECT_TRUE(b.entry(c).touched.test(0));
+  }
+  // The moved-into chain keeps working: reuse, insert, erase.
+  b.insert(100);
+  EXPECT_EQ(b.rbegin()->id, 100u);
+  b.erase(100);
+
+  // Move-assignment (the ChainSet teardown path).
+  ChunkChain c(64);
+  c.insert(555);
+  c = std::move(b);
+  EXPECT_FALSE(c.contains(555));
+  EXPECT_EQ(c.size(), 8u);
+  EXPECT_EQ(c.rbegin()->id, 9u);
+}
+
+TEST(ChunkChain, ReservePreventsSlabGrowth) {
+  ChunkChain chain;
+  chain.reserve(256);
+  for (ChunkId c = 0; c < 256; ++c) chain.insert(c);
+  EXPECT_EQ(chain.slab_capacity(), 256u);
+  EXPECT_LE(chain.index_load_factor(), 0.76);
+}
+
 TEST(ChunkEntry, UntouchLevelCountsResidentUntouched) {
   ChunkEntry e;
   // 12 resident, 4 of them touched -> untouch level 8.

@@ -112,5 +112,75 @@ TEST(EventQueue, StepOnEmptyReturnsFalse) {
   EXPECT_TRUE(eq.empty());
 }
 
+// Regression for the old const_cast pop: the running callback's storage
+// must be owned outright (moved off the heap before restructuring), so a
+// callback may push new events — which reallocate or reshuffle the heap —
+// and still find its own captured state intact afterwards.
+TEST(EventQueue, PoppedCallbackMayRescheduleWhileHeapReshuffles) {
+  EventQueue eq;
+  int runs = 0;
+  u64 check_after = 0;
+  // Plenty of pending events so pushes during execution restructure (and
+  // with no reserve, reallocate) the heap under the running callback.
+  for (int i = 0; i < 200; ++i) eq.schedule_at(static_cast<Cycle>(1000 + i), [] {});
+  const u64 magic = 0xfeedfacecafebeefull;
+  eq.schedule_at(5, [&, magic] {
+    ++runs;
+    // Same-cycle re-schedule: lands at the heap root position the popped
+    // event just vacated.
+    eq.schedule_at(5, [&, magic] {
+      ++runs;
+      for (int i = 0; i < 100; ++i) eq.schedule_in(1, [] {});
+      check_after = magic;  // capture must still be intact after the pushes
+    });
+    check_after = magic;
+  });
+  eq.run();
+  EXPECT_EQ(runs, 2);
+  EXPECT_EQ(check_after, magic);
+}
+
+TEST(EventQueue, CountsExecutedAndPeakPending) {
+  EventQueue eq;
+  EXPECT_EQ(eq.executed(), 0u);
+  EXPECT_EQ(eq.peak_pending(), 0u);
+  for (int i = 0; i < 5; ++i) eq.schedule_at(static_cast<Cycle>(i), [] {});
+  EXPECT_EQ(eq.peak_pending(), 5u);
+  eq.run();
+  EXPECT_EQ(eq.executed(), 5u);
+  EXPECT_EQ(eq.peak_pending(), 5u);  // high-water mark survives the drain
+  eq.schedule_at(10, [] {});
+  eq.run();
+  EXPECT_EQ(eq.executed(), 6u);
+}
+
+TEST(EventQueue, CountsOversizeEvents) {
+  EventQueue eq;
+  int small_hits = 0;
+  eq.schedule_at(1, [&small_hits] { ++small_hits; });
+  EXPECT_EQ(eq.oversize_events(), 0u);
+
+  struct Big {
+    unsigned char payload[128];  // over the 48 B inline budget
+  };
+  Big big{};
+  big.payload[0] = 7;
+  int big_hits = 0;
+  eq.schedule_at(2, [&big_hits, big] { big_hits += big.payload[0]; });
+  EXPECT_EQ(eq.oversize_events(), 1u);
+  eq.run();
+  EXPECT_EQ(small_hits, 1);
+  EXPECT_EQ(big_hits, 7);
+}
+
+TEST(EventQueue, ReservePresizesHeap) {
+  EventQueue eq;
+  eq.reserve(1024);
+  EXPECT_GE(eq.heap_capacity(), 1024u);
+  const std::size_t cap = eq.heap_capacity();
+  for (int i = 0; i < 1000; ++i) eq.schedule_at(static_cast<Cycle>(i), [] {});
+  EXPECT_EQ(eq.heap_capacity(), cap);  // no reallocation within the reserve
+}
+
 }  // namespace
 }  // namespace uvmsim

@@ -102,6 +102,23 @@ void print_text(const RunResult& r) {
   std::cout << t.str();
 }
 
+// --sim-stats: simulator-overhead counters (the cost of simulating, not the
+// simulated cost — docs/performance.md). Off by default so the standard
+// report stays byte-identical across simulator-internals changes.
+void print_sim_stats(const RunResult& r) {
+  TextTable t({"sim-perf metric", "value"});
+  t.add_row({"events executed", std::to_string(r.sim.events_executed)});
+  t.add_row({"event heap peak/capacity",
+             std::to_string(r.sim.event_heap_peak) + "/" +
+                 std::to_string(r.sim.event_heap_capacity)});
+  t.add_row({"oversize (pooled) events", std::to_string(r.sim.oversize_events)});
+  t.add_row({"chunk-chain slab slots", std::to_string(r.sim.chain_slab_capacity)});
+  t.add_row({"page-table slots (load)",
+             std::to_string(r.sim.page_table_capacity) + " (" +
+                 fmt(r.sim.page_table_load, 3) + ")"});
+  std::cout << "\nsimulator overhead:\n" << t.str();
+}
+
 void print_fabric(const RunResult& r) {
   TextTable t({"device", "capacity", "finish", "done", "faults", "remote",
                "peer in", "hopbacks", "fwd", "spilled", "h2d", "d2h"});
@@ -250,6 +267,9 @@ int main(int argc, char** argv) {
   cli.add_option("interval-metrics",
                  "write per-interval metrics here (.jsonl extension = JSONL, else CSV)");
   cli.add_flag("no-prefetch-when-full", "disable prefetching once memory fills");
+  cli.add_flag("sim-stats",
+               "append simulator-overhead counters (event heap, slab, hash "
+               "sizing) to the report");
   cli.add_flag("csv", "emit one CSV row instead of the text report");
   cli.add_flag("list", "list the Table II workloads and exit");
   if (!cli.parse(argc, argv)) return cli.error().empty() ? 0 : 2;
@@ -363,6 +383,7 @@ int main(int argc, char** argv) {
       } else {
         print_text(r);
         print_tenants(r, solos);
+        if (cli.get_flag("sim-stats")) print_sim_stats(r);
       }
       return r.completed ? 0 : 1;
     }
@@ -408,6 +429,7 @@ int main(int argc, char** argv) {
       } else {
         print_text(r);
         print_fabric(r);
+        if (cli.get_flag("sim-stats")) print_sim_stats(r);
       }
       return r.completed ? 0 : 1;
     }
@@ -465,10 +487,12 @@ int main(int argc, char** argv) {
         interval_sink.write_csv(mf);
     }
 
-    if (cli.get_flag("csv"))
+    if (cli.get_flag("csv")) {
       print_csv(r);
-    else
+    } else {
       print_text(r);
+      if (cli.get_flag("sim-stats")) print_sim_stats(r);
+    }
     return r.completed ? 0 : 1;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
