@@ -50,19 +50,23 @@ struct ResultIndex {
   }
 };
 
+/// Table II roman numeral for a pattern type.
+inline std::string roman(PatternType type) {
+  switch (type) {
+    case PatternType::kStreaming: return "I";
+    case PatternType::kPartlyRepetitive: return "II";
+    case PatternType::kMostlyRepetitive: return "III";
+    case PatternType::kThrashing: return "IV";
+    case PatternType::kRepetitiveThrashing: return "V";
+    case PatternType::kRegionMoving: return "VI";
+  }
+  return "?";
+}
+
 /// Pattern-type roman numeral for table annotation.
 inline std::string type_of(const std::string& abbr) {
   for (const auto& b : benchmark_table())
-    if (b.abbr == abbr) {
-      switch (b.type) {
-        case PatternType::kStreaming: return "I";
-        case PatternType::kPartlyRepetitive: return "II";
-        case PatternType::kMostlyRepetitive: return "III";
-        case PatternType::kThrashing: return "IV";
-        case PatternType::kRepetitiveThrashing: return "V";
-        case PatternType::kRegionMoving: return "VI";
-      }
-    }
+    if (b.abbr == abbr) return roman(b.type);
   return "?";
 }
 

@@ -2,21 +2,25 @@
 //
 // The factory presets cover the paper's policies; research use means writing
 // new ones. This example implements CLOCK (second-chance) over the chunk
-// chain and wires it into the lower-level driver/GPU API directly — the same
-// API UvmSystem uses internally — then races it against LRU and MHPE on a
-// thrashing workload.
+// chain, registers it with the PolicyRegistry under the name "clock", and
+// then runs it through the exact same front door every built-in uses — a
+// PolicyConfig whose eviction_name says "clock" — racing it against LRU and
+// MHPE. Registration is the whole integration: once the registrar below has
+// run, `uvmsim --eviction clock`, `uvmsim_sweep --policies clock/locality`,
+// multi-tenant and fabric runs all resolve the name with no core changes
+// (docs/policies.md has the recipe).
 //
 //   ./build/examples/custom_policy
 #include <iostream>
 #include <memory>
+#include <string>
 #include <unordered_set>
 
 #include "core/policy_factory.hpp"
-#include "gpu/gpu.hpp"
+#include "core/policy_registry.hpp"
+#include "core/uvm_system.hpp"
 #include "harness/report.hpp"
 #include "policy/eviction_policy.hpp"
-#include "sim/event_queue.hpp"
-#include "uvm/driver.hpp"
 #include "workloads/benchmarks.hpp"
 
 using namespace uvmsim;
@@ -56,53 +60,50 @@ class ClockPolicy final : public EvictionPolicy {
   std::unordered_set<ChunkId> referenced_;
 };
 
-/// Run one workload/policy pair on the low-level API and return total cycles.
-Cycle run_once(const Workload& wl, std::unique_ptr<EvictionPolicy> (*make)(UvmDriver&),
-               PrefetchKind prefetch, double oversub) {
-  EventQueue eq;
-  SystemConfig sys;
-  PolicyConfig pol;
-  pol.prefetch = prefetch;
-  const u64 footprint = wl.footprint_pages();
-  const auto capacity = static_cast<u64>(oversub * static_cast<double>(footprint));
-  UvmDriver driver(eq, sys, pol, footprint, capacity);
-  driver.set_policy(make(driver));
-  driver.set_prefetcher(make_prefetcher(pol));
-  Gpu gpu(eq, sys, driver, wl, pol.seed);
-  gpu.launch();
-  eq.run();
-  return gpu.finish_cycle();
+/// The one line that plugs CLOCK into every construction site: a
+/// static-init registrar claims the name before main() runs.
+const EvictionRegistrar kClockRegistrar{
+    "clock", [](const PolicyConfig&, ChunkChain& chain) {
+      return std::make_unique<ClockPolicy>(chain);
+    }};
+
+/// Run one workload under a policy config at 0.5x memory and return cycles.
+Cycle run_once(const Workload& wl, const PolicyConfig& pol) {
+  UvmSystem sys(SystemConfig{}, pol, wl, /*oversubscription=*/0.5);
+  return sys.run().cycles;
 }
 
 }  // namespace
 
 int main() {
-  std::cout << "Custom eviction policy demo: CLOCK vs LRU vs MHPE\n\n";
+  std::cout << "Custom eviction policy demo: CLOCK vs LRU vs MHPE\n"
+            << "(\"clock\" resolved through the PolicyRegistry by name)\n\n";
+
+  // Three configs, one resolution path. The presets still carry enums; the
+  // CLOCK config names its policy — the registry treats both identically.
+  const PolicyConfig lru_cfg = presets::baseline();
+  PolicyConfig clock_cfg = presets::baseline();
+  clock_cfg.eviction_name = "clock";
+  const PolicyConfig mhpe_cfg = presets::cppe();
+
   TextTable t({"workload", "LRU", "CLOCK", "MHPE", "CLOCK vs LRU", "MHPE vs LRU"});
   // Note: on purely cyclic patterns (SRD) CLOCK degenerates to LRU — every
   // chunk is referenced between sweep visits — so identical cycle counts
   // there are the correct result, not a wiring bug.
   for (const char* abbr : {"SRD", "KMN", "BKP", "2DC", "B+T"}) {
     const auto wl = make_benchmark(abbr);
-    const Cycle lru = run_once(
-        *wl, +[](UvmDriver& d) { return make_eviction_policy(presets::baseline(), d.chain()); },
-        PrefetchKind::kLocality, 0.5);
-    const Cycle clock = run_once(
-        *wl,
-        +[](UvmDriver& d) -> std::unique_ptr<EvictionPolicy> {
-          return std::make_unique<ClockPolicy>(d.chain());
-        },
-        PrefetchKind::kLocality, 0.5);
-    const Cycle mhpe = run_once(
-        *wl, +[](UvmDriver& d) { return make_eviction_policy(presets::cppe(), d.chain()); },
-        PrefetchKind::kPatternAware, 0.5);
+    const Cycle lru = run_once(*wl, lru_cfg);
+    const Cycle clock = run_once(*wl, clock_cfg);
+    const Cycle mhpe = run_once(*wl, mhpe_cfg);
     t.add_row({abbr, std::to_string(lru), std::to_string(clock), std::to_string(mhpe),
                fmt(static_cast<double>(lru) / static_cast<double>(clock)) + "x",
                fmt(static_cast<double>(lru) / static_cast<double>(mhpe)) + "x"});
   }
   std::cout << t.str()
             << "\nWriting a policy = subclassing EvictionPolicy (one virtual for"
-               " victim selection,\noptional hooks for touches/faults/intervals)"
-               " and handing it to UvmDriver::set_policy.\n";
+               " victim selection,\noptional hooks for touches/faults/intervals),"
+               " registering it under a name with\nEvictionRegistrar, and naming"
+               " it in PolicyConfig::eviction_name — the CLI,\nsweep harness and"
+               " multi-tenant/fabric systems all resolve it from there.\n";
   return 0;
 }

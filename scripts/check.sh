@@ -45,6 +45,10 @@ echo "== fabric spill smoke (spill-to-peer must cut host write-back) =="
 "$BUILD"/bench/fabric_scaling --smoke
 
 echo
+echo "== adaptive policy smoke (never loses to the worst static by >5%) =="
+"$BUILD"/bench/abl_adaptive --smoke
+
+echo
 echo "== bench binaries =="
 for b in "$BUILD"/bench/*; do
   [ -f "$b" ] && [ -x "$b" ] || continue  # skip CMakeFiles/ etc.

@@ -137,6 +137,13 @@ enum class DeletionScheme : u8 {
 struct PolicyConfig {
   EvictionKind eviction = EvictionKind::kMhpe;
   PrefetchKind prefetch = PrefetchKind::kPatternAware;
+  /// Registry lookup keys (core/policy_registry.hpp). Empty = derive the key
+  /// from the enum above, so enum-driven configs resolve through the
+  /// registry to exactly the policy the old switches built. Non-empty
+  /// selects a policy by registered name instead — the route to composites
+  /// ("adaptive") and out-of-tree registrations, which have no enum value.
+  std::string eviction_name;
+  std::string prefetch_name;
 
   u32 interval_faults = 64;        ///< interval length, in page faults
   u32 t1_untouch = 32;             ///< T1: per-interval untouch switch threshold

@@ -1,47 +1,24 @@
 #include "core/policy_factory.hpp"
 
-#include "policy/fifo.hpp"
-#include "policy/hpe.hpp"
-#include "policy/lru.hpp"
-#include "policy/mhpe.hpp"
-#include "policy/random.hpp"
-#include "policy/reserved_lru.hpp"
-#include "prefetch/pattern_aware.hpp"
-#include "prefetch/tree_neighborhood.hpp"
+#include "core/policy_registry.hpp"
 
 namespace uvmsim {
 
+// Thin registry wrappers: every construction site (UvmSystem,
+// MultiTenantSystem, FabricSystem, tools, benches) funnels through these
+// two calls, so a name registered with PolicyRegistry participates
+// everywhere. Unknown names — including the enum(N) key an out-of-range
+// enum degrades to, which the old switches answered with a nullptr the
+// callers dereferenced — throw std::invalid_argument listing the
+// registered names.
+
 std::unique_ptr<EvictionPolicy> make_eviction_policy(const PolicyConfig& cfg,
                                                      ChunkChain& chain) {
-  switch (cfg.eviction) {
-    case EvictionKind::kLru:
-      return std::make_unique<LruPolicy>(chain);
-    case EvictionKind::kFifo:
-      return std::make_unique<FifoPolicy>(chain);
-    case EvictionKind::kRandom:
-      return std::make_unique<RandomPolicy>(chain, cfg.seed);
-    case EvictionKind::kReservedLru:
-      return std::make_unique<ReservedLruPolicy>(chain, cfg.reserved_fraction);
-    case EvictionKind::kHpe:
-      return std::make_unique<HpePolicy>(chain, cfg);
-    case EvictionKind::kMhpe:
-      return std::make_unique<MhpePolicy>(chain, cfg);
-  }
-  return nullptr;
+  return PolicyRegistry::instance().make_eviction(eviction_key(cfg), cfg, chain);
 }
 
 std::unique_ptr<Prefetcher> make_prefetcher(const PolicyConfig& cfg) {
-  switch (cfg.prefetch) {
-    case PrefetchKind::kNone:
-      return std::make_unique<NoPrefetcher>();
-    case PrefetchKind::kLocality:
-      return std::make_unique<LocalityPrefetcher>();
-    case PrefetchKind::kTreeNeighborhood:
-      return std::make_unique<TreeNeighborhoodPrefetcher>();
-    case PrefetchKind::kPatternAware:
-      return std::make_unique<PatternAwarePrefetcher>(cfg);
-  }
-  return nullptr;
+  return PolicyRegistry::instance().make_prefetch(prefetch_key(cfg), cfg);
 }
 
 namespace presets {

@@ -1,6 +1,7 @@
-// Factories mapping PolicyConfig enums onto concrete eviction policies and
-// prefetchers, plus the named configuration presets used throughout the
-// paper's evaluation (baseline, CPPE, etc.).
+// Policy construction entry points — thin wrappers resolving a PolicyConfig
+// through the named-factory PolicyRegistry (core/policy_registry.hpp) — plus
+// the named configuration presets used throughout the paper's evaluation
+// (baseline, CPPE, etc.). Unknown names throw std::invalid_argument.
 #pragma once
 
 #include <memory>

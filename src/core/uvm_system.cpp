@@ -4,7 +4,9 @@
 #include <cmath>
 
 #include "core/policy_factory.hpp"
+#include "policy/adaptive.hpp"
 #include "policy/mhpe.hpp"
+#include "prefetch/adaptive.hpp"
 #include "prefetch/pattern_aware.hpp"
 
 namespace uvmsim {
@@ -56,12 +58,38 @@ RunResult UvmSystem::run(Cycle max_cycles) {
     r.untouch_history = mhpe->interval_untouch_history();
     r.wrong_buffer_capacity = mhpe->wrong_buffer_capacity();
   }
-  if (const auto* pa = dynamic_cast<const PatternAwarePrefetcher*>(&driver_->prefetcher())) {
+  const auto* pa = dynamic_cast<const PatternAwarePrefetcher*>(&driver_->prefetcher());
+  const auto* apf = dynamic_cast<const AdaptivePrefetcher*>(&driver_->prefetcher());
+  if (apf != nullptr) pa = &apf->inner_pattern();  // the always-learning inner buffer
+  if (pa != nullptr) {
     r.pattern_buffer_peak = pa->peak_size();
     r.pattern_buffer_capacity = pa->capacity();
     r.pattern_matches = pa->matches();
     r.pattern_mismatches = pa->mismatches();
     r.pattern_capacity_evictions = pa->capacity_evictions();
+  }
+  if (const auto* ap = dynamic_cast<const AdaptiveEvictionPolicy*>(&driver_->policy())) {
+    r.adaptive_used = true;
+    r.adaptive_eviction_switches = ap->strategy_switches();
+    for (const auto& h : ap->classifier().history())
+      r.adaptive_phase_history.emplace_back(h.at, h.phase);
+    // MHPE introspection from the live inner instance, when the run ended in
+    // an MHPE phase (earlier phases' instances are gone by design).
+    if (const auto* mhpe = ap->inner_mhpe()) {
+      r.mhpe_used = true;
+      r.mhpe_switched_to_lru = mhpe->switched_to_lru();
+      r.mhpe_forward_distance = mhpe->forward_distance();
+      r.mhpe_wrong_evictions = mhpe->wrong_evictions_total();
+      r.untouch_history = mhpe->interval_untouch_history();
+      r.wrong_buffer_capacity = mhpe->wrong_buffer_capacity();
+    }
+  }
+  if (apf != nullptr) {
+    r.adaptive_used = true;
+    r.adaptive_prefetch_switches = apf->strategy_switches();
+    if (r.adaptive_phase_history.empty())
+      for (const auto& h : apf->classifier().history())
+        r.adaptive_phase_history.emplace_back(h.at, h.phase);
   }
   r.trace_events_recorded = recorder_.events_recorded();
   r.clamped_past = eq_.clamped_past();

@@ -15,6 +15,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/config.hpp"
@@ -105,6 +106,16 @@ struct RunResult {
   u64 pattern_matches = 0;
   u64 pattern_mismatches = 0;
   u64 pattern_capacity_evictions = 0;  ///< entries FIFO-replaced at the cap
+
+  // Adaptive-policy introspection (policy/adaptive.hpp, prefetch/adaptive.hpp;
+  // defaults when neither side is adaptive).
+  bool adaptive_used = false;
+  u64 adaptive_eviction_switches = 0;  ///< eviction-side strategy swaps
+  u64 adaptive_prefetch_switches = 0;  ///< prefetch-side strategy swaps
+  /// Confirmed phase changes from the eviction-side classifier (or the
+  /// prefetch-side one when only prefetching is adaptive), in detection
+  /// order: (cycle confirmed, phase entered).
+  std::vector<std::pair<Cycle, PatternType>> adaptive_phase_history;
 
   u64 trace_events_recorded = 0;  ///< flight-recorder events this run emitted
 

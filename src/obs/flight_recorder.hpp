@@ -28,6 +28,10 @@ class FlightRecorder {
   void add_sink(TraceSink* sink) {
     if (sink != nullptr) sinks_.push_back(sink);
   }
+  /// Detach one sink (no-op if absent). Components that self-attach a sink
+  /// (the adaptive policy's phase classifier) call this from their
+  /// destructor so the recorder never holds a dangling observer.
+  void remove_sink(TraceSink* sink) { std::erase(sinks_, sink); }
   void clear_sinks() { sinks_.clear(); }
   void set_event_mask(u32 mask) { mask_ = mask & kAllEventsMask; }
   [[nodiscard]] u32 event_mask() const noexcept { return mask_; }

@@ -56,6 +56,10 @@ void IntervalMetricsSink::emit(const TraceEvent& e) {
       // Fabric traffic (--gpus > 1 only); per-device counters live in
       // RunResult::devices, not the per-interval CSV.
       break;
+    case EventType::kPatternHitEmpty:
+      // Vacuous pattern hit (zero pages planned): not a productive match,
+      // and not a CSV column — the schema stays byte-identical.
+      break;
   }
   cur_dirty_ = true;
 }

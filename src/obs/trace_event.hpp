@@ -38,9 +38,15 @@ enum class EventType : u8 {
   kPageSpilled,            ///< a: chunk, b: destination device, c: pages spilled
   kRemoteAccess,           ///< a: page, b: owning device, c: round-trip cycles
   kPeerMigration,          ///< a: page, b: source device, c: 1 = spill hop-back
+  // Pattern-buffer lookup whose match planned zero pages (every patterned
+  // page already resident). Distinct from kPatternHit so §VI-C match-rate
+  // stats count only lookups that actually narrowed a migration; reachable
+  // only through direct Prefetcher::plan calls on resident pages, so
+  // integrated-run traces are unchanged.
+  kPatternHitEmpty,        ///< a: chunk, b: pattern popcount
 };
 
-inline constexpr u32 kNumEventTypes = 16;
+inline constexpr u32 kNumEventTypes = 17;
 
 /// Reasons carried in kPatternDeleted's `b` field.
 enum class PatternDeleteReason : u8 {
@@ -91,6 +97,7 @@ enum class TenantKeyKind : u8 { kNone, kPage, kChunk };
     case EventType::kEvictionChosen:
     case EventType::kWrongEvictionDetected:
     case EventType::kPatternHit:
+    case EventType::kPatternHitEmpty:
     case EventType::kPatternMiss:
     case EventType::kPatternDeleted:
       return TenantKeyKind::kChunk;
@@ -121,6 +128,7 @@ enum class TenantKeyKind : u8 { kNone, kPage, kChunk };
     case EventType::kPageSpilled: return "page_spilled";
     case EventType::kRemoteAccess: return "remote_access";
     case EventType::kPeerMigration: return "peer_migration";
+    case EventType::kPatternHitEmpty: return "pattern_hit_empty";
   }
   return "?";
 }
@@ -149,6 +157,7 @@ struct EventFieldNames {
     case EventType::kPageSpilled: return {"chunk", "dst", "pages"};
     case EventType::kRemoteAccess: return {"page", "owner", "cycles"};
     case EventType::kPeerMigration: return {"page", "src", "hopback"};
+    case EventType::kPatternHitEmpty: return {"chunk", "popcount", {}};
   }
   return {{}, {}, {}};
 }

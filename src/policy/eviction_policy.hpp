@@ -107,7 +107,9 @@ class EvictionPolicy {
 
   /// Attach the flight recorder (nullptr = tracing off). Policies emit the
   /// decision events only they can see (e.g. MHPE's wrong-eviction hits).
-  void set_recorder(FlightRecorder* rec) noexcept { recorder_ = rec; }
+  /// Virtual so composite policies can forward it to their inner policies
+  /// (and, for the adaptive policy, self-attach a classifier sink).
+  virtual void set_recorder(FlightRecorder* rec) { recorder_ = rec; }
 
  protected:
   [[nodiscard]] FlightRecorder* recorder() const noexcept { return recorder_; }

@@ -52,13 +52,25 @@ class PatternAwarePrefetcher final : public Prefetcher {
 
     if (e.pattern.test(page_index_in_chunk(faulted))) {
       // Pattern match: migrate only the patterned (touched-last-time) pages.
-      ++matches_;
       const PageId base = first_page_of_chunk(c);
       for (u32 i = 0; i < kChunkPages; ++i) {
         const PageId p = base + i;
         if (e.pattern.test(i) && p < view.footprint_pages() && !view.is_resident(p))
           out.push_back(p);
       }
+      if (out.empty()) {
+        // Vacuous hit: every patterned page is already resident, so this
+        // lookup narrowed nothing. Counted (and traced) as its own outcome
+        // so the §VI-C match-rate stats only see productive matches. Only
+        // reachable when the caller breaks plan()'s "faulted is
+        // non-resident" precondition — the integrated fault path filters
+        // resident pages, so normal traces never carry this event.
+        ++empty_hits_;
+        record_event(recorder(), EventType::kPatternHitEmpty, c,
+                     e.pattern.count());
+        return out;
+      }
+      ++matches_;
       record_event(recorder(), EventType::kPatternHit, c, out.size(),
                    e.pattern.count());
       return out;
@@ -116,6 +128,9 @@ class PatternAwarePrefetcher final : public Prefetcher {
   }
   [[nodiscard]] u64 lookups() const noexcept { return lookups_; }
   [[nodiscard]] u64 matches() const noexcept { return matches_; }
+  /// Lookups whose pattern matched but planned zero pages (everything
+  /// patterned was already resident) — excluded from matches().
+  [[nodiscard]] u64 empty_hits() const noexcept { return empty_hits_; }
   [[nodiscard]] u64 mismatches() const noexcept { return mismatches_; }
   [[nodiscard]] u64 records() const noexcept { return records_; }
   [[nodiscard]] u64 deletions() const noexcept { return deletions_; }
@@ -150,7 +165,8 @@ class PatternAwarePrefetcher final : public Prefetcher {
   std::size_t capacity_;
   DeletionScheme scheme_;
   std::size_t peak_size_ = 0;
-  u64 lookups_ = 0, matches_ = 0, mismatches_ = 0, records_ = 0, deletions_ = 0;
+  u64 lookups_ = 0, matches_ = 0, empty_hits_ = 0, mismatches_ = 0, records_ = 0,
+      deletions_ = 0;
   u64 capacity_evictions_ = 0;
 };
 

@@ -42,8 +42,9 @@ class Prefetcher {
   [[nodiscard]] virtual std::string name() const = 0;
 
   /// Attach the flight recorder (nullptr = tracing off). The pattern-aware
-  /// prefetcher emits pattern hit/miss/delete events through it.
-  void set_recorder(FlightRecorder* rec) noexcept { recorder_ = rec; }
+  /// prefetcher emits pattern hit/miss/delete events through it. Virtual so
+  /// composite prefetchers can forward it to their inner prefetchers.
+  virtual void set_recorder(FlightRecorder* rec) { recorder_ = rec; }
 
  protected:
   [[nodiscard]] FlightRecorder* recorder() const noexcept { return recorder_; }

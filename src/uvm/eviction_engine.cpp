@@ -10,7 +10,8 @@ EvictionEngine::RoomResult EvictionEngine::make_room(u64 target_free_pages,
   assert(prefetcher_ != nullptr);
   RoomResult r;
   while (frames_.admissible_frames(initiator) < target_free_pages) {
-    const u64 deficit = target_free_pages - frames_.admissible_frames(initiator);
+    const u64 before = frames_.admissible_frames(initiator);
+    const u64 deficit = target_free_pages - before;
     const std::vector<ChunkId> victims =
         select_round((deficit + kChunkPages - 1) / kChunkPages, initiator);
     if (victims.empty()) {
@@ -21,6 +22,17 @@ EvictionEngine::RoomResult EvictionEngine::make_room(u64 target_free_pages,
       if (frames_.admissible_frames(initiator) >= target_free_pages) break;
       evict_chunk(v, initiator);
       ++r.evicted;
+    }
+    // Non-progress guard: a round whose evictions freed nothing the
+    // initiator may actually use (e.g. an at-quota initiator while the
+    // victims came from a fallback domain, or victims with no resident
+    // pages) would otherwise loop here, draining chunk after chunk without
+    // ever closing the deficit. Treat it as starvation instead — the caller
+    // already handles a starved pool (retry/trim), and the victims that
+    // *did* free admissible frames still count.
+    if (frames_.admissible_frames(initiator) <= before) {
+      r.starved = true;
+      return r;
     }
   }
   return r;

@@ -86,7 +86,10 @@ class EvictionEngine {
 
   struct RoomResult {
     u64 evicted = 0;     ///< chunks evicted by this call
-    bool starved = false;  ///< stopped early: every candidate chunk is pinned
+    /// Stopped early: every candidate chunk is pinned, or a whole round of
+    /// evictions freed no frames admissible to the initiator (the
+    /// non-progress guard against livelocking on an at-quota initiator).
+    bool starved = false;
   };
 
   /// Evict until at least `target_free_pages` frames are *admissible* to
@@ -94,7 +97,8 @@ class EvictionEngine {
   /// mode-selected policy for up to ceil(deficit / chunk) victims per
   /// round. Candidates beyond the target are discarded unused (selection
   /// has no side effects); `starved` is set when every admissible source
-  /// runs out of unpinned victims first.
+  /// runs out of unpinned victims first, or when a round of evictions
+  /// fails to raise the initiator's admissible-frame count at all.
   RoomResult make_room(u64 target_free_pages, TenantId initiator = kNoTenant);
 
  private:

@@ -30,6 +30,13 @@ class PatternWorkloadBase : public Workload {
     return std::make_unique<SegmentStream>(segments(ctx), ctx.seed);
   }
 
+  /// The warp's segment plan, exposed so composite workloads
+  /// (workloads/phase_shift.hpp) can concatenate pattern families into one
+  /// stream without re-deriving each family's segment construction.
+  [[nodiscard]] std::vector<Segment> phase_segments(const WarpContext& ctx) const {
+    return segments(ctx);
+  }
+
  protected:
   [[nodiscard]] virtual std::vector<Segment> segments(const WarpContext& ctx) const = 0;
 

@@ -1,0 +1,66 @@
+// Phase-shifting composite workload (bench/abl_adaptive).
+//
+// Concatenates Table II pattern families into one workload: each warp plays
+// phase 1's segment plan to completion, then phase 2's, and so on — the
+// iterative application whose kernels alternate between, say, a streaming
+// scatter and a strided solve over the same buffers. All phases address the
+// same page range starting at 0, so later phases revisit earlier phases'
+// pages and the resident set built under one pattern is exactly the
+// inheritance the next pattern's policy has to cope with.
+//
+// No single static policy is right across such a run — the per-phase best
+// flips between LRU/locality and MHPE/pattern sides — which is what the
+// adaptive policy's online classifier is for.
+#pragma once
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "workloads/patterns.hpp"
+
+namespace uvmsim {
+
+class PhaseShiftWorkload final : public Workload {
+ public:
+  PhaseShiftWorkload(std::string name, std::string abbr,
+                     std::vector<std::unique_ptr<PatternWorkloadBase>> phases)
+      : name_(std::move(name)), abbr_(std::move(abbr)), phases_(std::move(phases)) {}
+
+  [[nodiscard]] std::string name() const override { return name_; }
+  [[nodiscard]] std::string abbr() const override { return abbr_; }
+  [[nodiscard]] u64 footprint_pages() const override {
+    u64 pages = 0;
+    for (const auto& p : phases_) pages = std::max(pages, p->footprint_pages());
+    return pages;
+  }
+  /// A composite has no single type; report the opening phase's (the
+  /// convention consumers printing one label per workload rely on).
+  [[nodiscard]] PatternType pattern() const override {
+    return phases_.empty() ? PatternType::kStreaming : phases_.front()->pattern();
+  }
+
+  [[nodiscard]] std::unique_ptr<AccessStream> make_stream(
+      const WarpContext& ctx) const override {
+    std::vector<Segment> segs;
+    for (const auto& p : phases_) {
+      std::vector<Segment> phase = p->phase_segments(ctx);
+      segs.insert(segs.end(), phase.begin(), phase.end());
+    }
+    return std::make_unique<SegmentStream>(std::move(segs), ctx.seed);
+  }
+
+  /// The constituent phases in play order (per-phase reporting in
+  /// bench/abl_adaptive runs each standalone).
+  [[nodiscard]] const std::vector<std::unique_ptr<PatternWorkloadBase>>& phases()
+      const noexcept {
+    return phases_;
+  }
+
+ private:
+  std::string name_, abbr_;
+  std::vector<std::unique_ptr<PatternWorkloadBase>> phases_;
+};
+
+}  // namespace uvmsim

@@ -1,0 +1,232 @@
+// PolicyRegistry: named factories behind make_eviction_policy /
+// make_prefetcher. Round-trip guarantees (every built-in name constructs
+// exactly what the old enum switches did), loud failure on unknown names
+// and out-of-range enums (which used to come back as a nullptr the callers
+// dereferenced), duplicate-registration rejection, and the out-of-tree
+// registration path.
+#include "core/policy_registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/policy_factory.hpp"
+#include "core/uvm_system.hpp"
+#include "policy/adaptive.hpp"
+#include "policy/lru.hpp"
+#include "policy/mhpe.hpp"
+#include "prefetch/adaptive.hpp"
+#include "prefetch/pattern_aware.hpp"
+#include "workloads/patterns.hpp"
+
+namespace uvmsim {
+namespace {
+
+TEST(PolicyRegistry, EveryBuiltInEvictionNameResolves) {
+  auto& reg = PolicyRegistry::instance();
+  ChunkChain chain;
+  PolicyConfig cfg;
+  for (const char* name :
+       {"lru", "fifo", "random", "reserved", "hpe", "mhpe", "adaptive"}) {
+    ASSERT_TRUE(reg.has_eviction(name)) << name;
+    auto pol = reg.make_eviction(name, cfg, chain);
+    ASSERT_NE(pol, nullptr) << name;
+    EXPECT_FALSE(pol->name().empty()) << name;
+  }
+}
+
+TEST(PolicyRegistry, EveryBuiltInPrefetchNameResolves) {
+  auto& reg = PolicyRegistry::instance();
+  PolicyConfig cfg;
+  for (const char* name : {"none", "locality", "tree", "pattern", "adaptive"}) {
+    ASSERT_TRUE(reg.has_prefetch(name)) << name;
+    auto pf = reg.make_prefetch(name, cfg);
+    ASSERT_NE(pf, nullptr) << name;
+  }
+}
+
+TEST(PolicyRegistry, BuiltInsListInRegistrationOrder) {
+  // Built-ins are seeded before anything else can register, so they lead
+  // the listing in enum order — the order --list-policies prints.
+  const auto ev = PolicyRegistry::instance().eviction_names();
+  ASSERT_GE(ev.size(), 7u);
+  EXPECT_EQ(ev[0], "lru");
+  EXPECT_EQ(ev[5], "mhpe");
+  EXPECT_EQ(ev[6], "adaptive");
+  const auto pf = PolicyRegistry::instance().prefetch_names();
+  ASSERT_GE(pf.size(), 5u);
+  EXPECT_EQ(pf[0], "none");
+  EXPECT_EQ(pf[3], "pattern");
+  EXPECT_EQ(pf[4], "adaptive");
+}
+
+TEST(PolicyRegistry, EnumConfigsDeriveTheirCanonicalKey) {
+  PolicyConfig cfg;
+  cfg.eviction = EvictionKind::kMhpe;
+  cfg.prefetch = PrefetchKind::kPatternAware;
+  EXPECT_EQ(eviction_key(cfg), "mhpe");
+  EXPECT_EQ(prefetch_key(cfg), "pattern");
+  // An explicit name wins over the enum.
+  cfg.eviction_name = "lru";
+  cfg.prefetch_name = "none";
+  EXPECT_EQ(eviction_key(cfg), "lru");
+  EXPECT_EQ(prefetch_key(cfg), "none");
+}
+
+TEST(PolicyRegistry, NamePathBuildsSameTypesAsEnumPath) {
+  ChunkChain chain;
+  PolicyConfig by_enum = presets::cppe();
+  auto enum_pol = make_eviction_policy(by_enum, chain);
+  auto enum_pf = make_prefetcher(by_enum);
+
+  PolicyConfig by_name;
+  by_name.eviction_name = "mhpe";
+  by_name.prefetch_name = "pattern";
+  auto name_pol = make_eviction_policy(by_name, chain);
+  auto name_pf = make_prefetcher(by_name);
+
+  EXPECT_NE(dynamic_cast<MhpePolicy*>(enum_pol.get()), nullptr);
+  EXPECT_NE(dynamic_cast<MhpePolicy*>(name_pol.get()), nullptr);
+  EXPECT_NE(dynamic_cast<PatternAwarePrefetcher*>(name_pf.get()), nullptr);
+  EXPECT_EQ(enum_pol->name(), name_pol->name());
+  EXPECT_EQ(enum_pf->name(), name_pf->name());
+}
+
+/// Full-system equivalence: a run configured by name must be cycle- and
+/// traffic-identical to the same run configured by enum — the registry
+/// rewire's behaviour-preservation contract.
+RunResult run_small(const PolicyConfig& pol) {
+  StridedWorkload wl("nw-ish", "NWI", 1024, 2, 4.0);
+  UvmSystem sys(SystemConfig{}, pol, wl, 0.5);
+  return sys.run();
+}
+
+TEST(PolicyRegistry, NameRunMatchesEnumRunForCppe) {
+  const RunResult a = run_small(presets::cppe());
+  PolicyConfig named = presets::cppe();
+  named.eviction_name = "mhpe";
+  named.prefetch_name = "pattern";
+  const RunResult b = run_small(named);
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.driver.page_faults, b.driver.page_faults);
+  EXPECT_EQ(a.h2d_pages, b.h2d_pages);
+  EXPECT_EQ(a.d2h_pages, b.d2h_pages);
+  EXPECT_EQ(a.final_chain_length, b.final_chain_length);
+}
+
+TEST(PolicyRegistry, NameRunMatchesEnumRunForBaseline) {
+  const RunResult a = run_small(presets::baseline());
+  PolicyConfig named = presets::baseline();
+  named.eviction_name = "lru";
+  named.prefetch_name = "locality";
+  const RunResult b = run_small(named);
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.driver.page_faults, b.driver.page_faults);
+  EXPECT_EQ(a.h2d_pages, b.h2d_pages);
+  EXPECT_EQ(a.d2h_pages, b.d2h_pages);
+}
+
+TEST(PolicyRegistry, UnknownNameThrowsListingRegisteredNames) {
+  ChunkChain chain;
+  PolicyConfig cfg;
+  auto& reg = PolicyRegistry::instance();
+  try {
+    (void)reg.make_eviction("nosuch", cfg, chain);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("nosuch"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("mhpe"), std::string::npos) << msg;
+  }
+  try {
+    (void)reg.make_prefetch("nosuch", cfg);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("pattern"), std::string::npos) << msg;
+  }
+}
+
+// Regression: an out-of-range enum used to fall out of the factory switch
+// as nullptr and crash at the first use site. It now degrades to an
+// unregistered "enum(N)" key, so the lookup throws the same loud error as
+// any unknown name.
+TEST(PolicyRegistry, OutOfRangeEnumThrowsInsteadOfReturningNull) {
+  ChunkChain chain;
+  PolicyConfig cfg;
+  cfg.eviction = static_cast<EvictionKind>(99);
+  EXPECT_THROW((void)make_eviction_policy(cfg, chain), std::invalid_argument);
+  PolicyConfig pcfg;
+  pcfg.prefetch = static_cast<PrefetchKind>(99);
+  EXPECT_THROW((void)make_prefetcher(pcfg), std::invalid_argument);
+}
+
+TEST(PolicyRegistry, DuplicateOrEmptyRegistrationThrows) {
+  auto& reg = PolicyRegistry::instance();
+  EXPECT_THROW(reg.register_eviction(
+                   "lru",
+                   [](const PolicyConfig&, ChunkChain& chain) {
+                     return std::make_unique<LruPolicy>(chain);
+                   }),
+               std::logic_error);
+  EXPECT_THROW(reg.register_eviction(
+                   "",
+                   [](const PolicyConfig&, ChunkChain& chain) {
+                     return std::make_unique<LruPolicy>(chain);
+                   }),
+               std::logic_error);
+  EXPECT_THROW(reg.register_prefetch(
+                   "pattern",
+                   [](const PolicyConfig& cfg) {
+                     return std::make_unique<PatternAwarePrefetcher>(cfg);
+                   }),
+               std::logic_error);
+}
+
+TEST(PolicyRegistry, OutOfTreeRegistrationResolvesThroughConfig) {
+  auto& reg = PolicyRegistry::instance();
+  ASSERT_FALSE(reg.has_eviction("testonly-lru-twin"));
+  reg.register_eviction("testonly-lru-twin",
+                        [](const PolicyConfig&, ChunkChain& chain) {
+                          return std::make_unique<LruPolicy>(chain);
+                        });
+  EXPECT_TRUE(reg.has_eviction("testonly-lru-twin"));
+  const auto names = reg.eviction_names();
+  EXPECT_EQ(names.back(), "testonly-lru-twin");  // appended, built-ins first
+
+  ChunkChain chain;
+  PolicyConfig cfg;
+  cfg.eviction_name = "testonly-lru-twin";
+  auto pol = make_eviction_policy(cfg, chain);
+  EXPECT_NE(dynamic_cast<LruPolicy*>(pol.get()), nullptr);
+}
+
+TEST(PolicyRegistry, AdaptiveNamesBuildTheAdaptivePair) {
+  ChunkChain chain;
+  PolicyConfig cfg;
+  cfg.eviction_name = "adaptive";
+  cfg.prefetch_name = "adaptive";
+  auto pol = make_eviction_policy(cfg, chain);
+  auto pf = make_prefetcher(cfg);
+  EXPECT_NE(dynamic_cast<AdaptiveEvictionPolicy*>(pol.get()), nullptr);
+  EXPECT_NE(dynamic_cast<AdaptivePrefetcher*>(pf.get()), nullptr);
+}
+
+// End-to-end smoke: an oversubscribed run under the adaptive pair completes
+// and surfaces its introspection in RunResult.
+TEST(PolicyRegistry, AdaptiveSystemRunCompletes) {
+  PolicyConfig cfg;
+  cfg.eviction_name = "adaptive";
+  cfg.prefetch_name = "adaptive";
+  ThrashingWorkload wl("thrash", "TH", 1024, 3.0);
+  UvmSystem sys(SystemConfig{}, cfg, wl, 0.5);
+  const RunResult r = sys.run();
+  EXPECT_TRUE(r.completed);
+  EXPECT_TRUE(r.adaptive_used);
+  EXPECT_EQ(r.eviction_name, "adaptive");
+  EXPECT_EQ(r.prefetcher_name, "adaptive");
+  EXPECT_GT(r.driver.page_faults, 0u);
+}
+
+}  // namespace
+}  // namespace uvmsim

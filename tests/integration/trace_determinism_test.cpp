@@ -101,6 +101,15 @@ TEST(TraceDeterminism, OversubscribedRunCoversAllEventTypes) {
           << "fabric event emitted by a single-GPU run: " << to_string(t);
       continue;
     }
+    // The vacuous pattern hit is only reachable through direct plan() calls
+    // on resident pages (the integrated fault path filters those), so an
+    // integrated run emitting one would break trace byte-identity; direct
+    // coverage lives in tests/prefetch/pattern_aware_test.cpp.
+    if (t == EventType::kPatternHitEmpty) {
+      EXPECT_FALSE(seen.contains(t))
+          << "vacuous pattern hit emitted by an integrated run";
+      continue;
+    }
     EXPECT_TRUE(seen.contains(t))
         << "event type never emitted: " << to_string(t);
   }

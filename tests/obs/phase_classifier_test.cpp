@@ -1,0 +1,236 @@
+// PhaseClassifier: the online Table II phase detector behind the adaptive
+// policy pair (docs/policies.md). Covers the decision tree branch-by-branch
+// on hand-built Features, the event-driven window reduction, hysteresis
+// (confirm streak + minimum dwell), and the refault-membership semantics —
+// every fault on a remembered-evicted chunk counts, because one chunk
+// re-migration costs ~kChunkPages faults and consuming the entry on the
+// first would divide thrashing's refault rate by 16.
+#include "obs/phase_classifier.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/types.hpp"
+#include "obs/trace_event.hpp"
+
+namespace uvmsim {
+namespace {
+
+PhaseClassifier::Config small_cfg(u32 confirm = 2, u32 dwell = 2) {
+  PhaseClassifier::Config cfg;
+  cfg.window_faults = 16;
+  cfg.confirm_windows = confirm;
+  cfg.min_dwell_windows = dwell;
+  return cfg;
+}
+
+void emit_fault(PhaseClassifier& c, Cycle t, ChunkId chunk) {
+  TraceEvent e{};
+  e.t = t;
+  e.type = EventType::kFaultRaised;
+  e.a = static_cast<u64>(chunk) * kChunkPages;  // page (unused by the sink)
+  e.b = chunk;
+  c.emit(e);
+}
+
+void emit_eviction(PhaseClassifier& c, Cycle t, ChunkId chunk, u64 untouch) {
+  TraceEvent e{};
+  e.t = t;
+  e.type = EventType::kEvictionChosen;
+  e.a = chunk;
+  e.b = untouch;
+  c.emit(e);
+}
+
+/// Driver for the window-feeding helpers below: a monotonically advancing
+/// clock and disjoint chunk ranges so windows don't contaminate each other.
+struct Feeder {
+  PhaseClassifier& c;
+  Cycle t = 0;
+  ChunkId next_stream = 0;          ///< forward-moving fault range
+  ChunkId next_cold = 1u << 20;     ///< eviction-fodder range, never faulted
+
+  /// Sequential faults on fresh dense chunks: Type I (Streaming).
+  void stream_window() {
+    for (int i = 0; i < 4; ++i) emit_eviction(c, ++t, next_cold++, 0);
+    for (int i = 0; i < 16; ++i) emit_fault(c, ++t, next_stream++);
+  }
+
+  /// Dense cyclic reuse of just-evicted chunks: Type IV (Thrashing).
+  void thrash_window(ChunkId base) {
+    for (ChunkId k = 0; k < 4; ++k) emit_eviction(c, ++t, base + k, 0);
+    for (int i = 0; i < 16; ++i)
+      emit_fault(c, ++t, base + static_cast<ChunkId>(i) % 4);
+  }
+};
+
+// --- classify(): one assertion per decision-tree branch ----------------------
+
+PhaseClassifier::Features feat(u64 evictions, double refault, double untouch,
+                               double seq = 0.0, u64 lookups = 0,
+                               double hit = 0.0) {
+  PhaseClassifier::Features f;
+  f.faults = 256;
+  f.evictions = evictions;
+  f.refault_rate = refault;
+  f.mean_untouch = untouch;
+  f.seq_frac = seq;
+  f.pattern_lookups = lookups;
+  f.hit_rate = hit;
+  return f;
+}
+
+TEST(PhaseClassifierTree, NoEvictionsCarriesNoSignalAndKeepsPhase) {
+  PhaseClassifier c;  // defaults: initial phase kMostlyRepetitive
+  EXPECT_EQ(c.classify(feat(0, 0.9, 8.0)), PatternType::kMostlyRepetitive);
+}
+
+TEST(PhaseClassifierTree, HeavyRefaultFamily) {
+  PhaseClassifier c;
+  // Sparse cyclic reuse = strided repetition (Type III).
+  EXPECT_EQ(c.classify(feat(16, 0.8, 8.0)), PatternType::kMostlyRepetitive);
+  // Mixed untouch = dense hot set plus sparse cold set (Type V).
+  EXPECT_EQ(c.classify(feat(16, 0.8, 4.0)),
+            PatternType::kRepetitiveThrashing);
+  // Dense cyclic reuse (Type IV).
+  EXPECT_EQ(c.classify(feat(16, 0.8, 0.5)), PatternType::kThrashing);
+}
+
+TEST(PhaseClassifierTree, LightRefaultFamily) {
+  PhaseClassifier c;
+  // Sparse + a cold pattern buffer: the sparse region is sliding (Type VI).
+  EXPECT_EQ(c.classify(feat(16, 0.3, 8.0, 0.0, 100, 0.2)),
+            PatternType::kRegionMoving);
+  // Sparse + the buffer predicts well: stable strides (Type III).
+  EXPECT_EQ(c.classify(feat(16, 0.3, 8.0, 0.0, 100, 0.9)),
+            PatternType::kMostlyRepetitive);
+  // Sparse + too few lookups to judge: default to the stable read (III).
+  EXPECT_EQ(c.classify(feat(16, 0.3, 8.0, 0.0, 2, 0.0)),
+            PatternType::kMostlyRepetitive);
+  // Dense partial reuse (Type II).
+  EXPECT_EQ(c.classify(feat(16, 0.3, 1.0)), PatternType::kPartlyRepetitive);
+}
+
+TEST(PhaseClassifierTree, LowRefaultFamily) {
+  PhaseClassifier c;
+  // Forward progress over sparse chunks (Type VI).
+  EXPECT_EQ(c.classify(feat(16, 0.05, 8.0)), PatternType::kRegionMoving);
+  // Forward progress, dense and sequential (Type I).
+  EXPECT_EQ(c.classify(feat(16, 0.05, 0.5, 0.9)), PatternType::kStreaming);
+  // Forward progress, dense but jumpy (Type II).
+  EXPECT_EQ(c.classify(feat(16, 0.05, 0.5, 0.1)),
+            PatternType::kPartlyRepetitive);
+}
+
+// --- Event-driven window reduction -------------------------------------------
+
+TEST(PhaseClassifierWindows, NoEvictionWindowKeepsCurrentPhase) {
+  PhaseClassifier c(small_cfg());
+  Feeder f{c};
+  for (int i = 0; i < 16; ++i) emit_fault(c, ++f.t, f.next_stream++);
+  ASSERT_EQ(c.windows_classified(), 1u);
+  EXPECT_EQ(c.window_log().back().candidate, c.config().initial);
+  EXPECT_EQ(c.phase(), c.config().initial);
+  EXPECT_TRUE(c.history().empty());
+}
+
+TEST(PhaseClassifierWindows, StreamWindowReducesToStreamingFeatures) {
+  PhaseClassifier c(small_cfg());
+  Feeder f{c};
+  f.stream_window();
+  ASSERT_EQ(c.windows_classified(), 1u);
+  const auto& w = c.window_log().back();
+  EXPECT_EQ(w.features.faults, 16u);
+  EXPECT_EQ(w.features.evictions, 4u);
+  EXPECT_DOUBLE_EQ(w.features.refault_rate, 0.0);
+  EXPECT_DOUBLE_EQ(w.features.mean_untouch, 0.0);
+  EXPECT_GE(w.features.seq_frac, 0.9);
+  EXPECT_EQ(w.candidate, PatternType::kStreaming);
+}
+
+TEST(PhaseClassifierWindows, WindowLogRecordsEveryWindow) {
+  PhaseClassifier c(small_cfg());
+  Feeder f{c};
+  for (int i = 0; i < 3; ++i) f.stream_window();
+  EXPECT_EQ(c.windows_classified(), 3u);
+  EXPECT_EQ(c.window_log().size(), 3u);
+  EXPECT_EQ(c.faults_seen(), 48u);
+  EXPECT_EQ(c.last_features().faults, c.window_log().back().features.faults);
+}
+
+// --- Hysteresis --------------------------------------------------------------
+
+TEST(PhaseClassifierHysteresis, SwitchNeedsConfirmingStreak) {
+  PhaseClassifier c(small_cfg(/*confirm=*/2, /*dwell=*/2));
+  Feeder f{c};
+  f.stream_window();  // streak 1 of 2: no switch yet
+  EXPECT_EQ(c.phase(), c.config().initial);
+  EXPECT_EQ(c.decisions(), 0u);
+  f.stream_window();  // streak 2, dwell satisfied: switch confirmed
+  EXPECT_EQ(c.phase(), PatternType::kStreaming);
+  ASSERT_EQ(c.decisions(), 1u);
+  EXPECT_EQ(c.history().back().phase, PatternType::kStreaming);
+}
+
+TEST(PhaseClassifierHysteresis, SingleDeviantWindowDoesNotSwitch) {
+  PhaseClassifier c(small_cfg(/*confirm=*/2, /*dwell=*/2));
+  Feeder f{c};
+  f.stream_window();
+  f.stream_window();
+  ASSERT_EQ(c.phase(), PatternType::kStreaming);
+  // One thrashing blip, then back to streaming: the streak resets before
+  // it reaches the confirm threshold.
+  f.thrash_window(/*base=*/5000);
+  EXPECT_EQ(c.phase(), PatternType::kStreaming);
+  f.stream_window();
+  f.stream_window();
+  EXPECT_EQ(c.phase(), PatternType::kStreaming);
+  EXPECT_EQ(c.decisions(), 1u);  // only the initial III -> I switch
+}
+
+TEST(PhaseClassifierHysteresis, MinDwellBlocksImmediateSwitchBack) {
+  PhaseClassifier c(small_cfg(/*confirm=*/1, /*dwell=*/3));
+  Feeder f{c};
+  f.stream_window();  // candidate confirmed, but dwell 1 of 3
+  f.stream_window();  // dwell 2 of 3
+  EXPECT_EQ(c.phase(), c.config().initial);
+  f.stream_window();  // dwell satisfied: switch to Streaming
+  ASSERT_EQ(c.phase(), PatternType::kStreaming);
+  // A real phase change right after the switch must wait out the dwell.
+  f.thrash_window(6000);
+  f.thrash_window(6100);
+  EXPECT_EQ(c.phase(), PatternType::kStreaming);
+  f.thrash_window(6200);
+  EXPECT_EQ(c.phase(), PatternType::kThrashing);
+  EXPECT_EQ(c.decisions(), 2u);
+}
+
+// --- Refault membership ------------------------------------------------------
+
+TEST(PhaseClassifierRefault, EveryFaultOnARememberedChunkCounts) {
+  PhaseClassifier c(small_cfg());
+  Feeder f{c};
+  emit_eviction(c, ++f.t, /*chunk=*/7, /*untouch=*/0);
+  for (int i = 0; i < 16; ++i) emit_fault(c, ++f.t, 7);
+  ASSERT_EQ(c.windows_classified(), 1u);
+  const auto& w = c.window_log().back();
+  // Membership, not consumption: all 16 faults of the chunk's re-migration
+  // count, not just the first.
+  EXPECT_DOUBLE_EQ(w.features.refault_rate, 1.0);
+  EXPECT_EQ(w.candidate, PatternType::kThrashing);
+}
+
+TEST(PhaseClassifierRefault, AgedOutEvictionsStopCounting) {
+  auto cfg = small_cfg();
+  cfg.refault_history = 2;
+  PhaseClassifier c(cfg);
+  Feeder f{c};
+  emit_eviction(c, ++f.t, 1, 0);
+  emit_eviction(c, ++f.t, 2, 0);
+  emit_eviction(c, ++f.t, 3, 0);  // pushes chunk 1 out of the history
+  for (int i = 0; i < 16; ++i) emit_fault(c, ++f.t, 1);
+  ASSERT_EQ(c.windows_classified(), 1u);
+  EXPECT_DOUBLE_EQ(c.window_log().back().features.refault_rate, 0.0);
+}
+
+}  // namespace
+}  // namespace uvmsim

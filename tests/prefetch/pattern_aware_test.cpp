@@ -9,6 +9,10 @@
 #include <algorithm>
 #include <set>
 
+#include "obs/flight_recorder.hpp"
+#include "obs/trace_sink.hpp"
+#include "sim/event_queue.hpp"
+
 namespace uvmsim {
 namespace {
 
@@ -228,6 +232,45 @@ TEST(PatternAware, ZeroConfiguredCapacityClampsToOne) {
   EXPECT_EQ(pf.size(), 1u);
   EXPECT_TRUE(pf.has_pattern(1));
   EXPECT_EQ(pf.capacity_evictions(), 1u);
+}
+
+// A pattern match whose pages are all already resident plans nothing. That
+// outcome used to be folded into matches(), inflating the §VI-C match rate
+// with lookups that narrowed no migration; it is now its own counter and
+// trace event. Only reachable by calling plan() for a resident page (the
+// integrated fault path filters those), which is why integrated traces
+// never carry kPatternHitEmpty (tests/integration/trace_determinism_test.cpp
+// asserts its absence there).
+TEST(PatternAware, FullyResidentMatchCountsAsEmptyHitNotMatch) {
+  EventQueue eq;
+  FlightRecorder rec(eq);
+  RingSink ring(16);
+  rec.add_sink(&ring);
+
+  PatternAwarePrefetcher pf(with_scheme(DeletionScheme::kScheme2));
+  pf.set_recorder(&rec);
+  TestView view(1000);
+  pf.on_chunk_evicted(0, fig6_pattern());
+  view.add(1);
+  view.add(3);  // every patterned page already resident
+
+  const auto plan = pf.plan(1, view);
+  EXPECT_TRUE(plan.empty());
+  EXPECT_EQ(pf.empty_hits(), 1u);
+  EXPECT_EQ(pf.matches(), 0u);
+  EXPECT_EQ(pf.mismatches(), 0u);
+  EXPECT_TRUE(pf.has_pattern(0));  // an empty hit is a hit: entry survives
+
+  const auto events = ring.events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].type, EventType::kPatternHitEmpty);
+  EXPECT_EQ(events[0].a, 0u);                      // chunk
+  EXPECT_EQ(events[0].b, fig6_pattern().count());  // pattern popcount
+
+  // The next lookup's outcome is unaffected by the empty hit.
+  view.remove(3);
+  EXPECT_EQ(pf.plan(1, view).size(), 1u);
+  EXPECT_EQ(pf.matches(), 1u);
 }
 
 TEST(PatternAware, PlanNeverExceedsFootprint) {

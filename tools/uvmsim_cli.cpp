@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "core/policy_factory.hpp"
+#include "core/policy_registry.hpp"
 #include "core/uvm_system.hpp"
 #include "fabric/fabric_system.hpp"
 #include "harness/cli.hpp"
@@ -42,22 +43,38 @@ using namespace uvmsim;
 
 namespace {
 
-bool parse_eviction(const std::string& s, EvictionKind& out) {
-  if (s == "lru") out = EvictionKind::kLru;
-  else if (s == "fifo") out = EvictionKind::kFifo;
-  else if (s == "random") out = EvictionKind::kRandom;
-  else if (s == "reserved") out = EvictionKind::kReservedLru;
-  else if (s == "hpe") out = EvictionKind::kHpe;
-  else if (s == "mhpe") out = EvictionKind::kMhpe;
+std::string join_names(const std::vector<std::string>& names) {
+  std::string out;
+  for (const auto& n : names) {
+    if (!out.empty()) out += " | ";
+    out += n;
+  }
+  return out;
+}
+
+// Resolve --eviction / --prefetch through the PolicyRegistry. Built-in
+// canonical names also set the matching PolicyConfig enum (anything keyed on
+// the enum — presets, reports — keeps working bit-for-bit); every other
+// registered name goes through the name field. Unknown names list what IS
+// registered.
+bool resolve_eviction(const std::string& s, PolicyConfig& pol) {
+  if (s == "lru") pol.eviction = EvictionKind::kLru;
+  else if (s == "fifo") pol.eviction = EvictionKind::kFifo;
+  else if (s == "random") pol.eviction = EvictionKind::kRandom;
+  else if (s == "reserved") pol.eviction = EvictionKind::kReservedLru;
+  else if (s == "hpe") pol.eviction = EvictionKind::kHpe;
+  else if (s == "mhpe") pol.eviction = EvictionKind::kMhpe;
+  else if (PolicyRegistry::instance().has_eviction(s)) pol.eviction_name = s;
   else return false;
   return true;
 }
 
-bool parse_prefetch(const std::string& s, PrefetchKind& out) {
-  if (s == "none") out = PrefetchKind::kNone;
-  else if (s == "locality") out = PrefetchKind::kLocality;
-  else if (s == "tree") out = PrefetchKind::kTreeNeighborhood;
-  else if (s == "pattern") out = PrefetchKind::kPatternAware;
+bool resolve_prefetch(const std::string& s, PolicyConfig& pol) {
+  if (s == "none") pol.prefetch = PrefetchKind::kNone;
+  else if (s == "locality") pol.prefetch = PrefetchKind::kLocality;
+  else if (s == "tree") pol.prefetch = PrefetchKind::kTreeNeighborhood;
+  else if (s == "pattern") pol.prefetch = PrefetchKind::kPatternAware;
+  else if (PolicyRegistry::instance().has_prefetch(s)) pol.prefetch_name = s;
   else return false;
   return true;
 }
@@ -94,6 +111,17 @@ void print_text(const RunResult& r) {
     if (r.pattern_capacity_evictions > 0)
       t.add_row({"pattern capacity evictions",
                  std::to_string(r.pattern_capacity_evictions)});
+  }
+  if (r.adaptive_used) {
+    t.add_row({"adaptive switches (evict/prefetch)",
+               std::to_string(r.adaptive_eviction_switches) + "/" +
+                   std::to_string(r.adaptive_prefetch_switches)});
+    std::string phases;
+    for (const auto& [at, p] : r.adaptive_phase_history) {
+      if (!phases.empty()) phases += " -> ";
+      phases += to_string(p);
+    }
+    t.add_row({"adaptive phase changes", phases.empty() ? "none" : phases});
   }
   if (r.trace_events_recorded > 0)
     t.add_row({"trace events recorded", std::to_string(r.trace_events_recorded)});
@@ -232,8 +260,10 @@ int main(int argc, char** argv) {
   cli.add_option("trace", "replay a recorded trace file instead of a workload");
   cli.add_option("record-trace", "record the workload's streams to a file and exit");
   cli.add_option("oversub", "fraction of the footprint that fits in memory", "0.5");
-  cli.add_option("eviction", "lru | fifo | random | reserved | hpe | mhpe", "mhpe");
-  cli.add_option("prefetch", "none | locality | tree | pattern", "pattern");
+  cli.add_option("eviction",
+                 "eviction policy by registered name (--list-policies)", "mhpe");
+  cli.add_option("prefetch",
+                 "prefetcher by registered name (--list-policies)", "pattern");
   cli.add_option("deletion", "pattern-buffer deletion: scheme1 | scheme2", "scheme2");
   cli.add_option("reserved", "reserved-LRU protected fraction", "0.2");
   cli.add_option("t1", "MHPE per-interval untouch switch threshold", "32");
@@ -272,7 +302,16 @@ int main(int argc, char** argv) {
                "sizing) to the report");
   cli.add_flag("csv", "emit one CSV row instead of the text report");
   cli.add_flag("list", "list the Table II workloads and exit");
+  cli.add_flag("list-policies",
+               "list the registered eviction policies / prefetchers and exit");
   if (!cli.parse(argc, argv)) return cli.error().empty() ? 0 : 2;
+
+  if (cli.get_flag("list-policies")) {
+    const auto& reg = PolicyRegistry::instance();
+    std::cout << "eviction:  " << join_names(reg.eviction_names()) << "\n"
+              << "prefetch:  " << join_names(reg.prefetch_names()) << "\n";
+    return 0;
+  }
 
   if (cli.get_flag("list")) {
     TextTable t({"abbr", "name", "suite", "type", "pages (scaled)"});
@@ -284,12 +323,18 @@ int main(int argc, char** argv) {
   }
 
   PolicyConfig pol;
-  if (!parse_eviction(cli.get("eviction"), pol.eviction)) {
-    std::cerr << "unknown eviction policy: " << cli.get("eviction") << "\n";
+  if (!resolve_eviction(cli.get("eviction"), pol)) {
+    std::cerr << "unknown eviction policy: " << cli.get("eviction")
+              << " (registered: "
+              << join_names(PolicyRegistry::instance().eviction_names())
+              << ")\n";
     return 2;
   }
-  if (!parse_prefetch(cli.get("prefetch"), pol.prefetch)) {
-    std::cerr << "unknown prefetcher: " << cli.get("prefetch") << "\n";
+  if (!resolve_prefetch(cli.get("prefetch"), pol)) {
+    std::cerr << "unknown prefetcher: " << cli.get("prefetch")
+              << " (registered: "
+              << join_names(PolicyRegistry::instance().prefetch_names())
+              << ")\n";
     return 2;
   }
   pol.deletion = cli.get("deletion") == "scheme1" ? DeletionScheme::kScheme1

@@ -13,6 +13,7 @@
 #include <sstream>
 
 #include "core/policy_factory.hpp"
+#include "core/policy_registry.hpp"
 #include "harness/cli.hpp"
 #include "harness/report.hpp"
 #include "harness/results_io.hpp"
@@ -38,8 +39,10 @@ int main(int argc, char** argv) {
   CliParser cli("uvmsim_sweep — run a policy/workload/oversubscription grid");
   cli.add_option("workloads", "comma-separated Table II abbreviations", "all");
   cli.add_option("policies",
-                 "comma-separated presets: baseline,cppe,cppe-s1,random,"
-                 "reserved10,reserved20,hpe,demand,noprefetch-full",
+                 "comma-separated presets (baseline,cppe,cppe-s1,random,"
+                 "reserved10,reserved20,hpe,demand,noprefetch-full) and/or "
+                 "registry pairs <eviction>/<prefetch>, e.g. adaptive/adaptive "
+                 "(names: uvmsim --list-policies)",
                  "baseline,cppe");
   cli.add_option("oversubs", "comma-separated oversubscription rates", "0.75,0.5");
   cli.add_option("tenants",
@@ -70,8 +73,27 @@ int main(int argc, char** argv) {
     else if (p == "demand") policies.emplace_back(p, presets::demand_only());
     else if (p == "noprefetch-full")
       policies.emplace_back(p, presets::disable_prefetch_when_full());
-    else {
-      std::cerr << "unknown policy preset: " << p << "\n";
+    else if (const auto slash = p.find('/'); slash != std::string::npos) {
+      // "<eviction>/<prefetch>" — both halves resolved by registered name,
+      // so out-of-tree registrations sweep like any preset.
+      PolicyConfig pol;
+      pol.eviction_name = p.substr(0, slash);
+      pol.prefetch_name = p.substr(slash + 1);
+      const auto& reg = PolicyRegistry::instance();
+      if (!reg.has_eviction(pol.eviction_name)) {
+        std::cerr << "unknown eviction policy in pair '" << p << "': "
+                  << pol.eviction_name << "\n";
+        return 2;
+      }
+      if (!reg.has_prefetch(pol.prefetch_name)) {
+        std::cerr << "unknown prefetcher in pair '" << p << "': "
+                  << pol.prefetch_name << "\n";
+        return 2;
+      }
+      policies.emplace_back(p, pol);
+    } else {
+      std::cerr << "unknown policy preset: " << p
+                << " (presets, or a <eviction>/<prefetch> registry pair)\n";
       return 2;
     }
   }
