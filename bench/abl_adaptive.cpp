@@ -101,7 +101,10 @@ std::string phase_timeline(const RunResult& r) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool smoke = argc > 1 && (std::strcmp(argv[1], "--smoke") == 0);
+  const bool smoke = parse_smoke(
+      argc, argv, "abl_adaptive — adaptive policy vs static CPPE/tree",
+      "composites only; gate: adaptive <= worst static * 1.05 everywhere "
+      "and <= best static * 1.01 on >= 1 composite");
 
   print_header("Adaptive policy vs static CPPE / tree prefetch on "
                "pattern-shifting workloads",

@@ -1,6 +1,7 @@
 // Shared helpers for the per-figure/per-table bench binaries.
 #pragma once
 
+#include <cstdlib>
 #include <iostream>
 #include <map>
 #include <string>
@@ -68,6 +69,30 @@ inline std::string type_of(const std::string& abbr) {
   for (const auto& b : benchmark_table())
     if (b.abbr == abbr) return roman(b.type);
   return "?";
+}
+
+/// Standard argv handling for bench binaries with a `--smoke` gate: returns
+/// whether --smoke was passed; `--help` documents the gate and exits; any
+/// other argument is rejected (a typo must not silently run the full bench
+/// in scripts/check.sh or CI).
+[[nodiscard]] inline bool parse_smoke(int argc, const char* const* argv,
+                                      const std::string& program,
+                                      const std::string& smoke_help) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--smoke") {
+      smoke = true;
+    } else if (a == "--help" || a == "-h") {
+      std::cout << program << "\n\noptions:\n  --smoke\n      " << smoke_help
+                << "\n  --help\n      show this message\n";
+      std::exit(0);
+    } else {
+      std::cerr << program << ": unknown argument: " << a << " (try --help)\n";
+      std::exit(2);
+    }
+  }
+  return smoke;
 }
 
 inline void print_header(const std::string& title, const std::string& paper_ref) {

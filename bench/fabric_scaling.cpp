@@ -74,8 +74,10 @@ void print_rows(const std::vector<FabricCell>& cells) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool smoke =
-      argc > 1 && (std::strcmp(argv[1], "--smoke") == 0);
+  const bool smoke = parse_smoke(
+      argc, argv, "fabric_scaling — multi-GPU topology/placement/spill sweep",
+      "2-GPU ring subset only; gate: spill-on completes and reduces host "
+      "write-backs vs spill-off");
 
   print_header("Multi-GPU fabric scaling: topology, placement and spill",
                "NVLink extension (docs/fabric.md) — not a paper figure");

@@ -135,9 +135,22 @@ int main(int argc, char** argv) {
     else if (a == "--out" && i + 1 < argc) out_path = argv[++i];
     else if (a == "--baseline" && i + 1 < argc) baseline_path = argv[++i];
     else if (a == "--tolerance" && i + 1 < argc) tolerance_pct = std::stod(argv[++i]);
-    else {
+    else if (a == "--help" || a == "-h") {
+      std::cout << "perf_gate — wall-clock regression gate\n\noptions:\n"
+                   "  --smoke\n      run the CPPE@0.50 scenario only and fail "
+                   "if wall time regresses\n      beyond --tolerance vs the "
+                   "committed --baseline numbers\n"
+                   "  --out <f.json>\n      full mode: write fresh baseline "
+                   "numbers here (default BENCH_PR5.json)\n"
+                   "  --baseline <f.json>\n      committed numbers --smoke "
+                   "compares against (default BENCH_PR5.json)\n"
+                   "  --tolerance <pct>\n      allowed wall-clock regression "
+                   "in percent (default 25)\n"
+                   "  --help\n      show this message\n";
+      return 0;
+    } else {
       std::cerr << "usage: perf_gate [--smoke] [--out f.json] "
-                   "[--baseline f.json] [--tolerance pct]\n";
+                   "[--baseline f.json] [--tolerance pct] (try --help)\n";
       return 2;
     }
   }

@@ -20,3 +20,11 @@ build-asan/tools/uvmsim --workload NW --oversub 0.5 --sim-stats \
   --trace-out "$TRACE_DIR/t.jsonl" --interval-metrics "$TRACE_DIR/iv.csv" >/dev/null
 head -1 "$TRACE_DIR/t.jsonl" | grep -q '"schema":"uvmsim-trace"'
 echo "sanitized traced run OK: $(wc -l < "$TRACE_DIR/t.jsonl") events"
+
+# The same end-to-end pass with 2 MB large frames on: coalesce/splinter
+# metadata flips, whole-frame eviction, and the large-TLB shootdown fan-out
+# run under the sanitizers (docs/memory.md).
+build-asan/tools/uvmsim --workload SRD --oversub 0.9 --large-pages \
+  --trace-out "$TRACE_DIR/lp.jsonl" >/dev/null
+grep -q '"ev":"coalesce"' "$TRACE_DIR/lp.jsonl"
+echo "sanitized large-pages run OK: $(wc -l < "$TRACE_DIR/lp.jsonl") events"

@@ -49,6 +49,20 @@ echo "== adaptive policy smoke (never loses to the worst static by >5%) =="
 "$BUILD"/bench/abl_adaptive --smoke
 
 echo
+echo "== large-pages smoke (2 MB frames must not hurt TLB hit rate or DMA ops) =="
+"$BUILD"/bench/abl_large_pages --smoke
+
+echo
+echo "== large-pages trace determinism (gated events, byte-identical rerun) =="
+"$BUILD"/tools/uvmsim --workload SRD --oversub 0.9 --large-pages \
+  --trace-out "$TRACE_DIR/lp_a.jsonl" >/dev/null
+"$BUILD"/tools/uvmsim --workload SRD --oversub 0.9 --large-pages \
+  --trace-out "$TRACE_DIR/lp_b.jsonl" >/dev/null
+grep -q '"ev":"coalesce"' "$TRACE_DIR/lp_a.jsonl"
+cmp "$TRACE_DIR/lp_a.jsonl" "$TRACE_DIR/lp_b.jsonl"
+echo "large-pages trace OK: $(wc -l < "$TRACE_DIR/lp_a.jsonl") events, byte-identical rerun"
+
+echo
 echo "== bench binaries =="
 for b in "$BUILD"/bench/*; do
   [ -f "$b" ] && [ -x "$b" ] || continue  # skip CMakeFiles/ etc.

@@ -25,3 +25,11 @@ build-ubsan/tools/uvmsim --workload SRD --oversub 0.5 --sim-stats \
   --trace-out "$TRACE_DIR/t.jsonl" >/dev/null
 head -1 "$TRACE_DIR/t.jsonl" | grep -q '"schema":"uvmsim-trace"'
 echo "ubsan traced run OK: $(wc -l < "$TRACE_DIR/t.jsonl") events"
+
+# Same workload with 2 MB large frames on: the shift-heavy granularity
+# helpers (page/chunk/large index math) and bulk-DMA reservation arithmetic
+# run with UB fatal.
+build-ubsan/tools/uvmsim --workload SRD --oversub 0.9 --large-pages \
+  --trace-out "$TRACE_DIR/lp.jsonl" >/dev/null
+grep -q '"ev":"coalesce"' "$TRACE_DIR/lp.jsonl"
+echo "ubsan large-pages run OK: $(wc -l < "$TRACE_DIR/lp.jsonl") events"

@@ -52,12 +52,16 @@ struct SystemConfig {
   u32 l1_tlb_entries = 128;
   u32 l1_tlb_ways = 0;             ///< 0 = fully associative
   Cycle l1_tlb_latency = 1;
+  /// 2 MB-entry sub-array, probed only when PolicyConfig::large_pages is on
+  /// (one entry maps kLargePages pages; docs/memory.md).
+  u32 l1_tlb_large_entries = 16;
 
   // --- Shared L2 TLB --------------------------------------------------------
   u32 l2_tlb_entries = 512;
   u32 l2_tlb_ways = 16;
   Cycle l2_tlb_latency = 10;
   u32 l2_tlb_ports = 2;
+  u32 l2_tlb_large_entries = 64;   ///< 2 MB-entry sub-array (large-pages mode)
 
   // --- Page table walker ----------------------------------------------------
   u32 walker_threads = 64;         ///< concurrent page-table walks
@@ -89,6 +93,16 @@ struct SystemConfig {
   /// eviction happens synchronously during fault service; pre-eviction
   /// (PolicyConfig::pre_evict_watermark_chunks) moves it off that path.
   double evict_service_us = 2.5;
+  /// Per-page cost of a coalesced large-frame write-back, in percent of the
+  /// normal per-page PCIe cost: one 2 MB DMA descriptor amortises setup
+  /// across 512 pages instead of paying it per chunk (Mosaic's migration
+  /// efficiency argument; only used when large-pages mode evicts a whole
+  /// frame).
+  u32 bulk_dma_percent = 80;
+  /// Delay between a region becoming a coalesce candidate and the background
+  /// coalesce scan that may promote it — keeps promotion off the fault
+  /// critical path (Mosaic's lazy coalescing).
+  double coalesce_delay_us = 5.0;
 
   [[nodiscard]] Cycle cycles_per_us() const {
     return static_cast<Cycle>(core_ghz * 1000.0);
@@ -99,6 +113,9 @@ struct SystemConfig {
   }
   [[nodiscard]] Cycle evict_service_cycles() const {
     return static_cast<Cycle>(evict_service_us * core_ghz * 1000.0);
+  }
+  [[nodiscard]] Cycle coalesce_delay_cycles() const {
+    return static_cast<Cycle>(coalesce_delay_us * core_ghz * 1000.0);
   }
   /// Cycles for one 4 KB page to cross PCIe: 4096 B / 16 GB/s = 256 ns (~359 cy).
   [[nodiscard]] Cycle pcie_page_cycles() const {
@@ -183,6 +200,11 @@ struct PolicyConfig {
   /// queued faults (bench/abl_fault_batch).
   u32 fault_batch = 1;
   u64 seed = 0x5EED;               ///< experiment RNG seed
+  /// Transparent 2 MB large frames: background coalescing of fully-resident,
+  /// fully-touched aligned 32-chunk runs, splintering under partial eviction
+  /// pressure, large-page TLB entries and a 3-probe walk (docs/memory.md).
+  /// Off by default — every default-config artefact stays byte-identical.
+  bool large_pages = false;
 
   // HPE-specific knobs (counter-based classification; see policy/hpe.hpp).
   u32 hpe_regular_counter = 12;    ///< counter >= this marks a chunk "well used"

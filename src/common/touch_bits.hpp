@@ -12,11 +12,17 @@ namespace uvmsim {
 
 class TouchBits {
  public:
+  // The mask is derived from kChunkPages (not a literal 0xFFFF) so a future
+  // chunk-shift change compiles into a correct partial mask.
+  static_assert(kChunkPages <= 16, "TouchBits stores one bit per chunk page in a u16");
+  static constexpr u16 kFullMask =
+      static_cast<u16>((u32{1} << kChunkPages) - 1u);
+
   constexpr TouchBits() = default;
   explicit constexpr TouchBits(u16 raw) : bits_(raw) {}
 
   /// All kChunkPages bits set.
-  [[nodiscard]] static constexpr TouchBits all() { return TouchBits(u16{0xFFFF}); }
+  [[nodiscard]] static constexpr TouchBits all() { return TouchBits(kFullMask); }
   [[nodiscard]] static constexpr TouchBits none() { return TouchBits(u16{0}); }
 
   constexpr void set(u32 page_in_chunk) {
@@ -39,7 +45,7 @@ class TouchBits {
 
   [[nodiscard]] constexpr u16 raw() const { return bits_; }
   [[nodiscard]] constexpr bool empty() const { return bits_ == 0; }
-  [[nodiscard]] constexpr bool full() const { return bits_ == 0xFFFF; }
+  [[nodiscard]] constexpr bool full() const { return bits_ == kFullMask; }
 
   constexpr TouchBits operator|(TouchBits o) const { return TouchBits(static_cast<u16>(bits_ | o.bits_)); }
   constexpr TouchBits operator&(TouchBits o) const { return TouchBits(static_cast<u16>(bits_ & o.bits_)); }

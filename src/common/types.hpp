@@ -1,11 +1,14 @@
 // Fundamental strong types shared by every subsystem.
 //
-// The simulator works in three address/index spaces:
+// The simulator works in four address/index spaces:
 //  * byte-granular virtual addresses (VirtAddr),
 //  * 4 KB virtual page numbers (PageId = vaddr >> 12),
-//  * 16-page / 64 KB chunk numbers (ChunkId = PageId >> 4).
+//  * 16-page / 64 KB chunk numbers (ChunkId = PageId >> 4),
+//  * 32-chunk / 2 MB large-frame regions (LargeId = PageId >> 9).
 // Chunks are the paper's unit of prefetch and (pre-)eviction; pages are the
-// unit of residency and faulting.
+// unit of residency and faulting. Large frames are the Mosaic-style optional
+// third granularity (docs/memory.md): fully-resident aligned 32-chunk runs
+// coalesce into one 2 MB mapping when --large-pages is on.
 #pragma once
 
 #include <cstdint>
@@ -31,14 +34,23 @@ using PageId = std::uint64_t;
 /// Chunk number: a chunk is kChunkPages consecutive virtual pages (64 KB).
 using ChunkId = std::uint64_t;
 
+/// Large-frame region number: kLargeChunks consecutive chunks (2 MB).
+using LargeId = std::uint64_t;
+
 inline constexpr u32 kPageShift = 12;            ///< log2(4 KB)
 inline constexpr u64 kPageBytes = u64{1} << kPageShift;
 inline constexpr u32 kChunkPageShift = 4;        ///< log2(pages per chunk)
 inline constexpr u32 kChunkPages = 1u << kChunkPageShift;  ///< 16 pages
 inline constexpr u64 kChunkBytes = kPageBytes * kChunkPages;  ///< 64 KB
+inline constexpr u32 kLargeChunkShift = 5;       ///< log2(chunks per large frame)
+inline constexpr u32 kLargeChunks = 1u << kLargeChunkShift;  ///< 32 chunks
+inline constexpr u32 kLargePageShift = kChunkPageShift + kLargeChunkShift;
+inline constexpr u32 kLargePages = 1u << kLargePageShift;    ///< 512 pages
+inline constexpr u64 kLargeBytes = kPageBytes * kLargePages;  ///< 2 MB
 
 inline constexpr PageId kInvalidPage = std::numeric_limits<PageId>::max();
 inline constexpr ChunkId kInvalidChunk = std::numeric_limits<ChunkId>::max();
+inline constexpr LargeId kInvalidLarge = std::numeric_limits<LargeId>::max();
 
 /// Identity of one tenant (co-scheduled workload) in a multi-tenant run.
 /// Single-tenant simulations use kNoTenant throughout: every tenant-aware
@@ -57,6 +69,20 @@ inline constexpr TenantId kNoTenant = std::numeric_limits<TenantId>::max();
   return c << kChunkPageShift;
 }
 [[nodiscard]] constexpr VirtAddr addr_of_page(PageId p) noexcept { return p << kPageShift; }
+[[nodiscard]] constexpr LargeId large_of_page(PageId p) noexcept { return p >> kLargePageShift; }
+[[nodiscard]] constexpr LargeId large_of_chunk(ChunkId c) noexcept { return c >> kLargeChunkShift; }
+[[nodiscard]] constexpr u32 page_index_in_large(PageId p) noexcept {
+  return static_cast<u32>(p & (kLargePages - 1));
+}
+[[nodiscard]] constexpr u32 chunk_index_in_large(ChunkId c) noexcept {
+  return static_cast<u32>(c & (kLargeChunks - 1));
+}
+[[nodiscard]] constexpr PageId first_page_of_large(LargeId l) noexcept {
+  return l << kLargePageShift;
+}
+[[nodiscard]] constexpr ChunkId first_chunk_of_large(LargeId l) noexcept {
+  return l << kLargeChunkShift;
+}
 
 /// The six access-pattern categories of Table II (taken from the HPE paper).
 enum class PatternType : u8 {

@@ -91,6 +91,7 @@ RunResult UvmSystem::run(Cycle max_cycles) {
       for (const auto& h : apf->classifier().history())
         r.adaptive_phase_history.emplace_back(h.at, h.phase);
   }
+  r.large_pages = driver_->large_pages_enabled();
   r.trace_events_recorded = recorder_.events_recorded();
   r.clamped_past = eq_.clamped_past();
   r.sim.events_executed = eq_.executed();

@@ -117,6 +117,11 @@ struct RunResult {
   /// order: (cycle confirmed, phase entered).
   std::vector<std::pair<Cycle, PatternType>> adaptive_phase_history;
 
+  /// PolicyConfig::large_pages was set: 2 MB coalescing/splintering was live
+  /// and the large-page counters (driver.coalesces/splinters/
+  /// large_frames_evicted, gpu.*_tlb_large_hits) are meaningful.
+  bool large_pages = false;
+
   u64 trace_events_recorded = 0;  ///< flight-recorder events this run emitted
 
   std::size_t final_chain_length = 0;

@@ -29,6 +29,9 @@ void accumulate(DriverStats& into, const DriverStats& s) {
   into.chunks_spilled += s.chunks_spilled;
   into.pages_spilled += s.pages_spilled;
   into.pages_surrendered += s.pages_surrendered;
+  into.coalesces += s.coalesces;
+  into.splinters += s.splinters;
+  into.large_frames_evicted += s.large_frames_evicted;
 }
 
 }  // namespace
@@ -149,6 +152,11 @@ RunResult FabricSystem::run(Cycle max_cycles) {
     r.gpu.l1d_misses += gs.l1d_misses;
     r.gpu.l2c_hits += gs.l2c_hits;
     r.gpu.l2c_misses += gs.l2c_misses;
+    r.gpu.l1_tlb_large_hits += gs.l1_tlb_large_hits;
+    r.gpu.l2_tlb_large_hits += gs.l2_tlb_large_hits;
+    r.gpu.walks_performed += gs.walks_performed;
+    r.gpu.walk_cycles += gs.walk_cycles;
+    r.gpu.large_walks += gs.large_walks;
     r.final_chain_length += drv.chain().size();
     r.trace_events_recorded += recorders_[d]->events_recorded();
   }
@@ -160,6 +168,7 @@ RunResult FabricSystem::run(Cycle max_cycles) {
       r.links.push_back(
           {l.name, l.link.units_moved(), l.link.utilisation(r.cycles)});
   }
+  r.large_pages = drivers_[0]->large_pages_enabled();
   r.clamped_past = eq_.clamped_past();
   r.sim.events_executed = eq_.executed();
   r.sim.event_heap_peak = eq_.peak_pending();

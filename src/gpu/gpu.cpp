@@ -53,6 +53,18 @@ Gpu::Gpu(EventQueue& eq, const SystemConfig& cfg, UvmDriver& driver,
       for (auto& sm : sms_) sm.l1d->invalidate(tag);
     }
   });
+  // Large-pages mode: gated 2 MB sub-arrays beside the small TLBs, plus the
+  // large-entry shootdown (splinter / whole-frame eviction). Only the 2 MB
+  // translation dies there — per-page entries and cache lines are handled
+  // by the per-page shootdown above when frames are actually unmapped.
+  if (driver_.large_pages_enabled()) {
+    l2_tlb_.configure_large(cfg.l2_tlb_large_entries);
+    for (auto& sm : sms_) sm.l1_tlb->configure_large(cfg.l1_tlb_large_entries);
+    driver_.add_large_shootdown_handler([this](LargeId l) {
+      l2_tlb_.invalidate_large(l);
+      for (auto& sm : sms_) sm.l1_tlb->invalidate_large(l);
+    });
+  }
 }
 
 void Gpu::launch() {
@@ -88,7 +100,11 @@ void Gpu::do_access(u32 sm, u32 warp, PageId page) {
   // can observe (PTE access bits).
   const Tlb::Result l2 = l2_tlb_.lookup(l1.ready_at, page);
   if (l2.hit) {
-    sms_[sm].l1_tlb->fill(page);
+    // A large-entry L2 hit propagates the 2 MB translation to the L1.
+    if (l2.large)
+      sms_[sm].l1_tlb->fill_large(large_of_page(page));
+    else
+      sms_[sm].l1_tlb->fill(page);
     driver_.note_touch(page);
     finish_access(sm, warp, page, l2.ready_at);
     return;
@@ -96,8 +112,15 @@ void Gpu::do_access(u32 sm, u32 warp, PageId page) {
   // (3)-(5) page table walk.
   auto done = [this, sm, warp](PageId p, bool resident) {
     if (resident) {
-      l2_tlb_.fill(p);
-      sms_[sm].l1_tlb->fill(p);
+      // A walk that ended on a level-1 large leaf fills 2 MB entries.
+      if (l2_tlb_.large_enabled() &&
+          driver_.page_table().large_mapped(large_of_page(p))) {
+        l2_tlb_.fill_large(large_of_page(p));
+        sms_[sm].l1_tlb->fill_large(large_of_page(p));
+      } else {
+        l2_tlb_.fill(p);
+        sms_[sm].l1_tlb->fill(p);
+      }
       driver_.note_touch(p);
       finish_access(sm, warp, p, eq_.now());
       return;
@@ -170,13 +193,18 @@ Gpu::Stats Gpu::stats() const {
   st.far_faults = far_faults_;
   st.l2_tlb_hits = l2_tlb_.hits();
   st.l2_tlb_misses = l2_tlb_.misses();
+  st.l2_tlb_large_hits = l2_tlb_.large_hits();
   st.l1d_hits = l1d_hits_;
   st.l1d_misses = l1d_misses_;
   st.l2c_hits = l2c_hits_;
   st.l2c_misses = l2c_misses_;
+  st.walks_performed = walker_.walks_performed();
+  st.walk_cycles = walker_.walk_cycles();
+  st.large_walks = walker_.large_walks();
   for (const auto& sm : sms_) {
     st.l1_tlb_hits += sm.l1_tlb->hits();
     st.l1_tlb_misses += sm.l1_tlb->misses();
+    st.l1_tlb_large_hits += sm.l1_tlb->large_hits();
   }
   return st;
 }

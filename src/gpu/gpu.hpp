@@ -57,6 +57,16 @@ class Gpu {
     u64 l1d_misses = 0;
     u64 l2c_hits = 0;
     u64 l2c_misses = 0;
+    /// Hits served by a 2 MB TLB entry (subset of the hit counters above;
+    /// always zero when --large-pages is off).
+    u64 l1_tlb_large_hits = 0;
+    u64 l2_tlb_large_hits = 0;
+    // Page-table-walker totals (tlb/walker.hpp): walks that ended on a
+    // level-1 large leaf stop one radix level early, so walk_cycles is the
+    // metric 2 MB frames are meant to shrink.
+    u64 walks_performed = 0;
+    u64 walk_cycles = 0;
+    u64 large_walks = 0;
   };
   [[nodiscard]] Stats stats() const;
   [[nodiscard]] const PageWalker& walker() const noexcept { return walker_; }

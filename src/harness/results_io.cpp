@@ -192,6 +192,16 @@ void write_json(std::ostream& os, const std::vector<LabelledResult>& results) {
       }
       os << "]";
     }
+    // Large-pages extension (docs/memory.md): keys only appear when the run
+    // had --large-pages on, so default-run JSON stays byte-identical.
+    if (x.large_pages) {
+      os << ",\"large_pages\":true,"
+         << "\"coalesces\":" << x.driver.coalesces << ','
+         << "\"splinters\":" << x.driver.splinters << ','
+         << "\"large_frames_evicted\":" << x.driver.large_frames_evicted << ','
+         << "\"l1_tlb_large_hits\":" << x.gpu.l1_tlb_large_hits << ','
+         << "\"l2_tlb_large_hits\":" << x.gpu.l2_tlb_large_hits;
+    }
     // Simulator-overhead counters (docs/performance.md). Only emitted for
     // real runs (synthetic LabelledResults in tests execute no events), and
     // flat rather than nested so existing consumers' object counts hold.

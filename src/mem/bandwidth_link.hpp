@@ -43,6 +43,22 @@ class BandwidthLink {
     return free_at_;
   }
 
+  /// Reserve the link for `units` units charged at `percent`% of the normal
+  /// per-unit occupancy — one bulk DMA amortises per-transfer setup across a
+  /// whole coalesced 2 MB frame (large-pages mode). Integer fixed-point
+  /// math, so determinism is preserved; units_moved still counts the real
+  /// pages moved.
+  Cycle reserve_bulk(Cycle now, u64 units, u32 percent) {
+    const Cycle start = std::max(now, free_at_);
+    fp_accum_ += units * fp_cycles_per_unit_ / 100 * percent;
+    const Cycle whole = static_cast<Cycle>(fp_accum_ >> kFracBits);
+    fp_accum_ &= (u64{1} << kFracBits) - 1;
+    free_at_ = start + whole;
+    busy_cycles_ += whole;
+    units_moved_ += units;
+    return free_at_;
+  }
+
   /// Earliest cycle a new transfer could begin.
   [[nodiscard]] Cycle free_at() const noexcept { return free_at_; }
   [[nodiscard]] u64 units_moved() const noexcept { return units_moved_; }

@@ -44,15 +44,27 @@ enum class EventType : u8 {
   // only through direct Prefetcher::plan calls on resident pages, so
   // integrated-run traces are unchanged.
   kPatternHitEmpty,        ///< a: chunk, b: pattern popcount
+  // Large-pages mode (emitted only when --large-pages is on, so default
+  // traces stay byte-identical across schema revisions; docs/memory.md).
+  kCoalesce,               ///< a: first chunk, b: base frame, c: region
+  kSplinter,               ///< a: first chunk, b: region, c: reason (SplinterReason)
+  kLargeFrameEvicted,      ///< a: first chunk, b: aggregated untouch, c: pages
 };
 
-inline constexpr u32 kNumEventTypes = 17;
+inline constexpr u32 kNumEventTypes = 20;
 
 /// Reasons carried in kPatternDeleted's `b` field.
 enum class PatternDeleteReason : u8 {
   kScheme1Mismatch = 1,     ///< Scheme-1: any mismatch
   kScheme2FirstMiss = 2,    ///< Scheme-2: mismatch on the entry's first lookup
   kCapacityReplaced = 3,    ///< bounded buffer replaced the FIFO-oldest entry
+};
+
+/// Reasons carried in kSplinter's `c` field.
+enum class SplinterReason : u8 {
+  kEvictionPressure = 1,    ///< part of the frame was chosen for eviction
+  kSurrender = 2,           ///< a member page was surrendered to a peer
+  kSpill = 3,               ///< a member chunk is spilling to a peer
 };
 
 struct TraceEvent {
@@ -95,6 +107,9 @@ enum class TenantKeyKind : u8 { kNone, kPage, kChunk };
       return TenantKeyKind::kPage;
     case EventType::kPageSpilled:
     case EventType::kEvictionChosen:
+    case EventType::kCoalesce:
+    case EventType::kSplinter:
+    case EventType::kLargeFrameEvicted:
     case EventType::kWrongEvictionDetected:
     case EventType::kPatternHit:
     case EventType::kPatternHitEmpty:
@@ -129,6 +144,9 @@ enum class TenantKeyKind : u8 { kNone, kPage, kChunk };
     case EventType::kRemoteAccess: return "remote_access";
     case EventType::kPeerMigration: return "peer_migration";
     case EventType::kPatternHitEmpty: return "pattern_hit_empty";
+    case EventType::kCoalesce: return "coalesce";
+    case EventType::kSplinter: return "splinter";
+    case EventType::kLargeFrameEvicted: return "large_frame_evicted";
   }
   return "?";
 }
@@ -158,6 +176,9 @@ struct EventFieldNames {
     case EventType::kRemoteAccess: return {"page", "owner", "cycles"};
     case EventType::kPeerMigration: return {"page", "src", "hopback"};
     case EventType::kPatternHitEmpty: return {"chunk", "popcount", {}};
+    case EventType::kCoalesce: return {"chunk", "frame", "region"};
+    case EventType::kSplinter: return {"chunk", "region", "reason"};
+    case EventType::kLargeFrameEvicted: return {"chunk", "untouch", "pages"};
   }
   return {{}, {}, {}};
 }

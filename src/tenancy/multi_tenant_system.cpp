@@ -116,12 +116,18 @@ RunResult MultiTenantSystem::run(Cycle max_cycles) {
     r.gpu.l1d_misses += gs.l1d_misses;
     r.gpu.l2c_hits += gs.l2c_hits;
     r.gpu.l2c_misses += gs.l2c_misses;
+    r.gpu.l1_tlb_large_hits += gs.l1_tlb_large_hits;
+    r.gpu.l2_tlb_large_hits += gs.l2_tlb_large_hits;
+    r.gpu.walks_performed += gs.walks_performed;
+    r.gpu.walk_cycles += gs.walk_cycles;
+    r.gpu.large_walks += gs.large_walks;
   }
   r.cycles = r.completed ? last_finish : eq_.now();
   r.h2d_utilisation = driver_->h2d().utilisation(r.cycles);
   r.final_chain_length = 0;
   for (u64 d = 0; d < driver_->chains().domains(); ++d)
     r.final_chain_length += driver_->chains().chain(d).size();
+  r.large_pages = driver_->large_pages_enabled();
   r.trace_events_recorded = recorder_.events_recorded();
   r.clamped_past = eq_.clamped_past();
   r.sim.events_executed = eq_.executed();

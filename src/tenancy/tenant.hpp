@@ -103,10 +103,13 @@ struct TenantInfo {
 
 class TenantTable {
  public:
-  /// Namespace bases are 2 MB (512-page, 32-chunk) aligned: ownership is
-  /// constant within a chunk, and prefetch plans clipped to the namespace
-  /// never split a chunk between tenants.
-  static constexpr u64 kNamespaceAlignPages = 512;
+  /// Namespace bases are large-frame (2 MB = 512-page = 32-chunk) aligned:
+  /// ownership is constant within a chunk, prefetch plans clipped to the
+  /// namespace never split a chunk between tenants, and a coalesced 2 MB
+  /// region (docs/memory.md) can never straddle two tenants.
+  static constexpr u64 kNamespaceAlignPages = kLargePages;
+  static_assert(kNamespaceAlignPages % (kChunkPages * kLargeChunks) == 0,
+                "namespace alignment must cover whole large-frame regions");
 
   /// Register a tenant; namespaces are assigned in registration order.
   TenantId add(std::string name, u64 footprint_pages) {

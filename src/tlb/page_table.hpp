@@ -41,21 +41,34 @@ class PageTable {
 
   /// Size the mapping table for `pages` simultaneously-mapped pages
   /// (normally the device's frame capacity).
-  void reserve(std::size_t pages) { map_.reserve(pages); }
+  void reserve(std::size_t pages) {
+    map_.reserve(pages);
+    large_map_.reserve(pages / kLargePages + 1);
+  }
 
-  [[nodiscard]] bool resident(PageId p) const { return map_.contains(p); }
+  [[nodiscard]] bool resident(PageId p) const {
+    if (map_.contains(p)) return true;
+    return has_large() && large_map_.contains(large_of_page(p));
+  }
 
   [[nodiscard]] FrameId frame_of(PageId p) const {
     const FrameId* f = map_.find(p);
-    return f == nullptr ? kInvalidFrame : *f;
+    if (f != nullptr) return *f;
+    if (has_large()) {
+      const FrameId* base = large_map_.find(large_of_page(p));
+      if (base != nullptr) return *base + page_index_in_large(p);
+    }
+    return kInvalidFrame;
   }
 
   void map(PageId p, FrameId f) {
     assert(!map_.contains(p));
+    assert(!large_map_.contains(large_of_page(p)));
     map_.try_emplace(p, f);
   }
 
-  /// Remove the mapping; returns the frame that backed it.
+  /// Remove the mapping; returns the frame that backed it. Pages covered by
+  /// a large mapping must be demoted (splintered) before unmap.
   FrameId unmap(PageId p) {
     FrameId f = kInvalidFrame;
     [[maybe_unused]] const bool present = map_.take(p, f);
@@ -63,7 +76,58 @@ class PageTable {
     return f;
   }
 
-  [[nodiscard]] std::size_t mapped_pages() const { return map_.size(); }
+  // --- 2 MB large mappings (large-pages mode only; docs/memory.md) ---------
+  // A large mapping replaces the kLargePages individual PTEs of one aligned
+  // region with a single leaf at radix level 1 (a 9-bit node maps exactly
+  // 2 MB), backed by a physically contiguous, kLargePages-aligned frame run.
+
+  [[nodiscard]] bool has_large() const { return large_map_.size() != 0; }
+
+  [[nodiscard]] bool large_mapped(LargeId l) const {
+    return has_large() && large_map_.contains(l);
+  }
+
+  [[nodiscard]] FrameId large_base(LargeId l) const {
+    const FrameId* base = large_map_.find(l);
+    return base == nullptr ? kInvalidFrame : *base;
+  }
+
+  /// Coalesce: all kLargePages pages of `l` must be individually mapped to
+  /// frames `base + index`; the per-page PTEs are folded into one large PTE.
+  void promote(LargeId l, FrameId base) {
+    assert(!large_map_.contains(l));
+    assert(base % kLargePages == 0);
+    const PageId first = first_page_of_large(l);
+    for (u32 i = 0; i < kLargePages; ++i) {
+      FrameId f = kInvalidFrame;
+      [[maybe_unused]] const bool present = map_.take(first + i, f);
+      assert(present && f == base + i);
+    }
+    large_map_.try_emplace(l, base);
+  }
+
+  /// Splinter: expand the large PTE back into kLargePages per-page PTEs.
+  /// Translations are unchanged (the frames stay put).
+  void demote(LargeId l) {
+    FrameId base = kInvalidFrame;
+    [[maybe_unused]] const bool present = large_map_.take(l, base);
+    assert(present);
+    const PageId first = first_page_of_large(l);
+    for (u32 i = 0; i < kLargePages; ++i) map_.try_emplace(first + i, base + i);
+  }
+
+  /// Drop a whole large mapping (large-frame eviction); returns the base.
+  FrameId unmap_large(LargeId l) {
+    FrameId base = kInvalidFrame;
+    [[maybe_unused]] const bool present = large_map_.take(l, base);
+    assert(present);
+    return base;
+  }
+
+  [[nodiscard]] std::size_t mapped_pages() const {
+    return map_.size() + large_map_.size() * kLargePages;
+  }
+  [[nodiscard]] std::size_t large_mappings() const { return large_map_.size(); }
 
   // --- Simulator-perf observability (RunResult.sim / --sim-stats) ----------
   [[nodiscard]] std::size_t table_capacity() const { return map_.capacity(); }
@@ -71,6 +135,7 @@ class PageTable {
 
  private:
   FlatMap<PageId, FrameId> map_;
+  FlatMap<LargeId, FrameId> large_map_;  ///< region -> kLargePages-aligned base
 };
 
 }  // namespace uvmsim

@@ -58,16 +58,26 @@ class PageWalker {
   [[nodiscard]] u64 walks_coalesced() const noexcept { return walks_coalesced_; }
   [[nodiscard]] u64 pwc_hits() const noexcept { return pwc_hits_; }
   [[nodiscard]] u64 pwc_misses() const noexcept { return pwc_misses_; }
+  [[nodiscard]] u64 large_walks() const noexcept { return large_walks_; }
+  [[nodiscard]] u64 walk_cycles() const noexcept { return walk_cycles_; }
   [[nodiscard]] u32 active_walks() const noexcept { return active_; }
   [[nodiscard]] std::size_t peak_queue_depth() const noexcept { return peak_queue_; }
 
  private:
   void start_walk(PageId page) {
     ++walks_performed_;
-    // Accumulate the latency of all four level visits up front; the walk is
-    // a strictly serial pointer chase, so this matches an event per level.
+    // A large mapping's leaf sits at radix level 1 (one 9-bit node maps
+    // exactly kLargePages pages), so the walk stops one level early: 3
+    // probes instead of 4. Never taken while the large map is empty, which
+    // keeps default-mode walks bit-identical.
+    const bool large =
+        pt_.has_large() && pt_.large_mapped(large_of_page(page));
+    if (large) ++large_walks_;
+    const u32 stop_level = large ? 1 : 0;
+    // Accumulate the latency of all level visits up front; the walk is a
+    // strictly serial pointer chase, so this matches an event per level.
     Cycle latency = 0;
-    for (u32 lvl = PageTable::kLevels; lvl-- > 0;) {
+    for (u32 lvl = PageTable::kLevels; lvl-- > stop_level;) {
       const u64 tag = PageTable::node_tag(page, lvl);
       if (pwc_.lookup(tag)) {
         ++pwc_hits_;
@@ -78,6 +88,7 @@ class PageWalker {
         pwc_.insert(tag);
       }
     }
+    walk_cycles_ += latency;
     eq_.schedule_in(latency, [this, page] { finish_walk(page); });
   }
 
@@ -112,6 +123,8 @@ class PageWalker {
   u64 walks_coalesced_ = 0;
   u64 pwc_hits_ = 0;
   u64 pwc_misses_ = 0;
+  u64 large_walks_ = 0;
+  u64 walk_cycles_ = 0;
 };
 
 }  // namespace uvmsim

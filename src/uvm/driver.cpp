@@ -22,6 +22,12 @@ UvmDriver::UvmDriver(EventQueue& eq, const SystemConfig& sys,
   // once so the fault path never rehashes mid-run.
   pt_.reserve(capacity_pages);
   chains_.reserve_chunks(capacity_pages / kChunkPages + 1);
+  if (pol.large_pages) {
+    frames_.enable_large_frames();
+    lfm_ = std::make_unique<LargeFrameManager>(eq_, sys_, pt_, chains_, stats_);
+    evictor_.set_large_manager(lfm_.get(), sys_.bulk_dma_percent);
+    scheduler_.set_large_manager(lfm_.get());
+  }
 }
 
 UvmDriver::~UvmDriver() = default;
@@ -45,6 +51,7 @@ void UvmDriver::set_recorder(FlightRecorder* rec) {
   evictor_.set_recorder(rec_);
   scheduler_.set_recorder(rec_);
   chains_.set_recorder(rec_);
+  if (lfm_) lfm_->set_recorder(rec_);
   if (prefetcher_) prefetcher_->set_recorder(rec_);
 }
 
@@ -81,6 +88,11 @@ void UvmDriver::note_touch(PageId p) {
   if (!e->touched.test(idx)) {
     e->touched.set(idx);
     ++e->hpe_counter;
+    // Lazy coalescing trigger (large-pages mode): this chunk just became
+    // fully demand-touched — its 2 MB region may now qualify. The scan runs
+    // deferred, off this access's critical path.
+    if (lfm_ != nullptr && e->touched.full())
+      lfm_->schedule_scan(large_of_chunk(c));
   }
   e->last_touch_interval = chain.current_interval();
   EvictionPolicy* policy = chains_.policy(domain);
@@ -329,6 +341,10 @@ void UvmDriver::service_peer(PageId p, u32 src) {
 }
 
 void UvmDriver::surrender_page(PageId p) {
+  // A coalesced region cannot lose a single page: splinter first (the 2 MB
+  // translation disappears; per-page frames stay put until unmapped below).
+  if (lfm_ != nullptr && lfm_->coalesced(large_of_page(p)))
+    lfm_->splinter(large_of_page(p), SplinterReason::kSurrender);
   const ChunkId c = chunk_of_page(p);
   ChunkChain& chain = chains_.chain_of_chunk(c);
   ChunkEntry& e = chain.entry(c);
@@ -362,7 +378,7 @@ void UvmDriver::adopt_spilled_chunk(ChunkId c, const TouchBits& resident) {
   for (u32 i = 0; i < kChunkPages; ++i) {
     if (!resident.test(i) || e->resident.test(i)) continue;
     frames_.reserve(1, t);
-    pt_.map(base + i, frames_.allocate());
+    pt_.map(base + i, frames_.allocate_for(base + i));
     e->resident.set(i);
   }
   // Touched bits start empty: the spilled copy is a second chance, and only

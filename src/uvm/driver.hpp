@@ -53,6 +53,7 @@
 #include "uvm/fabric_port.hpp"
 #include "uvm/fault_batcher.hpp"
 #include "uvm/frame_pool.hpp"
+#include "uvm/large_frames.hpp"
 #include "uvm/migration_scheduler.hpp"
 
 namespace uvmsim {
@@ -84,6 +85,20 @@ class UvmDriver final : public ResidencyView {
   void set_shootdown_handler(ShootdownHandler h) {
     evictor_.set_shootdown_handler(std::move(h));
   }
+
+  // --- Large-pages mode (docs/memory.md) -------------------------------------
+  /// Is transparent 2 MB frame management on (--large-pages)? Decided once
+  /// at construction from PolicyConfig::large_pages.
+  [[nodiscard]] bool large_pages_enabled() const noexcept {
+    return lfm_ != nullptr;
+  }
+  /// Register a 2 MB-entry TLB shootdown observer (one per GPU); fired on
+  /// splinter and whole-frame eviction. No-op when large pages are off.
+  void add_large_shootdown_handler(LargeShootdownHandler h) {
+    if (lfm_ != nullptr) lfm_->add_shootdown_handler(std::move(h));
+  }
+  /// The coalescing/splintering subsystem; nullptr when large pages are off.
+  [[nodiscard]] LargeFrameManager* large_frames() noexcept { return lfm_.get(); }
   /// Attach the flight recorder (nullptr = tracing off); forwarded to every
   /// layer and to the installed policy and prefetcher, in whichever order
   /// they arrive.
@@ -204,6 +219,9 @@ class UvmDriver final : public ResidencyView {
   FaultBatcher batcher_;
   EvictionEngine evictor_;
   MigrationScheduler scheduler_;
+  /// Coalescing/splintering subsystem — created only when
+  /// PolicyConfig::large_pages is set; default runs never construct it.
+  std::unique_ptr<LargeFrameManager> lfm_;
 };
 
 }  // namespace uvmsim

@@ -27,6 +27,12 @@ inline constexpr u32 kHostDevice = ~u32{0};
 /// with the physical frame it occupied (caches are physically indexed).
 using ShootdownHandler = std::function<void(PageId, FrameId)>;
 
+/// 2 MB-entry TLB shootdown hook (large-pages mode): invoked when a region's
+/// large mapping disappears — splinter or whole-frame eviction — so the
+/// large TLB sub-arrays drop the now-stale entry. Per-page translations are
+/// unaffected by a pure splinter (the frames stay put).
+using LargeShootdownHandler = std::function<void(LargeId)>;
+
 /// A raised-but-unserviced (or in-flight) far fault: the warps waiting on
 /// the page, plus when the first fault for it was raised (post-coalescing),
 /// which feeds the fault-service-latency statistic.
@@ -79,6 +85,11 @@ struct DriverStats {
   u64 chunks_spilled = 0;     ///< evictions that spilled to a peer, not host
   u64 pages_spilled = 0;
   u64 pages_surrendered = 0;  ///< resident pages handed to a fetching peer
+
+  // --- Large-pages mode (all zero when --large-pages is off) ----------------
+  u64 coalesces = 0;            ///< regions promoted to a 2 MB frame
+  u64 splinters = 0;            ///< 2 MB frames demoted back to chunks
+  u64 large_frames_evicted = 0; ///< whole-frame evictions (one DMA each)
 };
 
 }  // namespace uvmsim

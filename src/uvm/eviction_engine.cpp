@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "uvm/large_frames.hpp"
+
 namespace uvmsim {
 
 EvictionEngine::RoomResult EvictionEngine::make_room(u64 target_free_pages,
@@ -20,6 +22,10 @@ EvictionEngine::RoomResult EvictionEngine::make_room(u64 target_free_pages,
     }
     for (const ChunkId v : victims) {
       if (frames_.admissible_frames(initiator) >= target_free_pages) break;
+      // A whole-frame eviction earlier in this round may have taken `v`
+      // out with its 31 siblings; a selected-then-gone victim is skipped,
+      // not re-evicted. Never true when large-pages mode is off.
+      if (chains_.chain_of_chunk(v).find(v) == nullptr) continue;
       evict_chunk(v, initiator);
       ++r.evicted;
     }
@@ -107,6 +113,26 @@ std::vector<TenantId> EvictionEngine::source_order(TenantId initiator) const {
 }
 
 void EvictionEngine::evict_chunk(ChunkId victim, TenantId initiator) {
+  // Large-pages mode: a victim inside a coalesced 2 MB frame drags the
+  // whole frame into the decision. If every sibling is as evictable as the
+  // victim, the frame leaves as ONE eviction operation (one bulk DMA);
+  // otherwise the frame splinters — hot siblings stay, and the cold victim
+  // falls through to the ordinary per-chunk path (which may then spill).
+  if (lfm_ != nullptr) {
+    const LargeId region = large_of_chunk(victim);
+    if (lfm_->coalesced(region)) {
+      if (whole_frame_evictable(region)) {
+        evict_large_frame(region, initiator);
+        return;
+      }
+      const bool spillable =
+          fabric_ != nullptr && spill_ &&
+          !chains_.chain_of_chunk(victim).entry(victim).spilled;
+      lfm_->splinter(region, spillable ? SplinterReason::kSpill
+                                       : SplinterReason::kEvictionPressure);
+    }
+  }
+
   ChunkChain& chain = chains_.chain_of_chunk(victim);
   ChunkEntry& e = chain.entry(victim);
   assert(!e.pinned());
@@ -163,6 +189,75 @@ void EvictionEngine::evict_chunk(ChunkId victim, TenantId initiator) {
     } else if (initiator != kNoTenant) {
       ++os.evicted_by_others;
       ++tenants_->stats(initiator).evictions_of_others;
+    }
+  }
+}
+
+bool EvictionEngine::whole_frame_evictable(LargeId l) const {
+  // Spill-to-peer stays a per-chunk decision: a spillable frame splinters
+  // so each chunk can take its own spill/write-back route.
+  if (fabric_ != nullptr && spill_) return false;
+  const ChunkId c0 = first_chunk_of_large(l);
+  const ChunkChain& chain = chains_.chain_of_chunk(c0);
+  for (u32 k = 0; k < kLargeChunks; ++k) {
+    const ChunkEntry& e = chain.entry(c0 + k);
+    if (e.pinned()) return false;
+    // Cold = no demand touch in the current or previous interval; one warm
+    // sibling keeps the frame intact and forces splinter-then-evict.
+    if (e.last_touch_interval + 1 >= chain.current_interval()) return false;
+  }
+  return true;
+}
+
+void EvictionEngine::evict_large_frame(LargeId l, TenantId initiator) {
+  const ChunkId c0 = first_chunk_of_large(l);
+  ChunkChain& chain = chains_.chain_of_chunk(c0);
+  // Alignment makes the whole region one tenant's (namespaces are 2 MB
+  // aligned), so one owner covers all 32 chunks.
+  const TenantId owner =
+      tenants_ != nullptr ? tenants_->tenant_of_chunk(c0) : kNoTenant;
+
+  u64 untouch = 0;
+  for (u32 k = 0; k < kLargeChunks; ++k) {
+    ChunkEntry& e = chain.entry(c0 + k);
+    assert(!e.pinned() && e.resident.full());
+    untouch += e.untouch_level();
+    EvictionPolicy* policy = chains_.policy(chains_.domain_of_chunk(c0 + k));
+    policy->on_chunk_evicted(e);
+    // CPPE coordination is per chunk: each chunk's demand-touch pattern
+    // feeds the pattern buffer exactly as a small eviction would.
+    if (!e.spilled) prefetcher_->on_chunk_evicted(c0 + k, e.touched);
+  }
+
+  const FrameId base = pt_.unmap_large(l);
+  const PageId p0 = first_page_of_large(l);
+  for (u32 i = 0; i < kLargePages; ++i) {
+    const PageId page = p0 + i;
+    frames_.release(base + i, owner);
+    shootdown(page, base + i);
+    if (fabric_ != nullptr) fabric_->note_page_unmapped(device_, page);
+  }
+  lfm_->shootdown_large(l);
+
+  // ONE eviction operation: one service op on the critical path and one
+  // bulk DMA whose per-page occupancy is discounted (setup amortised over
+  // the contiguous 2 MB write-back).
+  record_event(rec_, EventType::kLargeFrameEvicted, c0, untouch, kLargePages);
+  d2h_.reserve_bulk(eq_.now(), kLargePages, bulk_dma_percent_);
+  for (u32 k = 0; k < kLargeChunks; ++k) chain.erase(c0 + k);
+  ++stats_.large_frames_evicted;
+  stats_.chunks_evicted += kLargeChunks;
+  stats_.pages_evicted += kLargePages;
+
+  if (tenants_ != nullptr && owner != kNoTenant) {
+    TenantStats& os = tenants_->stats(owner);
+    os.chunks_evicted += kLargeChunks;
+    os.pages_evicted += kLargePages;
+    if (initiator == owner) {
+      os.evicted_by_self += kLargeChunks;
+    } else if (initiator != kNoTenant) {
+      os.evicted_by_others += kLargeChunks;
+      tenants_->stats(initiator).evictions_of_others += kLargeChunks;
     }
   }
 }

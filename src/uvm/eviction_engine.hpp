@@ -37,6 +37,8 @@
 
 namespace uvmsim {
 
+class LargeFrameManager;
+
 class EvictionEngine {
  public:
   EvictionEngine(EventQueue& eq, ChainSet& chains, PageTable& pt,
@@ -74,6 +76,15 @@ class EvictionEngine {
     device_ = device;
     spill_ = spill;
   }
+  /// Large-pages wiring (docs/memory.md): victims inside a coalesced 2 MB
+  /// frame either take the whole frame out as one bulk DMA (every sibling
+  /// chunk cold and unpinned) or splinter it first and evict just the cold
+  /// part. `bulk_dma_percent` is the per-page D2H occupancy of the bulk
+  /// transfer relative to scattered page copies (SystemConfig).
+  void set_large_manager(LargeFrameManager* lfm, u32 bulk_dma_percent) noexcept {
+    lfm_ = lfm;
+    bulk_dma_percent_ = bulk_dma_percent;
+  }
 
   /// Record and fan out one page's TLB/cache shootdown (also used by the
   /// driver when a page is surrendered to a fetching peer).
@@ -103,6 +114,13 @@ class EvictionEngine {
 
  private:
   void evict_chunk(ChunkId victim, TenantId initiator);
+  /// Every chunk of coalesced region `l` cold (no touch in the current or
+  /// previous interval) and unpinned — and spill cannot claim it?
+  [[nodiscard]] bool whole_frame_evictable(LargeId l) const;
+  /// Evict all kLargeChunks chunks of coalesced region `l` as ONE eviction
+  /// operation: one bulk D2H DMA, one large-entry shootdown, per-chunk
+  /// policy/pattern notifications.
+  void evict_large_frame(LargeId l, TenantId initiator);
   /// One selection round for the current mode; empty when starved.
   [[nodiscard]] std::vector<ChunkId> select_round(u64 max_victims,
                                                   TenantId initiator);
@@ -124,6 +142,8 @@ class EvictionEngine {
   FabricPort* fabric_ = nullptr;
   u32 device_ = kHostDevice;
   bool spill_ = false;
+  LargeFrameManager* lfm_ = nullptr;  ///< null when --large-pages is off
+  u32 bulk_dma_percent_ = 100;
 };
 
 }  // namespace uvmsim

@@ -27,6 +27,7 @@
 #include <cassert>
 #include <vector>
 
+#include "common/flat_map.hpp"
 #include "common/types.hpp"
 #include "tenancy/tenant.hpp"
 #include "tlb/page_table.hpp"  // FrameId
@@ -98,13 +99,16 @@ class FramePool {
   /// Bind one frame for a landing page (accounting already done by
   /// reserve()): recycled frames LIFO first, then fresh frames in order.
   [[nodiscard]] FrameId allocate() {
-    if (!recycled_.empty()) {
-      const FrameId f = recycled_.back();
-      recycled_.pop_back();
-      return f;
+    if (!large_mode_) {
+      if (!recycled_.empty()) {
+        const FrameId f = recycled_.back();
+        recycled_.pop_back();
+        return f;
+      }
+      assert(next_frame_ < capacity_);
+      return next_frame_++;
     }
-    assert(next_frame_ < capacity_);
-    return next_frame_++;
+    return take(any_free_frame());
   }
 
   /// Return an evicted page's frame to the pool. `owner` is the tenant the
@@ -113,10 +117,117 @@ class FramePool {
     recycled_.push_back(f);
     ++free_frames_;
     evictions_seen_ = true;
+    if (large_mode_) {
+      assert(!free_bit_[f]);
+      free_bit_[f] = 1;
+      const u64 s = f >> kLargePageShift;
+      if (s < slot_free_.size()) ++slot_free_[s];
+    }
     if (tenants_ != nullptr) tenants_->note_released(owner, 1);
   }
 
+  // --- Large-frame (2 MB) slot allocation — Mosaic's CoCoA ------------------
+  // In large mode the capacity is carved into kLargePages-aligned *slots*.
+  // Each virtual 2 MB region binds to one slot on its first allocation, and
+  // later pages of the region prefer the frame at slot_base + offset — so a
+  // fully-resident region naturally ends up physically contiguous and
+  // coalescing is a pure metadata flip (no data movement). The binding is a
+  // preference, never a reservation: when the preferred frame is taken, the
+  // page falls back to any free frame, exactly preserving the pool's
+  // accounting guarantees. Never enabled in default runs.
+
+  /// Switch allocation to slot-binding mode. Must be called before any
+  /// frame has been handed out.
+  void enable_large_frames() {
+    assert(next_frame_ == 0 && recycled_.empty());
+    large_mode_ = true;
+    free_bit_.assign(capacity_, 1);
+    region_slot_.reserve(capacity_ / kLargePages + 1);
+    slot_free_.assign(capacity_ / kLargePages, kLargePages);
+    slot_region_.assign(capacity_ / kLargePages, kInvalidLarge);
+  }
+  [[nodiscard]] bool large_mode() const noexcept { return large_mode_; }
+  [[nodiscard]] u64 large_slots() const noexcept {
+    return large_mode_ ? capacity_ / kLargePages : 0;
+  }
+
+  /// Bind one frame for `page` landing: preferred-slot frame if free,
+  /// otherwise any free frame. Equivalent to allocate() when large mode is
+  /// off.
+  [[nodiscard]] FrameId allocate_for(PageId page) {
+    if (!large_mode_) return allocate();
+    const LargeId region = large_of_page(page);
+    const u32 offset = page_index_in_large(page);
+    if (const u64* slot = region_slot_.find(region); slot != nullptr) {
+      const FrameId want = *slot * kLargePages + offset;
+      if (free_bit_[want]) return take(want);
+      return take(any_free_frame());
+    }
+    // First allocation of the region: bind the lowest *unbound* slot whose
+    // frame at this offset is free — one slot serves one region, or slot
+    // interiors would interleave and nothing could ever coalesce. Under
+    // churn, a bound slot whose region was entirely evicted (every frame
+    // free again) is reclaimed for the newcomer.
+    u64 chosen = large_slots();
+    for (u64 s = 0; s < large_slots(); ++s) {
+      if (slot_region_[s] == kInvalidLarge &&
+          free_bit_[s * kLargePages + offset]) {
+        chosen = s;
+        break;
+      }
+    }
+    if (chosen == large_slots()) {
+      for (u64 s = 0; s < large_slots(); ++s) {
+        if (slot_region_[s] != kInvalidLarge && slot_free_[s] == kLargePages) {
+          region_slot_.erase(slot_region_[s]);
+          chosen = s;
+          break;
+        }
+      }
+    }
+    if (chosen < large_slots()) {
+      region_slot_.try_emplace(region, chosen);
+      slot_region_[chosen] = region;
+      return take(chosen * kLargePages + offset);
+    }
+    // More live regions than slots (oversubscription): unbound regions take
+    // whatever is free and simply stay small.
+    return take(any_free_frame());
+  }
+
+  /// Is frame `f` currently free? (large mode only; used by tests.)
+  [[nodiscard]] bool frame_free(FrameId f) const {
+    assert(large_mode_ && f < capacity_);
+    return free_bit_[f] != 0;
+  }
+
  private:
+  [[nodiscard]] FrameId take(FrameId f) {
+    assert(free_bit_[f]);
+    free_bit_[f] = 0;
+    const u64 s = f >> kLargePageShift;
+    if (s < slot_free_.size()) --slot_free_[s];
+    return f;
+  }
+
+  /// Any free frame: stale-tolerant recycled hints LIFO (validity checked
+  /// against the bitmap — preferred-slot allocation can consume a hinted
+  /// frame first), then fresh frames in ascending order, skipping frames
+  /// the preferred path already took.
+  [[nodiscard]] FrameId any_free_frame() {
+    while (!recycled_.empty()) {
+      const FrameId f = recycled_.back();
+      recycled_.pop_back();
+      if (free_bit_[f]) return f;
+    }
+    while (next_frame_ < capacity_) {
+      const FrameId f = next_frame_++;
+      if (free_bit_[f]) return f;
+    }
+    assert(false && "allocate without a reserve — no free frame");
+    return kInvalidFrame;
+  }
+
   u64 capacity_;
   u64 watermark_pages_;
   u64 free_frames_;
@@ -125,6 +236,12 @@ class FramePool {
   bool evictions_seen_ = false;
   TenantTable* tenants_ = nullptr;
   TenantMode mode_ = TenantMode::kShared;
+
+  bool large_mode_ = false;
+  std::vector<u8> free_bit_;          ///< per-frame free bit (large mode only)
+  FlatMap<LargeId, u64> region_slot_; ///< virtual region -> preferred slot
+  std::vector<u64> slot_free_;        ///< free frames per aligned slot
+  std::vector<LargeId> slot_region_;  ///< slot -> bound region (or invalid)
 };
 
 }  // namespace uvmsim

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "uvm/large_frames.hpp"
+
 namespace uvmsim {
 
 MigrationScheduler::MigrationScheduler(EventQueue& eq, const SystemConfig& sys,
@@ -59,8 +61,9 @@ void MigrationScheduler::complete(MigrationBatch m) {
                                                    : nullptr;
   const bool peer = m.src_device != kHostDevice;
   for (const PageId page : m.pages) {
-    // Bind a physical frame (accounting was done at service time).
-    pt_.map(page, frames_.allocate());
+    // Bind a physical frame (accounting was done at service time); the
+    // slot-binding allocator is a plain allocate() outside large mode.
+    pt_.map(page, frames_.allocate_for(page));
     if (fabric_ != nullptr) {
       fabric_->note_page_mapped(device_, page);
       // Peer fetch: the source now surrenders its (pinned) copy.
@@ -91,6 +94,10 @@ void MigrationScheduler::complete(MigrationBatch m) {
         if (ts != nullptr) ts->fault_wait_cycles += eq_.now() - pf.raised_at;
       }
       policy->on_page_touched(*e, idx);
+      // Lazy coalescing trigger: a chunk whose every page has now been
+      // demanded may complete its 2 MB region — scan off the critical path.
+      if (lfm_ != nullptr && e->touched.full())
+        lfm_->schedule_scan(large_of_chunk(c));
       for (auto& wake : pf.waiters) wake();
     } else {
       ++stats_.pages_prefetched;

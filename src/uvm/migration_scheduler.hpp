@@ -31,6 +31,8 @@
 
 namespace uvmsim {
 
+class LargeFrameManager;
+
 class MigrationScheduler {
  public:
   MigrationScheduler(EventQueue& eq, const SystemConfig& sys,
@@ -48,6 +50,9 @@ class MigrationScheduler {
     fabric_ = fabric;
     device_ = device;
   }
+  /// Large-pages wiring: completions bind frames through the slot-binding
+  /// allocator and queue a coalesce scan when a chunk goes fully-touched.
+  void set_large_manager(LargeFrameManager* lfm) noexcept { lfm_ = lfm; }
   /// Runs after each completed batch (driver facade: pre-evict, release the
   /// slot, admit the next batch) with the batch's tenant; `peer` marks peer
   /// fetches, which never held a driver slot.
@@ -104,6 +109,7 @@ class MigrationScheduler {
   TenantTable* tenants_ = nullptr;
   FabricPort* fabric_ = nullptr;
   u32 device_ = kHostDevice;
+  LargeFrameManager* lfm_ = nullptr;  ///< null when --large-pages is off
   std::function<void(TenantId, bool)> hook_;
 };
 

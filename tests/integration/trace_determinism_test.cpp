@@ -110,6 +110,15 @@ TEST(TraceDeterminism, OversubscribedRunCoversAllEventTypes) {
           << "vacuous pattern hit emitted by an integrated run";
       continue;
     }
+    // Large-pages events only fire when PolicyConfig::large_pages is set; a
+    // default run emitting one would break the byte-identity guarantee.
+    // Presence is covered by the large-pages run below.
+    if (t == EventType::kCoalesce || t == EventType::kSplinter ||
+        t == EventType::kLargeFrameEvicted) {
+      EXPECT_FALSE(seen.contains(t))
+          << "large-pages event emitted by a default run: " << to_string(t);
+      continue;
+    }
     EXPECT_TRUE(seen.contains(t))
         << "event type never emitted: " << to_string(t);
   }
@@ -125,6 +134,23 @@ TEST(TraceDeterminism, OversubscribedRunCoversAllEventTypes) {
   for (const TraceEvent& e : rb.events) seen_batched.insert(e.type);
   EXPECT_TRUE(seen_batched.contains(EventType::kFaultBatchFormed));
   EXPECT_TRUE(seen_batched.contains(EventType::kBatchServiced));
+
+  // With --large-pages on, the dense streaming run coalesces fully-touched
+  // 2 MB regions, splinters partially-cold frames under eviction pressure,
+  // and whole-frame-evicts entirely-cold ones — all three gated event types
+  // must fire, and the run must stay deterministic. SRD at 90% residency:
+  // the ¼-scaled footprints make 512-page regions a large fraction of
+  // device memory, so only the big dense workloads coalesce at all.
+  PolicyConfig lp = presets::cppe();
+  lp.large_pages = true;
+  const TracedRun rl = traced_run("SRD", 0.9, lp);
+  std::set<EventType> seen_large;
+  for (const TraceEvent& e : rl.events) seen_large.insert(e.type);
+  EXPECT_TRUE(seen_large.contains(EventType::kCoalesce));
+  EXPECT_TRUE(seen_large.contains(EventType::kSplinter));
+  EXPECT_TRUE(seen_large.contains(EventType::kLargeFrameEvicted));
+  const TracedRun rl2 = traced_run("SRD", 0.9, lp);
+  EXPECT_EQ(rl.jsonl, rl2.jsonl);
 }
 
 // Interval metrics are a pure fold of the event stream, so they inherit its

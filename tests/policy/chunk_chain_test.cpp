@@ -58,15 +58,17 @@ TEST(ChunkChain, IntervalAdvancesPerMigratedPages) {
 // Fig 2: the chain is partitioned into old / middle / new by interval stamp.
 TEST(ChunkChain, PartitionsFollowFig2) {
   ChunkChain chain(64);
-  ChunkEntry& a = chain.insert(1);  // arrives in interval 0
-  chain.note_pages_migrated(64);    // -> interval 1
-  ChunkEntry& b = chain.insert(2);  // arrives in interval 1
-  chain.note_pages_migrated(64);    // -> interval 2
-  ChunkEntry& c = chain.insert(3);  // arrives in interval 2 (current)
+  chain.insert(1);                // arrives in interval 0
+  chain.note_pages_migrated(64);  // -> interval 1
+  chain.insert(2);                // arrives in interval 1
+  chain.note_pages_migrated(64);  // -> interval 2
+  chain.insert(3);                // arrives in interval 2 (current)
 
-  EXPECT_EQ(chain.partition_of(a, false), Partition::kOld);
-  EXPECT_EQ(chain.partition_of(b, false), Partition::kMiddle);
-  EXPECT_EQ(chain.partition_of(c, false), Partition::kNew);
+  // Re-fetch after the last insert: insert() can grow the slab and
+  // invalidate earlier ChunkEntry references.
+  EXPECT_EQ(chain.partition_of(chain.entry(1), false), Partition::kOld);
+  EXPECT_EQ(chain.partition_of(chain.entry(2), false), Partition::kMiddle);
+  EXPECT_EQ(chain.partition_of(chain.entry(3), false), Partition::kNew);
 }
 
 TEST(ChunkChain, TouchPartitionUsesTouchStamp) {

@@ -61,5 +61,70 @@ TEST(Tlb, HitRate) {
   EXPECT_DOUBLE_EQ(tlb.hit_rate(), 0.5);
 }
 
+// --- 2 MB-entry sub-array (large-pages mode; docs/memory.md) ---------------
+
+TEST(Tlb, LargeSubArrayOffByDefault) {
+  Tlb tlb("t", 8, 0, 1);
+  EXPECT_FALSE(tlb.large_enabled());
+  tlb.fill_large(0);                      // silently ignored when off
+  EXPECT_FALSE(tlb.invalidate_large(0));
+  EXPECT_FALSE(tlb.lookup(0, 3).hit);
+  EXPECT_EQ(tlb.large_hits(), 0u);
+}
+
+TEST(Tlb, OneLargeEntryCoversWholeRegion) {
+  Tlb tlb("t", 8, 0, 1);
+  tlb.configure_large(4);
+  tlb.fill_large(large_of_page(0));
+  // Every page of region 0 hits on the single large entry...
+  const auto a = tlb.lookup(0, 0);
+  const auto b = tlb.lookup(10, kLargePages - 1);
+  EXPECT_TRUE(a.hit && a.large);
+  EXPECT_TRUE(b.hit && b.large);
+  // ...and the first page of region 1 does not.
+  EXPECT_FALSE(tlb.lookup(20, kLargePages).hit);
+  EXPECT_EQ(tlb.large_hits(), 2u);
+  EXPECT_EQ(tlb.hits(), 2u);  // large hits count as hits in the totals
+  EXPECT_EQ(tlb.misses(), 1u);
+}
+
+TEST(Tlb, LargeHitShortCircuitsPerPageArray) {
+  Tlb tlb("t", 2, 0, 1);  // tiny per-page array
+  tlb.configure_large(4);
+  tlb.fill_large(0);
+  // Probe many distinct pages of region 0: all large hits, and none of them
+  // installs or disturbs per-page entries (the small array stays warm).
+  tlb.fill(5 * kLargePages);
+  tlb.fill(5 * kLargePages + 1);
+  for (PageId p = 0; p < 64; ++p) EXPECT_TRUE(tlb.lookup(p, p).large);
+  EXPECT_TRUE(tlb.lookup(100, 5 * kLargePages).hit);
+  EXPECT_TRUE(tlb.lookup(100, 5 * kLargePages + 1).hit);
+}
+
+TEST(Tlb, InvalidateLargeDropsRegionButNotSmallEntries) {
+  Tlb tlb("t", 8, 0, 1);
+  tlb.configure_large(4);
+  tlb.fill_large(0);
+  tlb.fill(3);  // a stale-but-correct small entry for the same region
+  EXPECT_TRUE(tlb.invalidate_large(0));
+  EXPECT_FALSE(tlb.invalidate_large(0));
+  // The 2 MB translation is gone; the per-page one survives the shootdown
+  // (a pure splinter leaves frames in place, so small entries stay valid).
+  const auto r = tlb.lookup(0, 3);
+  EXPECT_TRUE(r.hit);
+  EXPECT_FALSE(r.large);
+  EXPECT_FALSE(tlb.lookup(10, 4).hit);
+}
+
+TEST(Tlb, LargeSubArrayHasItsOwnCapacity) {
+  Tlb tlb("t", 8, 0, 1);
+  tlb.configure_large(2);  // 2 large entries only
+  for (LargeId l = 0; l < 3; ++l) tlb.fill_large(l);
+  u32 hits = 0;
+  for (LargeId l = 0; l < 3; ++l)
+    if (tlb.lookup(100, first_page_of_large(l)).hit) ++hits;
+  EXPECT_EQ(hits, 2u);  // one region fell out of the sub-array
+}
+
 }  // namespace
 }  // namespace uvmsim

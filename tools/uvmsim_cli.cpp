@@ -123,6 +123,16 @@ void print_text(const RunResult& r) {
     }
     t.add_row({"adaptive phase changes", phases.empty() ? "none" : phases});
   }
+  if (r.large_pages) {
+    t.add_row({"2MB coalesces / splinters",
+               std::to_string(r.driver.coalesces) + " / " +
+                   std::to_string(r.driver.splinters)});
+    t.add_row({"2MB frames evicted whole",
+               std::to_string(r.driver.large_frames_evicted)});
+    t.add_row({"large TLB hits (L1/L2)",
+               std::to_string(r.gpu.l1_tlb_large_hits) + "/" +
+                   std::to_string(r.gpu.l2_tlb_large_hits)});
+  }
   if (r.trace_events_recorded > 0)
     t.add_row({"trace events recorded", std::to_string(r.trace_events_recorded)});
   if (r.clamped_past > 0)
@@ -297,6 +307,9 @@ int main(int argc, char** argv) {
   cli.add_option("interval-metrics",
                  "write per-interval metrics here (.jsonl extension = JSONL, else CSV)");
   cli.add_flag("no-prefetch-when-full", "disable prefetching once memory fills");
+  cli.add_flag("large-pages",
+               "transparent 2 MB frames: coalesce fully-touched aligned "
+               "regions, splinter under eviction pressure (docs/memory.md)");
   cli.add_flag("sim-stats",
                "append simulator-overhead counters (event heap, slab, hash "
                "sizing) to the report");
@@ -347,6 +360,7 @@ int main(int argc, char** argv) {
   pol.pattern_buffer_entries = static_cast<u32>(cli.get_int("pattern-capacity"));
   pol.seed = static_cast<u64>(cli.get_int("seed"));
   pol.prefetch_when_full = !cli.get_flag("no-prefetch-when-full");
+  pol.large_pages = cli.get_flag("large-pages");
   const long long fault_batch = cli.get_int("fault-batch");
   if (fault_batch < 1) {
     std::cerr << "--fault-batch must be >= 1\n";
