@@ -1,0 +1,140 @@
+// Fleet serving under open-loop load: arrival-rate sweep across admission
+// and placement policies (docs/fleet.md).
+//
+// Not a paper figure — the paper models one GPU running one workload. This
+// bench drives the paper's oversubscription stack as a serving fleet:
+// thousands of short-lived jobs drawn from the Table II pattern mix arrive
+// open-loop, pass admission control, are placed on one of several devices
+// and complete, with per-job slowdown measured against a solo-calibrated
+// baseline.
+//
+// Reported per (arrival rate, policy) cell:
+//   * goodput (completed jobs per million cycles) vs the offered rate,
+//   * rejection rate and its reason split,
+//   * queue wait (mean / p95) and peak depth,
+//   * slowdown percentiles p50/p95/p99 — the SLA headline,
+//   * windowed Jain fairness (min / mean over 100-completion windows).
+//
+// Expected shape: below saturation every policy tracks the offered rate and
+// admission barely matters. As offered load crosses the fleet's service
+// capacity, always/first-fit packs devices until resident jobs thrash —
+// tail slowdown grows sharply — while headroom admission with least-loaded
+// placement trades a little goodput (or queue wait) for a much flatter p95.
+// `--smoke` runs the high-load corner only and asserts that trade
+// (scripts/check.sh and the Release CI job gate on it).
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "harness/results_io.hpp"
+
+using namespace uvmsim;
+using namespace uvmsim::bench;
+
+namespace {
+
+struct PolicyCell {
+  std::string label;
+  AdmissionKind admission;
+  FleetSchedKind scheduler;
+};
+
+const std::vector<PolicyCell> kPolicies = {
+    {"always/first-fit", AdmissionKind::kAlways, FleetSchedKind::kFirstFit},
+    {"always/affinity", AdmissionKind::kAlways,
+     FleetSchedKind::kPatternAffinity},
+    {"headroom/least-loaded", AdmissionKind::kHeadroom,
+     FleetSchedKind::kLeastLoaded},
+    {"quota/least-loaded", AdmissionKind::kQuota,
+     FleetSchedKind::kLeastLoaded},
+};
+
+ExperimentSpec fleet_spec(const PolicyCell& p, double rate, u64 jobs) {
+  ExperimentSpec s;
+  s.label = p.label;
+  s.policy = presets::cppe();
+  s.fleet.enabled = true;
+  s.fleet.devices = 2;
+  s.fleet.jobs = jobs;
+  s.fleet.arrival_rate = rate;
+  s.fleet.admission = p.admission;
+  s.fleet.scheduler = p.scheduler;
+  // Capacity at 30% of the arena: a loaded device genuinely
+  // oversubscribes, so admission and placement have pressure to manage.
+  s.fleet.oversub = 0.3;
+  return s;
+}
+
+void print_rows(const std::vector<LabelledResult>& results) {
+  TextTable t({"rate", "policy", "done", "rej%", "goodput", "wait p95",
+               "slow p50", "slow p95", "slow p99", "fair min"});
+  for (const LabelledResult& r : results) {
+    const FleetRunResult& fl = r.result.fleet;
+    t.add_row({fmt(fl.arrival_rate, 0), r.spec.label,
+               std::to_string(fl.jobs_completed),
+               fmt(fl.rejection_rate * 100, 1),
+               fmt(fl.goodput, 2), fmt(fl.p95_queue_wait, 0),
+               fmt(fl.slowdown_p50, 2), fmt(fl.slowdown_p95, 2),
+               fmt(fl.slowdown_p99, 2), fmt(fl.fairness_min, 3)});
+  }
+  std::cout << t.str() << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = parse_smoke(
+      argc, argv,
+      "fleet_serving — open-loop arrival-rate sweep across admission and "
+      "placement policies",
+      "high-load corner only; gate: headroom/least-loaded beats "
+      "always/first-fit on p95 slowdown");
+
+  print_header("Fleet serving: admission and placement under open-loop load",
+               "serving extension (docs/fleet.md) — not a paper figure");
+
+  if (smoke) {
+    // CI gate: at an offered rate well past saturation, memory-aware
+    // admission + load-spreading placement must flatten the slowdown tail
+    // relative to the pack-everything baseline.
+    const std::vector<ExperimentSpec> specs = {
+        fleet_spec(kPolicies[0], 60.0, 300),   // always/first-fit
+        fleet_spec(kPolicies[2], 60.0, 300)};  // headroom/least-loaded
+    const auto results = run_sweep(specs);
+    print_rows(results);
+    const FleetRunResult& base = results[0].result.fleet;
+    const FleetRunResult& smart = results[1].result.fleet;
+    if (!results[0].result.completed || !results[1].result.completed) {
+      std::cout << "SMOKE FAIL: run did not complete\n";
+      return 1;
+    }
+    if (smart.slowdown_p95 >= base.slowdown_p95) {
+      std::cout << "SMOKE FAIL: headroom/least-loaded p95 slowdown "
+                << fmt(smart.slowdown_p95, 2) << "x not below always/first-fit "
+                << fmt(base.slowdown_p95, 2) << "x\n";
+      return 1;
+    }
+    std::cout << "SMOKE OK: p95 slowdown " << fmt(base.slowdown_p95, 2)
+              << "x -> " << fmt(smart.slowdown_p95, 2)
+              << "x under headroom/least-loaded\n";
+    return 0;
+  }
+
+  std::vector<ExperimentSpec> specs;
+  for (double rate : {10.0, 20.0, 40.0, 60.0})
+    for (const PolicyCell& p : kPolicies) specs.push_back(fleet_spec(p, rate, 300));
+  const auto results = run_sweep(specs);
+  print_rows(results);
+
+  std::cout << "--- CSV (fleet_csv_header columns) ---\n";
+  write_fleet_csv(std::cout, results);
+
+  std::cout
+      << "\nReading the table: goodput tracks the offered rate until the\n"
+         "fleet saturates (~2 devices' worth of service). Past the knee,\n"
+         "always-admit packs every SM slot and resident jobs thrash — p95\n"
+         "slowdown climbs — while headroom admission keeps promised memory\n"
+         "below capacity and least-loaded placement spreads it, flattening\n"
+         "the tail at the cost of queue wait (and, for quota, rejections).\n";
+  return 0;
+}

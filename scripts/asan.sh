@@ -28,3 +28,12 @@ build-asan/tools/uvmsim --workload SRD --oversub 0.9 --large-pages \
   --trace-out "$TRACE_DIR/lp.jsonl" >/dev/null
 grep -q '"ev":"coalesce"' "$TRACE_DIR/lp.jsonl"
 echo "sanitized large-pages run OK: $(wc -l < "$TRACE_DIR/lp.jsonl") events"
+
+# A traced fleet run: thousands of tenant attach/detach cycles, Gpu
+# construction/teardown mid-simulation, and namespace recycling are the
+# lifetime-heavy paths a leak or use-after-free would hide in
+# (docs/fleet.md).
+build-asan/tools/uvmsim --fleet --jobs 80 --gpus 2 --arrival-rate 40 \
+  --oversub 0.4 --trace-out "$TRACE_DIR/fl.jsonl" >/dev/null
+grep -q '"ev":"job_completed"' "$TRACE_DIR/fl.jsonl"
+echo "sanitized fleet run OK: $(wc -l < "$TRACE_DIR/fl.jsonl") events"

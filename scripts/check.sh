@@ -63,6 +63,20 @@ cmp "$TRACE_DIR/lp_a.jsonl" "$TRACE_DIR/lp_b.jsonl"
 echo "large-pages trace OK: $(wc -l < "$TRACE_DIR/lp_a.jsonl") events, byte-identical rerun"
 
 echo
+echo "== fleet trace determinism (job lifecycle events, byte-identical rerun) =="
+"$BUILD"/tools/uvmsim --fleet --jobs 100 --gpus 2 --arrival-rate 40 --oversub 0.4 \
+  --trace-out "$TRACE_DIR/fl_a.jsonl" >/dev/null
+"$BUILD"/tools/uvmsim --fleet --jobs 100 --gpus 2 --arrival-rate 40 --oversub 0.4 \
+  --trace-out "$TRACE_DIR/fl_b.jsonl" >/dev/null
+grep -q '"ev":"job_admitted"' "$TRACE_DIR/fl_a.jsonl"
+cmp "$TRACE_DIR/fl_a.jsonl" "$TRACE_DIR/fl_b.jsonl"
+echo "fleet trace OK: $(wc -l < "$TRACE_DIR/fl_a.jsonl") events, byte-identical rerun"
+
+echo
+echo "== fleet serving smoke (headroom/least-loaded must flatten p95 slowdown) =="
+"$BUILD"/bench/fleet_serving --smoke
+
+echo
 echo "== bench binaries =="
 for b in "$BUILD"/bench/*; do
   [ -f "$b" ] && [ -x "$b" ] || continue  # skip CMakeFiles/ etc.

@@ -33,3 +33,11 @@ build-ubsan/tools/uvmsim --workload SRD --oversub 0.9 --large-pages \
   --trace-out "$TRACE_DIR/lp.jsonl" >/dev/null
 grep -q '"ev":"coalesce"' "$TRACE_DIR/lp.jsonl"
 echo "ubsan large-pages run OK: $(wc -l < "$TRACE_DIR/lp.jsonl") events"
+
+# Traced fleet run with UB fatal: exponential-gap draws (log/double ->
+# integer cycle conversion), percentile rank arithmetic and Jain-window
+# indexing all run under the sanitizer (docs/fleet.md).
+build-ubsan/tools/uvmsim --fleet --jobs 80 --gpus 2 --arrival-rate 40 \
+  --oversub 0.4 --trace-out "$TRACE_DIR/fl.jsonl" >/dev/null
+grep -q '"ev":"job_completed"' "$TRACE_DIR/fl.jsonl"
+echo "ubsan fleet run OK: $(wc -l < "$TRACE_DIR/fl.jsonl") events"

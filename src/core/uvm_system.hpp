@@ -60,6 +60,39 @@ struct LinkRunResult {
   double utilisation = 0.0;
 };
 
+/// Fleet-serving slice of a RunResult (src/fleet): SLA aggregates over an
+/// open-loop stream of short-lived jobs. `enabled` is false — and every
+/// field zero — outside --fleet runs, and the JSON/CSV writers omit the
+/// whole block then, so fixed-N artefacts stay byte-identical.
+struct FleetRunResult {
+  bool enabled = false;
+  std::string admission;       ///< admission policy name
+  std::string scheduler;       ///< placement policy name
+  u32 devices = 0;
+  double arrival_rate = 0.0;   ///< offered load, jobs per Mcycle
+  u64 jobs_submitted = 0;
+  u64 jobs_completed = 0;
+  u64 jobs_rejected = 0;
+  u64 rejected_queue_full = 0;
+  u64 rejected_never_fits = 0;
+  u64 rejected_policy = 0;
+  u64 peak_queue_depth = 0;
+  double rejection_rate = 0.0;    ///< rejected / submitted
+  double goodput = 0.0;           ///< completed jobs per Mcycle of makespan
+  double mean_queue_wait = 0.0;   ///< cycles, arrival -> admission
+  double p95_queue_wait = 0.0;
+  /// Per-job slowdown: (finish - admit) / the job template's solo-calibrated
+  /// cycles, over completed jobs (nearest-rank percentiles).
+  double mean_slowdown = 0.0;
+  double slowdown_p50 = 0.0;
+  double slowdown_p95 = 0.0;
+  double slowdown_p99 = 0.0;
+  /// Jain's index over 1/slowdown per 100-completion window: the minimum
+  /// window (worst transient unfairness) and the mean across windows.
+  double fairness_min = 0.0;
+  double fairness_mean = 0.0;
+};
+
 /// Simulator-overhead counters (the cost of simulating, not the simulated
 /// cost): allocation and sizing behaviour of the hot-path structures. Filled
 /// by every system's run(); surfaced in sweep JSON, `uvmsim --sim-stats`
@@ -138,6 +171,9 @@ struct RunResult {
   u32 gpus = 1;
   std::vector<DeviceRunResult> devices;
   std::vector<LinkRunResult> links;
+
+  /// Fleet-serving runs only (enabled == false otherwise; src/fleet).
+  FleetRunResult fleet;
 
   /// EventQueue::clamped_past() — events scheduled in the past and clamped
   /// to "now". Always 0 in a healthy run; scripts/check.sh gates on it.

@@ -1,0 +1,100 @@
+// Admission control: may this job be placed on that device right now?
+//
+// Every policy first requires *structural* room — a contiguous aligned
+// namespace region in the device's arena and a free SM slot — because
+// without both the job physically cannot start. The policies then differ in
+// how much memory pressure they tolerate:
+//
+//   always    structural room is enough. Under high offered load this packs
+//             devices until every resident job thrashes — the baseline the
+//             smarter policies must beat on tail slowdown.
+//   headroom  also requires the device's *promised* frames (the sum over
+//             resident jobs of min(footprint, capacity)) plus the incoming
+//             job's promise to stay below headroom * capacity: the device
+//             never promises more memory than it can nearly back.
+//   quota     caps any single job's promise at quota_frac * capacity
+//             (outright kPolicy rejection above it) and admits only while
+//             total promises stay within capacity — no oversubscription
+//             from co-location at all, only from a job's own footprint.
+//
+// A job admissible by no policy even on an idle device is rejected at
+// arrival (kPolicy) instead of queued, so the bounded queue never holds
+// jobs that cannot ever drain.
+#pragma once
+
+#include <algorithm>
+
+#include "common/types.hpp"
+#include "fleet/fleet_config.hpp"
+
+namespace uvmsim {
+
+/// Snapshot of one device's load, built by FleetSystem for the candidate
+/// job (namespace_fits and same_pattern_jobs are candidate-relative).
+struct DeviceLoad {
+  u32 id = 0;
+  u64 capacity_frames = 0;
+  u64 promised_frames = 0;   ///< Σ min(footprint, capacity) of resident jobs
+  u64 active_jobs = 0;
+  u64 job_slots = 0;         ///< concurrent SM-slice slots
+  bool namespace_fits = false;
+  u64 same_pattern_jobs = 0; ///< resident jobs sharing the candidate's pattern
+};
+
+class AdmissionController {
+ public:
+  AdmissionController(AdmissionKind kind, double headroom, double quota_frac)
+      : kind_(kind), headroom_(headroom), quota_frac_(quota_frac) {}
+
+  [[nodiscard]] AdmissionKind kind() const noexcept { return kind_; }
+
+  /// Structural room: a namespace region and an SM slot. Common to all
+  /// policies — a device without it cannot host the job at any tolerance.
+  [[nodiscard]] static bool has_room(const DeviceLoad& d) noexcept {
+    return d.namespace_fits && d.active_jobs < d.job_slots;
+  }
+
+  /// May `footprint_pages` be admitted to `d` under this policy, now?
+  [[nodiscard]] bool admissible(const DeviceLoad& d,
+                                u64 footprint_pages) const noexcept {
+    if (!has_room(d)) return false;
+    const u64 promise = std::min(footprint_pages, d.capacity_frames);
+    switch (kind_) {
+      case AdmissionKind::kAlways:
+        return true;
+      case AdmissionKind::kHeadroom:
+        return static_cast<double>(d.promised_frames + promise) <=
+               headroom_ * static_cast<double>(d.capacity_frames);
+      case AdmissionKind::kQuota:
+        return static_cast<double>(footprint_pages) <=
+                   quota_frac_ * static_cast<double>(d.capacity_frames) &&
+               d.promised_frames + promise <= d.capacity_frames;
+    }
+    return false;
+  }
+
+  /// Would this policy refuse the job even on an idle device? Such jobs are
+  /// rejected (kPolicy) at arrival — queueing them could never succeed.
+  [[nodiscard]] bool rejects_outright(u64 footprint_pages,
+                                      u64 capacity_frames) const noexcept {
+    const double promise =
+        static_cast<double>(std::min(footprint_pages, capacity_frames));
+    switch (kind_) {
+      case AdmissionKind::kAlways:
+        return false;
+      case AdmissionKind::kHeadroom:
+        return promise > headroom_ * static_cast<double>(capacity_frames);
+      case AdmissionKind::kQuota:
+        return static_cast<double>(footprint_pages) >
+               quota_frac_ * static_cast<double>(capacity_frames);
+    }
+    return false;
+  }
+
+ private:
+  AdmissionKind kind_;
+  double headroom_;
+  double quota_frac_;
+};
+
+}  // namespace uvmsim

@@ -1,0 +1,23 @@
+#include "fleet/arrival.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace uvmsim {
+
+std::vector<Cycle> ArrivalStream::load_trace(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return {};
+  std::vector<Cycle> gaps;
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ls(line);
+    u64 gap = 0;
+    if (ls >> gap) gaps.push_back(gap);
+  }
+  return gaps;
+}
+
+}  // namespace uvmsim

@@ -1,0 +1,420 @@
+#include "fleet/fleet_system.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <string>
+#include <utility>
+
+#include "common/rng.hpp"
+#include "core/policy_factory.hpp"
+#include "harness/percentile.hpp"
+#include "tenancy/fairness.hpp"
+
+namespace uvmsim {
+
+namespace {
+
+constexpr u64 kAlign = TenantTable::kNamespaceAlignPages;
+
+[[nodiscard]] constexpr u64 align_namespace(u64 pages) noexcept {
+  return (pages + kAlign - 1) / kAlign * kAlign;
+}
+
+void accumulate(Gpu::Stats& into, const Gpu::Stats& s) {
+  into.accesses += s.accesses;
+  into.l1_tlb_hits += s.l1_tlb_hits;
+  into.l1_tlb_misses += s.l1_tlb_misses;
+  into.l2_tlb_hits += s.l2_tlb_hits;
+  into.l2_tlb_misses += s.l2_tlb_misses;
+  into.far_faults += s.far_faults;
+  into.l1d_hits += s.l1d_hits;
+  into.l1d_misses += s.l1d_misses;
+  into.l2c_hits += s.l2c_hits;
+  into.l2c_misses += s.l2c_misses;
+  into.l1_tlb_large_hits += s.l1_tlb_large_hits;
+  into.l2_tlb_large_hits += s.l2_tlb_large_hits;
+  into.walks_performed += s.walks_performed;
+  into.walk_cycles += s.walk_cycles;
+  into.large_walks += s.large_walks;
+}
+
+void accumulate(DriverStats& into, const DriverStats& s) {
+  into.page_faults += s.page_faults;
+  into.faults_coalesced += s.faults_coalesced;
+  into.pages_migrated_in += s.pages_migrated_in;
+  into.pages_demanded += s.pages_demanded;
+  into.pages_prefetched += s.pages_prefetched;
+  into.pages_evicted += s.pages_evicted;
+  into.chunks_evicted += s.chunks_evicted;
+  into.migration_ops += s.migration_ops;
+  into.demand_evictions += s.demand_evictions;
+  into.pre_evictions += s.pre_evictions;
+  into.fault_wait_cycles += s.fault_wait_cycles;
+  into.remote_accesses += s.remote_accesses;
+  into.peer_fetches += s.peer_fetches;
+  into.spill_hopbacks += s.spill_hopbacks;
+  into.faults_forwarded += s.faults_forwarded;
+  into.chunks_spilled += s.chunks_spilled;
+  into.pages_spilled += s.pages_spilled;
+  into.pages_surrendered += s.pages_surrendered;
+  into.coalesces += s.coalesces;
+  into.splinters += s.splinters;
+  into.large_frames_evicted += s.large_frames_evicted;
+}
+
+}  // namespace
+
+FleetSystem::FleetSystem(const SystemConfig& sys, const PolicyConfig& pol,
+                         const FleetConfig& fleet)
+    : sys_cfg_(sys),
+      job_cfg_(sys),
+      pol_cfg_(pol),
+      fleet_(fleet),
+      admission_(fleet.admission, fleet.headroom, fleet.quota_frac),
+      scheduler_(fleet.scheduler) {
+  assert(fleet_.devices > 0 && fleet_.jobs > 0);
+  assert(fleet_.arena_pages > 0 && fleet_.arena_pages % kAlign == 0);
+  job_cfg_.num_sms = std::max<u32>(1, fleet_.job_sms);
+  job_slots_ = std::max<u64>(1, sys_cfg_.num_sms / job_cfg_.num_sms);
+
+  // Device capacity: a fraction of the arena (resident jobs oversubscribe),
+  // floored at the admission-pinning minimum so one job can always migrate.
+  const u64 floor_frames = 16 * kChunkPages;
+  capacity_frames_ = std::min(
+      fleet_.arena_pages,
+      std::max(floor_frames,
+               static_cast<u64>(std::ceil(
+                   fleet_.oversub * static_cast<double>(fleet_.arena_pages)))));
+
+  mix_ = make_fleet_job_mix();
+
+  // Solo calibration: each template once, alone, on the same SM slice with
+  // all its pages fitting (oversub 1.0) — the slowdown denominator isolates
+  // co-location interference plus oversubscription pressure.
+  solo_cycles_.reserve(mix_.size());
+  for (const auto& tmpl : mix_) {
+    UvmSystem solo(job_cfg_, pol_cfg_, *tmpl, /*oversub=*/1.0);
+    solo_cycles_.push_back(std::max<Cycle>(1, solo.run().cycles));
+  }
+
+  std::vector<Cycle> trace;
+  if (!fleet_.arrival_trace.empty())
+    trace = ArrivalStream::load_trace(fleet_.arrival_trace);
+  arrivals_ = std::make_unique<ArrivalStream>(
+      fleet_, pol_cfg_.seed, static_cast<u32>(mix_.size()), std::move(trace));
+
+  for (u32 d = 0; d < fleet_.devices; ++d) {
+    auto dev = std::make_unique<Device>(eq_);
+    dev->table.enable_arena(fleet_.arena_pages);
+    dev->driver = std::make_unique<UvmDriver>(eq_, sys_cfg_, pol_cfg_,
+                                              fleet_.arena_pages,
+                                              capacity_frames_);
+    dev->recorder.set_tenant_table(&dev->table);
+    if (fleet_.devices > 1) dev->recorder.set_device(d);
+    dev->driver->set_recorder(&dev->recorder);
+    dev->driver->configure_tenancy(&dev->table, TenantMode::kShared,
+                                   EvictionScope::kGlobal);
+    dev->driver->set_policy(
+        make_eviction_policy(pol_cfg_, dev->driver->chain()));
+    dev->driver->set_prefetcher(make_prefetcher(pol_cfg_));
+    devices_.push_back(std::move(dev));
+  }
+
+  jobs_.reserve(fleet_.jobs);
+  running_.resize(fleet_.jobs);
+}
+
+FleetSystem::~FleetSystem() = default;
+
+void FleetSystem::add_sink(TraceSink* sink) {
+  job_recorder_.add_sink(sink);
+  for (auto& d : devices_) d->recorder.add_sink(sink);
+}
+
+void FleetSystem::set_event_mask(u32 mask) {
+  job_recorder_.set_event_mask(mask);
+  for (auto& d : devices_) d->recorder.set_event_mask(mask);
+}
+
+u64 FleetSystem::job_seed(u64 id) const {
+  // Independent per-job stream: jobs of the same template differ in their
+  // randomised segments, like distinct submissions of the same application.
+  return SplitMix64(pol_cfg_.seed ^ (0x9E3779B97F4A7C15ull * (id + 1))).next();
+}
+
+u64 FleetSystem::promise_of(const Job& j) const {
+  return std::min(j.footprint_pages, capacity_frames_);
+}
+
+DeviceLoad FleetSystem::load_of(const Device& d, const Job& j) const {
+  DeviceLoad l;
+  l.capacity_frames = capacity_frames_;
+  l.promised_frames = d.promised_frames;
+  l.active_jobs = d.active_jobs;
+  l.job_slots = job_slots_;
+  l.namespace_fits = d.table.can_fit(j.footprint_pages);
+  l.same_pattern_jobs = d.pattern_active[static_cast<std::size_t>(j.pattern)];
+  return l;
+}
+
+void FleetSystem::schedule_next_arrival() {
+  if (submitted_ == fleet_.jobs) return;
+  const ArrivalStream::Arrival a = arrivals_->next();
+  const u64 id = submitted_++;
+  Job j;
+  j.id = id;
+  j.tpl = a.tpl;
+  j.footprint_pages = mix_[a.tpl]->footprint_pages();
+  j.pattern = mix_[a.tpl]->pattern();
+  jobs_.push_back(j);
+  eq_.schedule_in(a.gap, [this, id] { on_arrival(id); });
+}
+
+void FleetSystem::on_arrival(u64 id) {
+  Job& j = jobs_[id];
+  j.arrival = eq_.now();
+  job_recorder_.record(EventType::kJobArrived, id, j.footprint_pages,
+                       static_cast<u64>(j.pattern));
+  // Open loop: the next arrival's gap never depends on this job's fate.
+  schedule_next_arrival();
+
+  if (align_namespace(j.footprint_pages) > fleet_.arena_pages) {
+    reject(id, JobRejectReason::kNeverFits);
+    return;
+  }
+  if (admission_.rejects_outright(j.footprint_pages, capacity_frames_)) {
+    reject(id, JobRejectReason::kPolicy);
+    return;
+  }
+  if (try_admit(id)) return;
+  if (queue_.size() >= fleet_.queue_cap) {
+    reject(id, JobRejectReason::kQueueFull);
+    return;
+  }
+  queue_.push_back(id);
+  peak_queue_depth_ = std::max<u64>(peak_queue_depth_, queue_.size());
+}
+
+bool FleetSystem::try_admit(u64 id) {
+  const Job& j = jobs_[id];
+  std::vector<DeviceLoad> eligible;
+  for (u32 d = 0; d < devices_.size(); ++d) {
+    DeviceLoad l = load_of(*devices_[d], j);
+    l.id = d;
+    if (admission_.admissible(l, j.footprint_pages))
+      eligible.push_back(std::move(l));
+  }
+  if (eligible.empty()) return false;
+  admit(id, scheduler_.pick(eligible));
+  return true;
+}
+
+void FleetSystem::admit(u64 id, u32 device) {
+  Job& j = jobs_[id];
+  Device& d = *devices_[device];
+  const TenantId t = d.table.attach(mix_[j.tpl]->abbr(), j.footprint_pages);
+  assert(t != kNoTenant && "admissible() guaranteed a namespace region");
+  j.tenant = t;
+  j.device = device;
+  j.admit = eq_.now();
+  j.state = JobState::kRunning;
+  d.promised_frames += promise_of(j);
+  ++d.active_jobs;
+  ++d.pattern_active[static_cast<std::size_t>(j.pattern)];
+
+  Running& r = running_[id];
+  r.workload =
+      std::make_unique<OffsetWorkload>(*mix_[j.tpl], d.table.info(t).base);
+  r.gpu = std::make_unique<Gpu>(eq_, job_cfg_, *d.driver, *r.workload,
+                                job_seed(id));
+  // The hook fires inside the last warp's event — defer teardown one event
+  // so the Gpu never destroys itself re-entrantly.
+  r.gpu->set_on_finished([this, id] {
+    eq_.schedule_at(eq_.now(), [this, id] { complete(id); });
+  });
+  job_recorder_.record(EventType::kJobAdmitted, id, device,
+                       j.admit - j.arrival);
+  r.gpu->launch();
+}
+
+void FleetSystem::reject(u64 id, JobRejectReason reason) {
+  Job& j = jobs_[id];
+  j.state = JobState::kRejected;
+  j.reject_reason = reason;
+  ++rejected_;
+  job_recorder_.record(EventType::kJobRejected, id, static_cast<u64>(reason),
+                       queue_.size());
+}
+
+void FleetSystem::complete(u64 id) {
+  Job& j = jobs_[id];
+  Device& d = *devices_[j.device];
+  Running& r = running_[id];
+  j.finish = r.gpu->finish_cycle();
+  accumulate(d.gpu_total, r.gpu->stats());
+  // Teardown order matters: the Gpu unregisters its shootdown handlers
+  // first, then the driver surrenders every resident page (used_frames
+  // returns to zero), and only then can the arena slot detach.
+  r.gpu.reset();
+  d.driver->detach_tenant(j.tenant);
+  d.table.detach(j.tenant);
+  r.workload.reset();
+  d.promised_frames -= promise_of(j);
+  --d.active_jobs;
+  --d.pattern_active[static_cast<std::size_t>(j.pattern)];
+  j.state = JobState::kCompleted;
+  ++completed_;
+  completion_order_.push_back(id);
+  job_recorder_.record(EventType::kJobCompleted, id, j.device,
+                       j.finish - j.admit);
+  drain_queue();
+}
+
+void FleetSystem::drain_queue() {
+  // Full FIFO scan with bypass: a large job stuck at the head must not
+  // starve small jobs behind it that the freed capacity can serve.
+  for (std::size_t i = 0; i < queue_.size();) {
+    if (try_admit(queue_[i]))
+      queue_.erase(queue_.begin() + static_cast<long>(i));
+    else
+      ++i;
+  }
+}
+
+RunResult FleetSystem::run(Cycle max_cycles) {
+  schedule_next_arrival();
+  eq_.run(max_cycles);
+
+  RunResult r;
+  r.workload = "fleet";
+  r.eviction_name = devices_[0]->driver->policy().name();
+  r.prefetcher_name = devices_[0]->driver->prefetcher().name();
+  r.oversub = fleet_.oversub;
+  r.capacity_pages = capacity_frames_ * devices_.size();
+  // The queue drains once the last job finishes, and a drained clock
+  // fast-forwards to a finite max_cycles — so the fleet's makespan is the
+  // last job event, not eq_.now().
+  Cycle makespan = 0;
+  for (const Job& j : jobs_)
+    makespan = std::max({makespan, j.finish, j.arrival});
+  r.cycles = std::min(eq_.now(), std::max<Cycle>(makespan, 1));
+  r.completed =
+      submitted_ == fleet_.jobs && completed_ + rejected_ == submitted_;
+  r.large_pages = pol_cfg_.large_pages;
+  r.clamped_past = eq_.clamped_past();
+
+  double h2d_util = 0.0;
+  r.trace_events_recorded = job_recorder_.events_recorded();
+  for (u32 i = 0; i < devices_.size(); ++i) {
+    Device& d = *devices_[i];
+    DeviceRunResult dr;
+    dr.id = i;
+    dr.capacity_pages = capacity_frames_;
+    dr.finish_cycle = r.cycles;
+    dr.completed = r.completed;
+    dr.driver = d.driver->stats();
+    dr.h2d_pages = d.driver->h2d().units_moved();
+    dr.d2h_pages = d.driver->d2h().units_moved();
+    r.devices.push_back(dr);
+    accumulate(r.driver, dr.driver);
+    accumulate(r.gpu, d.gpu_total);
+    r.h2d_pages += dr.h2d_pages;
+    r.d2h_pages += dr.d2h_pages;
+    h2d_util += d.driver->h2d().utilisation(r.cycles);
+    r.final_chain_length += d.driver->chains().chain(0).size();
+    r.trace_events_recorded += d.recorder.events_recorded();
+    r.sim.chain_slab_capacity += d.driver->chains().total_slab_capacity();
+    r.sim.page_table_capacity += d.driver->page_table().table_capacity();
+    r.sim.page_table_load =
+        std::max(r.sim.page_table_load, d.driver->page_table().load_factor());
+    d.recorder.flush();
+  }
+  r.h2d_utilisation = h2d_util / static_cast<double>(devices_.size());
+  r.sim.events_executed = eq_.executed();
+  r.sim.event_heap_peak = eq_.peak_pending();
+  r.sim.event_heap_capacity = eq_.heap_capacity();
+  r.sim.oversize_events = eq_.oversize_events();
+  job_recorder_.flush();
+
+  FleetRunResult& f = r.fleet;
+  f.enabled = true;
+  f.admission = std::string(to_string(fleet_.admission));
+  f.scheduler = std::string(to_string(fleet_.scheduler));
+  f.devices = static_cast<u32>(devices_.size());
+  f.arrival_rate = fleet_.arrival_rate;
+  f.jobs_submitted = submitted_;
+  f.jobs_completed = completed_;
+  f.jobs_rejected = rejected_;
+  f.peak_queue_depth = peak_queue_depth_;
+
+  std::vector<double> waits, slowdowns;
+  waits.reserve(completed_);
+  slowdowns.reserve(completed_);
+  double wait_sum = 0.0, slow_sum = 0.0;
+  for (const Job& j : jobs_) {
+    r.footprint_pages += j.footprint_pages;
+    if (j.state == JobState::kRejected) {
+      switch (j.reject_reason) {
+        case JobRejectReason::kQueueFull: ++f.rejected_queue_full; break;
+        case JobRejectReason::kNeverFits: ++f.rejected_never_fits; break;
+        case JobRejectReason::kPolicy: ++f.rejected_policy; break;
+      }
+      continue;
+    }
+    if (j.state != JobState::kCompleted) continue;
+    const double wait = static_cast<double>(j.admit - j.arrival);
+    const double slow = static_cast<double>(j.finish - j.admit) /
+                        static_cast<double>(solo_cycles_[j.tpl]);
+    waits.push_back(wait);
+    slowdowns.push_back(slow);
+    wait_sum += wait;
+    slow_sum += slow;
+  }
+  if (submitted_ > 0)
+    f.rejection_rate =
+        static_cast<double>(rejected_) / static_cast<double>(submitted_);
+  if (r.cycles > 0)
+    f.goodput = static_cast<double>(completed_) /
+                (static_cast<double>(r.cycles) / 1e6);
+  if (!waits.empty()) {
+    f.mean_queue_wait = wait_sum / static_cast<double>(waits.size());
+    f.p95_queue_wait = percentile(waits, 95.0);
+    f.mean_slowdown = slow_sum / static_cast<double>(slowdowns.size());
+    const PercentileSummary ps = summarize_percentiles(slowdowns);
+    f.slowdown_p50 = ps.p50;
+    f.slowdown_p95 = ps.p95;
+    f.slowdown_p99 = ps.p99;
+  }
+
+  // Windowed fairness: Jain over 1/slowdown per 100 completions, in
+  // completion order — the minimum window is the worst transient
+  // unfairness the fleet inflicted. Fewer than one full window collapses
+  // to a single window over everything completed.
+  constexpr std::size_t kWindow = 100;
+  std::vector<double> window_jain;
+  std::vector<double> inv;
+  for (std::size_t start = 0; start < completion_order_.size();
+       start += kWindow) {
+    const std::size_t end =
+        std::min(start + kWindow, completion_order_.size());
+    if (start > 0 && end - start < kWindow) break;  // partial tail window
+    inv.clear();
+    for (std::size_t i = start; i < end; ++i) {
+      const Job& j = jobs_[completion_order_[i]];
+      const double slow = static_cast<double>(j.finish - j.admit) /
+                          static_cast<double>(solo_cycles_[j.tpl]);
+      inv.push_back(slow > 0.0 ? 1.0 / slow : 0.0);
+    }
+    if (!inv.empty()) window_jain.push_back(jain_index(inv));
+  }
+  if (!window_jain.empty()) {
+    f.fairness_min = *std::min_element(window_jain.begin(), window_jain.end());
+    double sum = 0.0;
+    for (const double v : window_jain) sum += v;
+    f.fairness_mean = sum / static_cast<double>(window_jain.size());
+  }
+  return r;
+}
+
+}  // namespace uvmsim

@@ -1,0 +1,139 @@
+// FleetSystem: fleet-scale serving of an open-loop job stream over a
+// multi-device fabric of independent memory systems (docs/fleet.md).
+//
+// One EventQueue drives everything. Each device owns an arena TenantTable
+// (dynamic attach/detach with namespace and slot recycling), a UvmDriver
+// over the fixed arena span with capacity = oversub * arena (so resident
+// jobs genuinely oversubscribe device memory), and a FlightRecorder. Jobs
+// arrive open-loop (ArrivalStream), pass admission control
+// (AdmissionController), are placed by the FleetScheduler, run as a
+// SM-sliced Gpu over an OffsetWorkload at their attached namespace base,
+// and on completion detach — returning their namespace region, tenant slot
+// and frames for reuse — before the admission queue is re-drained.
+//
+// SLA accounting: per-job slowdown against a solo-calibrated baseline (one
+// UvmSystem run per job template, cached in the constructor), nearest-rank
+// p50/p95/p99, goodput, queue wait, rejection rate and windowed Jain
+// fairness, all assembled into RunResult::fleet.
+//
+// Lifecycle trace events (kJobArrived/Admitted/Rejected/Completed) go to a
+// fleet-level recorder with no device stamp; per-device fault traffic goes
+// to that device's recorder (device-stamped when devices > 1). Runs are
+// deterministic for a fixed seed: arrivals, template draws and job seeds
+// all derive from PolicyConfig::seed.
+#pragma once
+
+#include <array>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "common/config.hpp"
+#include "core/uvm_system.hpp"
+#include "fleet/admission.hpp"
+#include "fleet/arrival.hpp"
+#include "fleet/fleet_config.hpp"
+#include "fleet/job.hpp"
+#include "fleet/scheduler.hpp"
+#include "gpu/gpu.hpp"
+#include "obs/flight_recorder.hpp"
+#include "sim/event_queue.hpp"
+#include "tenancy/offset_workload.hpp"
+#include "tenancy/tenant.hpp"
+#include "uvm/driver.hpp"
+
+namespace uvmsim {
+
+class FleetSystem {
+ public:
+  FleetSystem(const SystemConfig& sys, const PolicyConfig& pol,
+              const FleetConfig& fleet);
+  ~FleetSystem();
+
+  FleetSystem(const FleetSystem&) = delete;
+  FleetSystem& operator=(const FleetSystem&) = delete;
+
+  /// Drive the whole job stream to completion (or `max_cycles`) and return
+  /// the aggregate result: fleet SLA slice in `result.fleet`, per-device
+  /// driver slices in `result.devices`.
+  [[nodiscard]] RunResult run(
+      Cycle max_cycles = std::numeric_limits<Cycle>::max());
+
+  /// Attach a sink to the fleet-level recorder and every device recorder —
+  /// one JSONL stream carries job lifecycle and fault traffic interleaved.
+  void add_sink(TraceSink* sink);
+  /// Apply an event filter to the fleet-level and every device recorder.
+  void set_event_mask(u32 mask);
+
+  [[nodiscard]] EventQueue& queue() noexcept { return eq_; }
+  [[nodiscard]] FlightRecorder& job_recorder() noexcept { return job_recorder_; }
+  [[nodiscard]] const std::vector<Job>& jobs() const noexcept { return jobs_; }
+  [[nodiscard]] u32 devices() const noexcept {
+    return static_cast<u32>(devices_.size());
+  }
+  /// Solo-calibrated cycles of job template `tpl` (the slowdown denominator).
+  [[nodiscard]] Cycle solo_cycles(u32 tpl) const { return solo_cycles_[tpl]; }
+
+ private:
+  /// One device's memory system: arena table, driver, recorder, and the
+  /// load counters admission and placement consult.
+  struct Device {
+    explicit Device(const EventQueue& eq) : recorder(eq) {}
+    TenantTable table;
+    FlightRecorder recorder;
+    std::unique_ptr<UvmDriver> driver;
+    u64 promised_frames = 0;  ///< Σ min(footprint, capacity) of resident jobs
+    u64 active_jobs = 0;
+    /// Resident jobs per PatternType (indexed by enum value, 1..6).
+    std::array<u64, 8> pattern_active{};
+    Gpu::Stats gpu_total;     ///< accumulated at each job's teardown
+  };
+
+  /// A running job's simulation objects, destroyed at teardown.
+  struct Running {
+    std::unique_ptr<OffsetWorkload> workload;
+    std::unique_ptr<Gpu> gpu;
+  };
+
+  void schedule_next_arrival();
+  void on_arrival(u64 id);
+  /// Admit `id` somewhere if a device passes admission; false = no device.
+  bool try_admit(u64 id);
+  void admit(u64 id, u32 device);
+  void reject(u64 id, JobRejectReason reason);
+  /// Teardown, scheduled onto the queue by the Gpu's on_finished hook (the
+  /// hook fires inside the last warp's event; destroying the Gpu there
+  /// would free the running callback's owner).
+  void complete(u64 id);
+  void drain_queue();
+  [[nodiscard]] DeviceLoad load_of(const Device& d, const Job& j) const;
+  [[nodiscard]] u64 job_seed(u64 id) const;
+  [[nodiscard]] u64 promise_of(const Job& j) const;
+
+  SystemConfig sys_cfg_;
+  SystemConfig job_cfg_;  ///< sys_cfg_ with the per-job SM slice
+  PolicyConfig pol_cfg_;
+  FleetConfig fleet_;
+  u64 capacity_frames_ = 0;  ///< per device
+  u64 job_slots_ = 0;        ///< concurrent SM-slice slots per device
+
+  EventQueue eq_;
+  FlightRecorder job_recorder_{eq_};
+  std::vector<std::unique_ptr<Workload>> mix_;
+  std::vector<Cycle> solo_cycles_;  ///< per template
+  std::unique_ptr<ArrivalStream> arrivals_;
+  AdmissionController admission_;
+  FleetScheduler scheduler_;
+  std::vector<std::unique_ptr<Device>> devices_;
+
+  std::vector<Job> jobs_;
+  std::vector<Running> running_;  ///< indexed by job id
+  std::vector<u64> queue_;        ///< FIFO of queued job ids (drain bypasses)
+  std::vector<u64> completion_order_;  ///< job ids, in completion order
+  u64 submitted_ = 0;
+  u64 completed_ = 0;
+  u64 rejected_ = 0;
+  u64 peak_queue_depth_ = 0;
+};
+
+}  // namespace uvmsim

@@ -1,0 +1,54 @@
+#include "fleet/job.hpp"
+
+#include "workloads/patterns.hpp"
+
+namespace uvmsim {
+
+// Two footprint scales per family: the small tier turns over quickly and
+// keeps the admission queue busy, the large tier spans multiple 2 MB
+// namespace slots so placement and headroom decisions actually differ
+// between devices. Footprints are deliberately far below the per-device
+// arena (8192 pages default) so several jobs co-reside and interfere.
+std::vector<std::unique_ptr<Workload>> make_fleet_job_mix() {
+  std::vector<std::unique_ptr<Workload>> mix;
+  mix.reserve(12);
+  // Type I — streaming.
+  mix.push_back(std::make_unique<StreamingWorkload>(
+      "Fleet Streaming S", "fs1", 256, /*rounds=*/1.5));
+  mix.push_back(std::make_unique<StreamingWorkload>(
+      "Fleet Streaming L", "fs2", 640, /*rounds=*/1.0));
+  // Type II — partly repetitive.
+  mix.push_back(std::make_unique<PartlyRepetitiveWorkload>(
+      "Fleet PartlyRep S", "fp1", 192, /*stream_rounds=*/1.0,
+      /*hot_fraction=*/0.25, /*hot_rounds=*/4.0));
+  mix.push_back(std::make_unique<PartlyRepetitiveWorkload>(
+      "Fleet PartlyRep L", "fp2", 512, /*stream_rounds=*/1.0,
+      /*hot_fraction=*/0.2, /*hot_rounds=*/3.0));
+  // Type III — mostly repetitive, fixed stride.
+  mix.push_back(std::make_unique<StridedWorkload>(
+      "Fleet Strided S", "ft1", 256, /*stride=*/2, /*rounds=*/3.0));
+  mix.push_back(std::make_unique<StridedWorkload>(
+      "Fleet Strided L", "ft2", 512, /*stride=*/4, /*rounds=*/2.0));
+  // Type IV — thrashing.
+  mix.push_back(std::make_unique<ThrashingWorkload>(
+      "Fleet Thrashing S", "fh1", 160, /*iters=*/3.0));
+  mix.push_back(std::make_unique<ThrashingWorkload>(
+      "Fleet Thrashing L", "fh2", 384, /*iters=*/2.0));
+  // Type V — repetitive-thrashing.
+  mix.push_back(std::make_unique<RepetitiveThrashingWorkload>(
+      "Fleet RepThrash S", "fr1", 256, /*hot_fraction=*/0.3,
+      /*hot_iters=*/4.0, /*cold_rounds=*/1.0));
+  mix.push_back(std::make_unique<RepetitiveThrashingWorkload>(
+      "Fleet RepThrash L", "fr2", 512, /*hot_fraction=*/0.25,
+      /*hot_iters=*/3.0, /*cold_rounds=*/1.0));
+  // Type VI — region moving.
+  mix.push_back(std::make_unique<RegionMovingWorkload>(
+      "Fleet RegionMove S", "fm1", 256, /*region_fraction=*/0.25,
+      /*coverage=*/0.5));
+  mix.push_back(std::make_unique<RegionMovingWorkload>(
+      "Fleet RegionMove L", "fm2", 384, /*region_fraction=*/0.25,
+      /*coverage=*/0.5));
+  return mix;
+}
+
+}  // namespace uvmsim

@@ -1,0 +1,46 @@
+// Fleet job vocabulary: the lifecycle record of one short-lived tenant job,
+// and the Table II template mix arrivals draw from.
+//
+// A job is one workload instance attached as a tenant for the duration of
+// its run. The mix cycles all six access-pattern families at two footprint
+// scales each, so a fleet exercises the same pattern diversity as the
+// paper's fixed benchmark suite while each job stays small enough that
+// thousands complete in one simulation.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/types.hpp"
+#include "obs/trace_event.hpp"
+#include "workloads/workload.hpp"
+
+namespace uvmsim {
+
+enum class JobState : u8 {
+  kQueued = 0,   ///< arrived, waiting for admission
+  kRunning,      ///< attached to a device, warps live
+  kCompleted,    ///< warps finished, tenant detached
+  kRejected,     ///< refused admission (JobRejectReason)
+};
+
+struct Job {
+  u64 id = 0;
+  u32 tpl = 0;               ///< index into the job-mix template table
+  u64 footprint_pages = 0;
+  PatternType pattern = PatternType::kStreaming;
+  Cycle arrival = 0;         ///< when the open-loop stream submitted it
+  Cycle admit = 0;           ///< when it was placed (admit - arrival = wait)
+  Cycle finish = 0;          ///< when its last warp retired
+  u32 device = ~u32{0};      ///< placement device; ~0 until admitted
+  TenantId tenant = kNoTenant;
+  JobState state = JobState::kQueued;
+  JobRejectReason reject_reason = JobRejectReason::kQueueFull;
+};
+
+/// The fleet's job-template table: every Table II pattern family at two
+/// footprint scales (12 templates). Arrivals draw template indices
+/// uniformly; solo baselines are calibrated once per template.
+[[nodiscard]] std::vector<std::unique_ptr<Workload>> make_fleet_job_mix();
+
+}  // namespace uvmsim

@@ -1,0 +1,60 @@
+// Placement: which admissible device hosts the job?
+//
+// The scheduler sees only devices the admission policy already cleared, so
+// every strategy is a pure tie-break over the DeviceLoad snapshots:
+//
+//   first-fit         lowest device id. Concentrates load on low-numbered
+//                     devices — the baseline placement.
+//   least-loaded      minimum promised frames, tie to the lowest id.
+//                     Spreads memory pressure evenly, which is what lowers
+//                     tail slowdown at high offered load.
+//   pattern-affinity  most resident jobs with the candidate's pattern type
+//                     (tie: least loaded, then lowest id) — co-locating
+//                     same-pattern jobs keeps each device's phase-adaptive
+//                     policy and pattern buffer trained on one regime.
+//
+// Selection iterates the candidate vector in device-id order, so every
+// strategy is deterministic with no RNG involved.
+#pragma once
+
+#include <cassert>
+#include <vector>
+
+#include "fleet/admission.hpp"
+#include "fleet/fleet_config.hpp"
+
+namespace uvmsim {
+
+class FleetScheduler {
+ public:
+  explicit FleetScheduler(FleetSchedKind kind) : kind_(kind) {}
+
+  [[nodiscard]] FleetSchedKind kind() const noexcept { return kind_; }
+
+  /// Device id chosen among `eligible` (must be non-empty, id-ascending).
+  [[nodiscard]] u32 pick(const std::vector<DeviceLoad>& eligible) const {
+    assert(!eligible.empty());
+    const DeviceLoad* best = &eligible.front();
+    for (const DeviceLoad& d : eligible) {
+      switch (kind_) {
+        case FleetSchedKind::kFirstFit:
+          return eligible.front().id;
+        case FleetSchedKind::kLeastLoaded:
+          if (d.promised_frames < best->promised_frames) best = &d;
+          break;
+        case FleetSchedKind::kPatternAffinity:
+          if (d.same_pattern_jobs > best->same_pattern_jobs ||
+              (d.same_pattern_jobs == best->same_pattern_jobs &&
+               d.promised_frames < best->promised_frames))
+            best = &d;
+          break;
+      }
+    }
+    return best->id;
+  }
+
+ private:
+  FleetSchedKind kind_;
+};
+
+}  // namespace uvmsim

@@ -44,7 +44,7 @@ Gpu::Gpu(EventQueue& eq, const SystemConfig& cfg, UvmDriver& driver,
   // frame number still uniquely identifies the departing lines. Registered
   // additively: multi-tenant runs share one driver across several Gpu
   // instances, and every one must observe every shootdown.
-  driver_.add_shootdown_handler([this](PageId p, FrameId f) {
+  shootdown_handle_ = driver_.add_shootdown_handler([this](PageId p, FrameId f) {
     l2_tlb_.invalidate(p);
     for (auto& sm : sms_) sm.l1_tlb->invalidate(p);
     for (u32 line = 0; line < lines_per_page_; ++line) {
@@ -60,11 +60,19 @@ Gpu::Gpu(EventQueue& eq, const SystemConfig& cfg, UvmDriver& driver,
   if (driver_.large_pages_enabled()) {
     l2_tlb_.configure_large(cfg.l2_tlb_large_entries);
     for (auto& sm : sms_) sm.l1_tlb->configure_large(cfg.l1_tlb_large_entries);
-    driver_.add_large_shootdown_handler([this](LargeId l) {
+    large_handle_ = driver_.add_large_shootdown_handler([this](LargeId l) {
       l2_tlb_.invalidate_large(l);
       for (auto& sm : sms_) sm.l1_tlb->invalidate_large(l);
     });
   }
+}
+
+Gpu::~Gpu() {
+  // Fleet runs destroy a job's Gpu while the shared driver lives on: the
+  // handlers above capture `this`, so they must not outlive it.
+  driver_.remove_shootdown_handler(shootdown_handle_);
+  if (driver_.large_pages_enabled())
+    driver_.remove_large_shootdown_handler(large_handle_);
 }
 
 void Gpu::launch() {
@@ -184,7 +192,10 @@ void Gpu::remote_shootdown(PageId p) {
 
 void Gpu::warp_finished() {
   assert(live_warps_ > 0);
-  if (--live_warps_ == 0) finish_cycle_ = eq_.now();
+  if (--live_warps_ == 0) {
+    finish_cycle_ = eq_.now();
+    if (on_finished_) on_finished_();
+  }
 }
 
 Gpu::Stats Gpu::stats() const {

@@ -18,6 +18,7 @@
 // UvmDriver::note_touch for the fidelity argument).
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -36,6 +37,9 @@ class Gpu {
  public:
   Gpu(EventQueue& eq, const SystemConfig& cfg, UvmDriver& driver,
       const Workload& workload, u64 seed);
+  /// Unregisters this GPU's shootdown handlers from the driver — a fleet
+  /// job's Gpu dies while the shared driver keeps serving other jobs.
+  ~Gpu();
 
   Gpu(const Gpu&) = delete;
   Gpu& operator=(const Gpu&) = delete;
@@ -45,6 +49,10 @@ class Gpu {
 
   [[nodiscard]] bool finished() const noexcept { return live_warps_ == 0; }
   [[nodiscard]] Cycle finish_cycle() const noexcept { return finish_cycle_; }
+  /// Completion hook, fired from inside the last warp's finishing event.
+  /// The callee must not destroy this Gpu re-entrantly — schedule teardown
+  /// onto the event queue instead (fleet_system.cpp does).
+  void set_on_finished(std::function<void()> cb) { on_finished_ = std::move(cb); }
 
   struct Stats {
     u64 accesses = 0;
@@ -108,6 +116,9 @@ class Gpu {
   u32 lines_per_page_;
   u32 live_warps_ = 0;
   Cycle finish_cycle_ = 0;
+  u64 shootdown_handle_ = 0;
+  u64 large_handle_ = 0;
+  std::function<void()> on_finished_;
   u64 accesses_ = 0;
   u64 far_faults_ = 0;
   u64 l1d_hits_ = 0, l1d_misses_ = 0, l2c_hits_ = 0, l2c_misses_ = 0;

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "fabric/fabric_system.hpp"
+#include "fleet/fleet_system.hpp"
 #include "obs/trace_sink.hpp"
 #include "tenancy/fairness.hpp"
 #include "tenancy/multi_tenant_system.hpp"
@@ -76,9 +77,29 @@ LabelledResult run_fabric(const ExperimentSpec& spec) {
   return {spec, system.run(spec.max_cycles)};
 }
 
+// Fleet experiments drive an open-loop job stream through a FleetSystem.
+// One JSONL stream carries the fleet-level job lifecycle events and every
+// device's fault traffic, interleaved in simulation order.
+LabelledResult run_fleet(const ExperimentSpec& spec) {
+  FleetSystem system(spec.system, spec.policy, spec.fleet);
+
+  std::ofstream trace_file;
+  std::unique_ptr<JsonlSink> trace_sink;
+  if (!spec.trace_out.empty()) {
+    trace_file.open(spec.trace_out);
+    if (!trace_file) throw std::runtime_error("cannot open trace file: " + spec.trace_out);
+    trace_sink = std::make_unique<JsonlSink>(trace_file);
+    system.set_event_mask(spec.trace_event_mask);
+    system.add_sink(trace_sink.get());
+  }
+
+  return {spec, system.run(spec.max_cycles)};
+}
+
 }  // namespace
 
 LabelledResult run_experiment(const ExperimentSpec& spec) {
+  if (spec.fleet.enabled) return run_fleet(spec);
   if (spec.tenants.size() >= 2) return run_multi_tenant(spec);
   if (spec.fabric.gpus >= 2) return run_fabric(spec);
 

@@ -9,6 +9,7 @@
 
 #include "common/config.hpp"
 #include "core/uvm_system.hpp"
+#include "fleet/fleet_config.hpp"
 #include "tenancy/tenant.hpp"
 
 namespace uvmsim {
@@ -36,6 +37,13 @@ struct ExperimentSpec {
   /// fabric.gpus >= 2 switches the experiment to a FabricSystem run (one
   /// workload sharded over N devices). Mutually exclusive with `tenants`.
   FabricConfig fabric;
+
+  // --- Fleet serving (src/fleet) -------------------------------------------
+  /// fleet.enabled switches the experiment to a FleetSystem run (open-loop
+  /// job arrivals over fleet.devices independent memory systems; `workload`
+  /// and `oversub` above are ignored). Mutually exclusive with `tenants`
+  /// and `fabric`.
+  FleetConfig fleet;
 
   // --- Observability hooks (src/obs) ---------------------------------------
   /// When non-empty, the run's full event stream is written here as JSONL

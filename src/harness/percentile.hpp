@@ -1,0 +1,53 @@
+// Nearest-rank percentiles for SLA reporting (docs/fleet.md).
+//
+// Nearest-rank (no interpolation): the p-th percentile of N ascending
+// samples is the element at 1-based rank ceil(p/100 * N), clamped to
+// [1, N] — i.e. the smallest sample such that at least p% of the set is
+// <= it. Every reported percentile is therefore a value that actually
+// occurred, which is what tail-latency SLOs quote and what keeps the
+// fleet stats bit-reproducible (no float interpolation between samples).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace uvmsim {
+
+/// Nearest-rank percentile over an already ascending-sorted sample vector.
+/// p is in [0, 100]; an empty input yields 0.0 (callers flag "no samples"
+/// separately — 0.0 is never a legal slowdown, so it cannot be mistaken
+/// for a measurement).
+[[nodiscard]] inline double percentile_sorted(const std::vector<double>& sorted,
+                                              double p) {
+  if (sorted.empty()) return 0.0;
+  const double rank =
+      std::ceil(p / 100.0 * static_cast<double>(sorted.size()));
+  std::size_t idx = rank <= 1.0 ? 0 : static_cast<std::size_t>(rank) - 1;
+  idx = std::min(idx, sorted.size() - 1);
+  return sorted[idx];
+}
+
+/// Copy-and-sort convenience for unsorted samples.
+[[nodiscard]] inline double percentile(std::vector<double> samples, double p) {
+  std::sort(samples.begin(), samples.end());
+  return percentile_sorted(samples, p);
+}
+
+/// The three tail points every SLA table reports, from one sort.
+struct PercentileSummary {
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+[[nodiscard]] inline PercentileSummary summarize_percentiles(
+    std::vector<double> samples) {
+  std::sort(samples.begin(), samples.end());
+  return {percentile_sorted(samples, 50.0), percentile_sorted(samples, 95.0),
+          percentile_sorted(samples, 99.0)};
+}
+
+}  // namespace uvmsim

@@ -110,6 +110,38 @@ void write_tenant_csv(std::ostream& os,
   if (!os) throw std::runtime_error("results: tenant CSV write failed");
 }
 
+std::string fleet_csv_header() {
+  return "label,eviction,prefetcher,admission,scheduler,devices,arrival_rate,"
+         "jobs_submitted,jobs_completed,jobs_rejected,rejected_queue_full,"
+         "rejected_never_fits,rejected_policy,peak_queue_depth,rejection_rate,"
+         "goodput,mean_queue_wait,p95_queue_wait,mean_slowdown,slowdown_p50,"
+         "slowdown_p95,slowdown_p99,fairness_min,fairness_mean,cycles";
+}
+
+void write_fleet_csv(std::ostream& os,
+                     const std::vector<LabelledResult>& results) {
+  os << fleet_csv_header() << '\n';
+  for (const auto& r : results) {
+    const RunResult& x = r.result;
+    if (!x.fleet.enabled) continue;
+    const FleetRunResult& fl = x.fleet;
+    os << escape_csv(r.spec.label) << ',' << escape_csv(x.eviction_name) << ','
+       << escape_csv(x.prefetcher_name) << ',' << escape_csv(fl.admission)
+       << ',' << escape_csv(fl.scheduler) << ',' << fl.devices << ','
+       << fl.arrival_rate << ',' << fl.jobs_submitted << ','
+       << fl.jobs_completed << ',' << fl.jobs_rejected << ','
+       << fl.rejected_queue_full << ',' << fl.rejected_never_fits << ','
+       << fl.rejected_policy << ',' << fl.peak_queue_depth << ','
+       << fl.rejection_rate << ',' << fl.goodput << ','
+       << fl.mean_queue_wait << ',' << fl.p95_queue_wait << ','
+       << fl.mean_slowdown << ',' << fl.slowdown_p50 << ','
+       << fl.slowdown_p95 << ',' << fl.slowdown_p99 << ','
+       << fl.fairness_min << ',' << fl.fairness_mean << ',' << x.cycles
+       << '\n';
+  }
+  if (!os) throw std::runtime_error("results: fleet CSV write failed");
+}
+
 void write_json(std::ostream& os, const std::vector<LabelledResult>& results) {
   os << "[\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
@@ -156,8 +188,9 @@ void write_json(std::ostream& os, const std::vector<LabelledResult>& results) {
     }
     // Fabric extension: same additive discipline — single-GPU runs emit no
     // fabric keys, keeping their JSON byte-identical to the pre-fabric
-    // format.
-    if (!x.devices.empty()) {
+    // format. Fleet runs fill `devices` too but report them through the
+    // fleet block below instead (they share no fabric).
+    if (!x.devices.empty() && !x.fleet.enabled) {
       os << ",\"fabric\":\"" << escape_json(x.fabric) << "\","
          << "\"gpus\":" << x.gpus << ','
          << "\"devices\":[";
@@ -188,6 +221,48 @@ void write_json(std::ostream& os, const std::vector<LabelledResult>& results) {
            << "\"name\":\"" << escape_json(lr.name) << "\","
            << "\"units_moved\":" << lr.units_moved << ','
            << "\"utilisation\":" << lr.utilisation
+           << "}";
+      }
+      os << "]";
+    }
+    // Fleet extension (docs/fleet.md): one nested "fleet" object plus a
+    // per-device array; both keys appear only for --fleet runs, so every
+    // fixed-N artefact stays byte-identical.
+    if (x.fleet.enabled) {
+      const FleetRunResult& fl = x.fleet;
+      os << ",\"fleet\":{"
+         << "\"admission\":\"" << escape_json(fl.admission) << "\","
+         << "\"scheduler\":\"" << escape_json(fl.scheduler) << "\","
+         << "\"devices\":" << fl.devices << ','
+         << "\"arrival_rate\":" << fl.arrival_rate << ','
+         << "\"jobs_submitted\":" << fl.jobs_submitted << ','
+         << "\"jobs_completed\":" << fl.jobs_completed << ','
+         << "\"jobs_rejected\":" << fl.jobs_rejected << ','
+         << "\"rejected_queue_full\":" << fl.rejected_queue_full << ','
+         << "\"rejected_never_fits\":" << fl.rejected_never_fits << ','
+         << "\"rejected_policy\":" << fl.rejected_policy << ','
+         << "\"peak_queue_depth\":" << fl.peak_queue_depth << ','
+         << "\"rejection_rate\":" << fl.rejection_rate << ','
+         << "\"goodput\":" << fl.goodput << ','
+         << "\"mean_queue_wait\":" << fl.mean_queue_wait << ','
+         << "\"p95_queue_wait\":" << fl.p95_queue_wait << ','
+         << "\"mean_slowdown\":" << fl.mean_slowdown << ','
+         << "\"slowdown_p50\":" << fl.slowdown_p50 << ','
+         << "\"slowdown_p95\":" << fl.slowdown_p95 << ','
+         << "\"slowdown_p99\":" << fl.slowdown_p99 << ','
+         << "\"fairness_min\":" << fl.fairness_min << ','
+         << "\"fairness_mean\":" << fl.fairness_mean
+         << "},\"fleet_devices\":[";
+      for (std::size_t d = 0; d < x.devices.size(); ++d) {
+        const DeviceRunResult& dr = x.devices[d];
+        os << (d ? "," : "") << "{"
+           << "\"id\":" << dr.id << ','
+           << "\"capacity_pages\":" << dr.capacity_pages << ','
+           << "\"page_faults\":" << dr.driver.page_faults << ','
+           << "\"pages_in\":" << dr.driver.pages_migrated_in << ','
+           << "\"pages_evicted\":" << dr.driver.pages_evicted << ','
+           << "\"h2d_pages\":" << dr.h2d_pages << ','
+           << "\"d2h_pages\":" << dr.d2h_pages
            << "}";
       }
       os << "]";
@@ -240,6 +315,13 @@ void save_tenant_csv(const std::string& path,
   std::ofstream os(path);
   if (!os) throw std::runtime_error("results: cannot open " + path);
   write_tenant_csv(os, results);
+}
+
+void save_fleet_csv(const std::string& path,
+                    const std::vector<LabelledResult>& results) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("results: cannot open " + path);
+  write_fleet_csv(os, results);
 }
 
 }  // namespace uvmsim

@@ -33,10 +33,20 @@ void write_json(std::ostream& os, const std::vector<LabelledResult>& results);
 void write_tenant_csv(std::ostream& os,
                       const std::vector<LabelledResult>& results);
 
+/// Fleet CSV: one row per fleet experiment carrying the SLA aggregates
+/// (goodput, rejection, queue wait, slowdown percentiles, fairness).
+/// Non-fleet results contribute no rows. Column order matches
+/// fleet_csv_header().
+[[nodiscard]] std::string fleet_csv_header();
+void write_fleet_csv(std::ostream& os,
+                     const std::vector<LabelledResult>& results);
+
 /// File-path conveniences; throw std::runtime_error on I/O failure.
 void save_csv(const std::string& path, const std::vector<LabelledResult>& results);
 void save_json(const std::string& path, const std::vector<LabelledResult>& results);
 void save_tenant_csv(const std::string& path,
                      const std::vector<LabelledResult>& results);
+void save_fleet_csv(const std::string& path,
+                    const std::vector<LabelledResult>& results);
 
 }  // namespace uvmsim

@@ -60,6 +60,19 @@ void IntervalMetricsSink::emit(const TraceEvent& e) {
       // Vacuous pattern hit (zero pages planned): not a productive match,
       // and not a CSV column — the schema stays byte-identical.
       break;
+    case EventType::kCoalesce:
+    case EventType::kSplinter:
+    case EventType::kLargeFrameEvicted:
+      // Large-pages metadata flips (--large-pages only); surfaced through
+      // RunResult's large-page counters, not the per-interval CSV.
+      break;
+    case EventType::kJobArrived:
+    case EventType::kJobAdmitted:
+    case EventType::kJobRejected:
+    case EventType::kJobCompleted:
+      // Fleet job lifecycle (--fleet only); SLA accounting aggregates these
+      // in FleetSystem, not the per-interval CSV.
+      break;
   }
   cur_dirty_ = true;
 }

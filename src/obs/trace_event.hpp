@@ -49,9 +49,17 @@ enum class EventType : u8 {
   kCoalesce,               ///< a: first chunk, b: base frame, c: region
   kSplinter,               ///< a: first chunk, b: region, c: reason (SplinterReason)
   kLargeFrameEvicted,      ///< a: first chunk, b: aggregated untouch, c: pages
+  // Fleet serving (emitted only in --fleet runs, so fixed-N traces stay
+  // byte-identical across schema revisions; docs/fleet.md). The job events
+  // come from the fleet-level recorder; `b` carries the placement device
+  // because one stream covers the whole fabric.
+  kJobArrived,             ///< a: job id, b: footprint pages, c: pattern type
+  kJobAdmitted,            ///< a: job id, b: device, c: queue wait cycles
+  kJobRejected,            ///< a: job id, b: reason (JobRejectReason), c: queue depth
+  kJobCompleted,           ///< a: job id, b: device, c: service cycles
 };
 
-inline constexpr u32 kNumEventTypes = 20;
+inline constexpr u32 kNumEventTypes = 24;
 
 /// Reasons carried in kPatternDeleted's `b` field.
 enum class PatternDeleteReason : u8 {
@@ -65,6 +73,13 @@ enum class SplinterReason : u8 {
   kEvictionPressure = 1,    ///< part of the frame was chosen for eviction
   kSurrender = 2,           ///< a member page was surrendered to a peer
   kSpill = 3,               ///< a member chunk is spilling to a peer
+};
+
+/// Reasons carried in kJobRejected's `b` field (fleet admission).
+enum class JobRejectReason : u8 {
+  kQueueFull = 1,           ///< bounded admission queue at capacity
+  kNeverFits = 2,           ///< footprint can never fit on any device
+  kPolicy = 3,              ///< admission policy refused (quota cap)
 };
 
 struct TraceEvent {
@@ -118,6 +133,12 @@ enum class TenantKeyKind : u8 { kNone, kPage, kChunk };
       return TenantKeyKind::kChunk;
     case EventType::kIntervalBoundary:
     case EventType::kPreEvictionTriggered:
+    // Job events carry a job id, not a page/chunk; the fleet recorder has
+    // no tenant table attached, so nothing is ever auto-stamped.
+    case EventType::kJobArrived:
+    case EventType::kJobAdmitted:
+    case EventType::kJobRejected:
+    case EventType::kJobCompleted:
       return TenantKeyKind::kNone;
   }
   return TenantKeyKind::kNone;
@@ -147,6 +168,10 @@ enum class TenantKeyKind : u8 { kNone, kPage, kChunk };
     case EventType::kCoalesce: return "coalesce";
     case EventType::kSplinter: return "splinter";
     case EventType::kLargeFrameEvicted: return "large_frame_evicted";
+    case EventType::kJobArrived: return "job_arrived";
+    case EventType::kJobAdmitted: return "job_admitted";
+    case EventType::kJobRejected: return "job_rejected";
+    case EventType::kJobCompleted: return "job_completed";
   }
   return "?";
 }
@@ -179,6 +204,10 @@ struct EventFieldNames {
     case EventType::kCoalesce: return {"chunk", "frame", "region"};
     case EventType::kSplinter: return {"chunk", "region", "reason"};
     case EventType::kLargeFrameEvicted: return {"chunk", "untouch", "pages"};
+    case EventType::kJobArrived: return {"job", "pages", "pattern"};
+    case EventType::kJobAdmitted: return {"job", "device", "wait"};
+    case EventType::kJobRejected: return {"job", "reason", "queued"};
+    case EventType::kJobCompleted: return {"job", "device", "cycles"};
   }
   return {{}, {}, {}};
 }

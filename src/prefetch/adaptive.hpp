@@ -58,6 +58,12 @@ class AdaptivePrefetcher final : public Prefetcher {
     pattern_.on_chunk_evicted(chunk, touched);
   }
 
+  void forget_range(PageId base, u64 pages) override {
+    locality_.forget_range(base, pages);
+    tree_.forget_range(base, pages);
+    pattern_.forget_range(base, pages);
+  }
+
   [[nodiscard]] std::string name() const override { return "adaptive"; }
 
   void set_recorder(FlightRecorder* rec) override {

@@ -114,6 +114,19 @@ class PatternAwarePrefetcher final : public Prefetcher {
     peak_size_ = std::max(peak_size_, buffer_.size());
   }
 
+  void forget_range(PageId base, u64 pages) override {
+    // Namespace teardown, not a deletion scheme: entries vanish silently
+    // (no kPatternDeleted event, not counted in deletions()) so a recycled
+    // namespace's next tenant starts from a buffer that never knew it.
+    const ChunkId first = chunk_of_page(base);
+    const ChunkId last = chunk_of_page(base + pages - 1);
+    for (ChunkId c = first; c <= last; ++c) {
+      if (!buffer_.contains(c)) continue;
+      std::erase(fifo_, c);
+      buffer_.erase(c);
+    }
+  }
+
   [[nodiscard]] std::string name() const override {
     return scheme_ == DeletionScheme::kScheme1 ? "pattern-aware/s1" : "pattern-aware/s2";
   }

@@ -39,6 +39,13 @@ class Prefetcher {
   /// given demand-touch pattern. Default: ignore.
   virtual void on_chunk_evicted(ChunkId /*chunk*/, TouchBits /*touched*/) {}
 
+  /// Namespace-teardown hook (fleet serving): pages [base, base+pages) are
+  /// being recycled for a future tenant — silently drop any learned state
+  /// keyed inside the range. Unlike on_chunk_evicted this is not an
+  /// eviction: nothing is recorded, counted, or traced. Default: stateless
+  /// prefetchers ignore it.
+  virtual void forget_range(PageId /*base*/, u64 /*pages*/) {}
+
   [[nodiscard]] virtual std::string name() const = 0;
 
   /// Attach the flight recorder (nullptr = tracing off). The pattern-aware

@@ -8,6 +8,7 @@
 // x_i = 1/slowdown_i:  J = (Σx)² / (n·Σx²) ∈ (0, 1], 1 = perfectly fair.
 #pragma once
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
 
@@ -15,13 +16,29 @@
 
 namespace uvmsim {
 
-/// Jain's fairness index over any positive metric vector; 0 for empty/degenerate.
+/// Jain's fairness index over any positive metric vector.
+///
+/// Degenerate inputs have defined results (regression-tested, so fleet
+/// windows and empty tenant sets can never emit NaN/Inf into JSON):
+///   - empty vector          -> 0.0  ("no tenants" is reported as 0, which
+///                                    is outside J's (0, 1] range)
+///   - all-zero vector       -> 0.0  (no tenant made progress; 0/0 guarded)
+///   - single element > 0    -> 1.0  (one tenant is trivially fair)
+///   - negative entries are squared like any other value; callers pass
+///     progress rates (1/slowdown), which are non-negative by construction.
 [[nodiscard]] inline double jain_index(const std::vector<double>& x) {
   if (x.empty()) return 0.0;
+  // J is scale-invariant; normalising by the largest magnitude keeps the
+  // squared terms finite (1e300-class rates would otherwise overflow to
+  // Inf) and non-zero (1e-300-class rates would underflow to 0).
+  double scale = 0.0;
+  for (const double v : x) scale = std::max(scale, std::abs(v));
+  if (scale <= 0.0) return 0.0;
   double sum = 0.0, sum_sq = 0.0;
   for (const double v : x) {
-    sum += v;
-    sum_sq += v * v;
+    const double s = v / scale;
+    sum += s;
+    sum_sq += s * s;
   }
   if (sum_sq <= 0.0) return 0.0;
   return sum * sum / (static_cast<double>(x.size()) * sum_sq);

@@ -112,15 +112,103 @@ class TenantTable {
                 "namespace alignment must cover whole large-frame regions");
 
   /// Register a tenant; namespaces are assigned in registration order.
+  /// Fixed-N construction only — arena tables use attach()/detach().
   TenantId add(std::string name, u64 footprint_pages) {
     assert(footprint_pages > 0);
+    assert(!arena_ && "arena tables attach tenants dynamically");
     TenantInfo t;
     t.name = std::move(name);
     t.base = next_base_;
     t.footprint_pages = footprint_pages;
     next_base_ += align_up(footprint_pages);
     tenants_.push_back(std::move(t));
+    active_.push_back(true);
     return static_cast<TenantId>(tenants_.size() - 1);
+  }
+
+  // --- Arena mode (fleet serving, docs/fleet.md) ---------------------------
+  //
+  // A fixed page-address arena with dynamic tenant attach/detach: namespaces
+  // are carved from a free-region list (first-fit, 2 MB-aligned) and recycled
+  // when the tenant detaches, and tenant ids are the lowest free slot so a
+  // long-running fleet keeps both the address space and the id space bounded.
+  // Arena mode is opt-in per table; tables that never call enable_arena()
+  // behave exactly as before (fixed-N goldens stay byte-identical).
+
+  /// Switch an empty table to arena mode over `arena_pages` of address space.
+  void enable_arena(u64 arena_pages) {
+    assert(tenants_.empty() && "enable_arena before any tenant registers");
+    assert(arena_pages > 0 && arena_pages % kNamespaceAlignPages == 0);
+    arena_ = true;
+    arena_pages_ = arena_pages;
+    free_regions_.assign(1, {0, arena_pages});
+  }
+  [[nodiscard]] bool arena_enabled() const noexcept { return arena_; }
+
+  /// Could a tenant of this footprint be attached right now?
+  [[nodiscard]] bool can_fit(u64 footprint_pages) const noexcept {
+    const u64 need = align_up(footprint_pages);
+    for (const auto& [base, pages] : free_regions_)
+      if (pages >= need) return true;
+    return false;
+  }
+
+  /// Attach a tenant into the arena: lowest free slot id, first-fit region.
+  /// Returns kNoTenant when no contiguous region fits (the caller queues or
+  /// rejects the job). The slot's stats and usage counters start fresh.
+  TenantId attach(std::string name, u64 footprint_pages) {
+    assert(arena_ && footprint_pages > 0);
+    const u64 need = align_up(footprint_pages);
+    std::size_t r = 0;
+    for (; r < free_regions_.size(); ++r)
+      if (free_regions_[r].second >= need) break;
+    if (r == free_regions_.size()) return kNoTenant;
+    const PageId base = free_regions_[r].first;
+    if (free_regions_[r].second == need) {
+      free_regions_.erase(free_regions_.begin() + static_cast<long>(r));
+    } else {
+      free_regions_[r].first += need;
+      free_regions_[r].second -= need;
+    }
+    std::size_t slot = tenants_.size();
+    for (std::size_t i = 0; i < tenants_.size(); ++i)
+      if (!active_[i]) { slot = i; break; }
+    if (slot == tenants_.size()) {
+      tenants_.emplace_back();
+      active_.push_back(false);
+    }
+    TenantInfo& t = tenants_[slot];
+    t = TenantInfo{};
+    t.name = std::move(name);
+    t.base = base;
+    t.footprint_pages = footprint_pages;
+    active_[slot] = true;
+    ++attached_;
+    return static_cast<TenantId>(slot);
+  }
+
+  /// Detach a tenant whose frames have all been surrendered; its namespace
+  /// region returns to the free list (coalescing with adjacent free space)
+  /// and its slot id becomes reusable.
+  void detach(TenantId t) {
+    assert(arena_ && t < tenants_.size() && active_[t]);
+    assert(tenants_[t].used_frames == 0 && "detach after surrendering frames");
+    release_region(tenants_[t].base, align_up(tenants_[t].footprint_pages));
+    active_[t] = false;
+    --attached_;
+  }
+
+  /// Is slot `t` currently attached? (Fixed-N tenants are always active.)
+  [[nodiscard]] bool active(TenantId t) const noexcept {
+    return t < active_.size() && active_[t];
+  }
+  [[nodiscard]] u64 attached_count() const noexcept {
+    return arena_ ? attached_ : tenants_.size();
+  }
+
+  /// Aligned namespace span of tenant `t` (footprint rounded to 2 MB).
+  [[nodiscard]] u64 namespace_pages(TenantId t) const noexcept {
+    return align_up(tenants_[t].footprint_pages);
   }
 
   [[nodiscard]] u64 size() const noexcept { return tenants_.size(); }
@@ -128,12 +216,26 @@ class TenantTable {
   [[nodiscard]] const TenantInfo& info(TenantId t) const { return tenants_[t]; }
   [[nodiscard]] TenantStats& stats(TenantId t) { return tenants_[t].stats; }
 
-  /// Total span of all namespaces — the driver-visible footprint.
-  [[nodiscard]] PageId span_pages() const noexcept { return next_base_; }
+  /// Total span of all namespaces — the driver-visible footprint. In arena
+  /// mode this is the fixed arena size, independent of who is attached.
+  [[nodiscard]] PageId span_pages() const noexcept {
+    return arena_ ? arena_pages_ : next_base_;
+  }
 
   /// Owner of `p`; kNoTenant for pages past every namespace (alignment gaps
-  /// belong to the preceding tenant but are never faulted on).
+  /// belong to the preceding tenant but are never faulted on). In arena mode
+  /// only attached tenants own pages — a recycled region resolves to its new
+  /// occupant, a free region to kNoTenant.
   [[nodiscard]] TenantId tenant_of_page(PageId p) const noexcept {
+    if (arena_) {
+      for (std::size_t i = 0; i < tenants_.size(); ++i) {
+        if (!active_[i]) continue;
+        const TenantInfo& t = tenants_[i];
+        if (p >= t.base && p < t.base + align_up(t.footprint_pages))
+          return static_cast<TenantId>(i);
+      }
+      return kNoTenant;
+    }
     for (std::size_t i = tenants_.size(); i-- > 0;) {
       if (p >= tenants_[i].base)
         return p < next_base_ ? static_cast<TenantId>(i) : kNoTenant;
@@ -218,8 +320,34 @@ class TenantTable {
            kNamespaceAlignPages;
   }
 
+  /// Return [base, base+pages) to the free list, merging with the regions
+  /// immediately before and after so long-lived fleets never fragment the
+  /// arena beyond what the live tenants force.
+  void release_region(PageId base, u64 pages) {
+    std::size_t i = 0;
+    while (i < free_regions_.size() && free_regions_[i].first < base) ++i;
+    free_regions_.insert(free_regions_.begin() + static_cast<long>(i),
+                         {base, pages});
+    if (i + 1 < free_regions_.size() &&
+        free_regions_[i].first + free_regions_[i].second ==
+            free_regions_[i + 1].first) {
+      free_regions_[i].second += free_regions_[i + 1].second;
+      free_regions_.erase(free_regions_.begin() + static_cast<long>(i) + 1);
+    }
+    if (i > 0 && free_regions_[i - 1].first + free_regions_[i - 1].second ==
+                     free_regions_[i].first) {
+      free_regions_[i - 1].second += free_regions_[i].second;
+      free_regions_.erase(free_regions_.begin() + static_cast<long>(i));
+    }
+  }
+
   std::vector<TenantInfo> tenants_;
+  std::vector<bool> active_;  ///< parallel to tenants_; always true fixed-N
   PageId next_base_ = 0;
+  bool arena_ = false;
+  u64 arena_pages_ = 0;
+  u64 attached_ = 0;
+  std::vector<std::pair<PageId, u64>> free_regions_;  ///< sorted by base
 };
 
 }  // namespace uvmsim

@@ -70,6 +70,39 @@ void UvmDriver::configure_tenancy(TenantTable* table, TenantMode mode,
     chains_.configure_domains(table->size(), table);
 }
 
+u64 UvmDriver::detach_tenant(TenantId t) {
+  assert(table_ != nullptr && table_->active(t));
+  const PageId base = table_->info(t).base;
+  const u64 span = table_->namespace_pages(t);
+  ChunkChain& chain = chains_.chain_for(t);
+  u64 reclaimed = 0;
+  const ChunkId first = chunk_of_page(base);
+  const ChunkId last = chunk_of_page(base + span - 1);
+  for (ChunkId c = first; c <= last; ++c) {
+    ChunkEntry* e = chain.find(c);
+    if (e == nullptr) continue;
+    assert(e->pin_count == 0 && "detach only after the tenant's warps finish");
+    if (lfm_ != nullptr && lfm_->coalesced(large_of_chunk(c)))
+      lfm_->splinter(large_of_chunk(c), SplinterReason::kSurrender);
+    const PageId chunk_base = first_page_of_chunk(c);
+    for (u32 i = 0; i < kChunkPages; ++i) {
+      if (!e->resident.test(i)) continue;
+      e->resident.clear(i);
+      e->touched.clear(i);
+      const FrameId frame = pt_.unmap(chunk_base + i);
+      frames_.release(frame, t);
+      ++reclaimed;
+      evictor_.shootdown(chunk_base + i, frame);
+    }
+    // Teardown is not an eviction: no policy notification (a recycled
+    // namespace must not seed the next job's wrong-eviction buffer) and no
+    // pattern recording or D2H write-back — the job is done, its data dies.
+    chain.erase(c);
+  }
+  if (prefetcher_) prefetcher_->forget_range(base, span);
+  return reclaimed;
+}
+
 void UvmDriver::attach_fabric(FabricPort* fabric, u32 device, bool spill) {
   assert(fabric != nullptr);
   fabric_ = fabric;

@@ -77,9 +77,14 @@ class UvmDriver final : public ResidencyView {
   /// the shared tenant mode.
   void set_policy(std::unique_ptr<EvictionPolicy> policy);
   void set_prefetcher(std::unique_ptr<Prefetcher> prefetcher);
-  /// Register a shootdown observer (one per GPU sharing the driver).
-  void add_shootdown_handler(ShootdownHandler h) {
-    evictor_.add_shootdown_handler(std::move(h));
+  /// Register a shootdown observer (one per GPU sharing the driver); the
+  /// returned handle removes it again when that GPU is destroyed before the
+  /// driver (fleet job teardown, gpu/gpu.cpp).
+  u64 add_shootdown_handler(ShootdownHandler h) {
+    return evictor_.add_shootdown_handler(std::move(h));
+  }
+  void remove_shootdown_handler(u64 handle) {
+    evictor_.remove_shootdown_handler(handle);
   }
   /// Legacy single-observer form: replaces all registered handlers.
   void set_shootdown_handler(ShootdownHandler h) {
@@ -93,9 +98,13 @@ class UvmDriver final : public ResidencyView {
     return lfm_ != nullptr;
   }
   /// Register a 2 MB-entry TLB shootdown observer (one per GPU); fired on
-  /// splinter and whole-frame eviction. No-op when large pages are off.
-  void add_large_shootdown_handler(LargeShootdownHandler h) {
-    if (lfm_ != nullptr) lfm_->add_shootdown_handler(std::move(h));
+  /// splinter and whole-frame eviction. No-op (handle 0) when large pages
+  /// are off; remove is equally a no-op then.
+  u64 add_large_shootdown_handler(LargeShootdownHandler h) {
+    return lfm_ != nullptr ? lfm_->add_shootdown_handler(std::move(h)) : 0;
+  }
+  void remove_large_shootdown_handler(u64 handle) {
+    if (lfm_ != nullptr) lfm_->remove_shootdown_handler(handle);
   }
   /// The coalescing/splintering subsystem; nullptr when large pages are off.
   [[nodiscard]] LargeFrameManager* large_frames() noexcept { return lfm_.get(); }
@@ -115,6 +124,14 @@ class UvmDriver final : public ResidencyView {
   void set_domain_policy(u64 domain, std::unique_ptr<EvictionPolicy> policy);
   [[nodiscard]] ChainSet& chains() noexcept { return chains_; }
   [[nodiscard]] const TenantTable* tenant_table() const noexcept { return table_; }
+  /// Tear down a departing arena tenant's residency (fleet serving): unmap
+  /// and release every frame in its namespace, drop the chain entries, and
+  /// purge its chunk range from the prefetcher's learned state so a later
+  /// job recycling the namespace never inherits stale patterns. The caller
+  /// guarantees the tenant's warps have all finished (no in-flight
+  /// migrations, so nothing in the range is pinned). Returns the number of
+  /// pages reclaimed. The caller detaches from the TenantTable afterwards.
+  u64 detach_tenant(TenantId t);
 
   // --- Multi-GPU fabric (src/fabric, docs/fabric.md) -------------------------
   /// Attach this driver to the fabric as device `device`. Faults are routed

@@ -52,14 +52,28 @@ class EvictionEngine {
   void set_prefetcher(Prefetcher* p) noexcept { prefetcher_ = p; }
   /// Register a shootdown observer. Every GPU sharing the driver registers
   /// its own (multi-tenant runs have one Gpu per tenant); all fire per
-  /// unmapped page.
-  void add_shootdown_handler(ShootdownHandler h) {
-    shootdowns_.push_back(std::move(h));
+  /// unmapped page, in registration order. The returned handle removes
+  /// exactly this handler later — fleet runs destroy each job's Gpu while
+  /// the driver lives on, so a departing GPU must unhook itself.
+  u64 add_shootdown_handler(ShootdownHandler h) {
+    const u64 handle = next_handle_++;
+    shootdowns_.emplace_back(handle, std::move(h));
+    return handle;
+  }
+  /// Remove a handler by its registration handle; unknown handles are a
+  /// no-op (the handler may already be gone with its engine rebuild).
+  void remove_shootdown_handler(u64 handle) {
+    for (std::size_t i = 0; i < shootdowns_.size(); ++i) {
+      if (shootdowns_[i].first == handle) {
+        shootdowns_.erase(shootdowns_.begin() + static_cast<long>(i));
+        return;
+      }
+    }
   }
   /// Legacy single-observer form: replaces all registered handlers.
   void set_shootdown_handler(ShootdownHandler h) {
     shootdowns_.clear();
-    add_shootdown_handler(std::move(h));
+    (void)add_shootdown_handler(std::move(h));
   }
   void set_recorder(FlightRecorder* rec) noexcept { rec_ = rec; }
   /// Multi-tenant wiring (tenancy off when table is null).
@@ -90,7 +104,7 @@ class EvictionEngine {
   /// driver when a page is surrendered to a fetching peer).
   void shootdown(PageId p, FrameId f) {
     record_event(rec_, EventType::kShootdownIssued, p, f);
-    for (const ShootdownHandler& h : shootdowns_) h(p, f);
+    for (const auto& [handle, h] : shootdowns_) h(p, f);
   }
 
   [[nodiscard]] const BandwidthLink& d2h() const noexcept { return d2h_; }
@@ -134,7 +148,8 @@ class EvictionEngine {
   BandwidthLink d2h_;  ///< device -> host eviction write-backs
   DriverStats& stats_;
   Prefetcher* prefetcher_ = nullptr;
-  std::vector<ShootdownHandler> shootdowns_;
+  std::vector<std::pair<u64, ShootdownHandler>> shootdowns_;
+  u64 next_handle_ = 0;
   FlightRecorder* rec_ = nullptr;
   TenantTable* tenants_ = nullptr;
   TenantMode mode_ = TenantMode::kShared;

@@ -48,9 +48,21 @@ class LargeFrameManager {
   void set_recorder(FlightRecorder* rec) noexcept { rec_ = rec; }
   /// Register a large-entry TLB shootdown observer (one per GPU). Fired on
   /// splinter and on whole-frame eviction — whenever the 2 MB mapping of a
-  /// region disappears.
-  void add_shootdown_handler(LargeShootdownHandler h) {
-    shootdowns_.push_back(std::move(h));
+  /// region disappears. The handle removes this handler when the observing
+  /// GPU is destroyed before the manager (fleet job teardown).
+  u64 add_shootdown_handler(LargeShootdownHandler h) {
+    const u64 handle = next_handle_++;
+    shootdowns_.emplace_back(handle, std::move(h));
+    return handle;
+  }
+  /// Remove a handler by handle; unknown handles are a no-op.
+  void remove_shootdown_handler(u64 handle) {
+    for (std::size_t i = 0; i < shootdowns_.size(); ++i) {
+      if (shootdowns_[i].first == handle) {
+        shootdowns_.erase(shootdowns_.begin() + static_cast<long>(i));
+        return;
+      }
+    }
   }
 
   /// Is `l` currently backed by one large mapping? The page table is the
@@ -72,7 +84,7 @@ class LargeFrameManager {
   /// Fan out the large-entry shootdown without demoting — the whole-frame
   /// eviction path (EvictionEngine) unmaps the large entry itself.
   void shootdown_large(LargeId l) {
-    for (const LargeShootdownHandler& h : shootdowns_) h(l);
+    for (const auto& [handle, h] : shootdowns_) h(l);
   }
 
   [[nodiscard]] u64 pending_scans() const noexcept { return pending_.size(); }
@@ -89,7 +101,8 @@ class LargeFrameManager {
   ChainSet& chains_;
   DriverStats& stats_;
   FlightRecorder* rec_ = nullptr;
-  std::vector<LargeShootdownHandler> shootdowns_;
+  std::vector<std::pair<u64, LargeShootdownHandler>> shootdowns_;
+  u64 next_handle_ = 0;
   FlatSet<LargeId> pending_;  ///< regions with a scan already queued
 };
 

@@ -1,0 +1,89 @@
+// Fleet determinism: a fixed seed must reproduce the run byte-for-byte —
+// the full JSONL event stream across repeats, and identical results when
+// the same spec runs inside the threaded sweep runner.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fleet/fleet_system.hpp"
+#include "harness/experiment.hpp"
+#include "harness/runner.hpp"
+#include "obs/trace_sink.hpp"
+
+namespace uvmsim {
+namespace {
+
+SystemConfig test_system() {
+  SystemConfig sys;
+  sys.num_sms = 8;
+  sys.warps_per_sm = 4;
+  return sys;
+}
+
+FleetConfig test_fleet() {
+  FleetConfig fl;
+  fl.enabled = true;
+  fl.devices = 2;
+  fl.jobs = 30;
+  fl.arrival_rate = 30.0;
+  fl.job_sms = 4;
+  fl.oversub = 0.4;  // below ~0.5 the resident set genuinely thrashes
+  return fl;
+}
+
+std::string traced_run(u64 seed) {
+  PolicyConfig pol;
+  pol.seed = seed;
+  std::ostringstream os;
+  JsonlSink sink(os);
+  FleetSystem system(test_system(), pol, test_fleet());
+  system.add_sink(&sink);
+  const RunResult r = system.run();
+  EXPECT_TRUE(r.completed);
+  return os.str();
+}
+
+TEST(FleetDeterminism, FixedSeedTraceIsByteIdentical) {
+  const std::string a = traced_run(24301);
+  const std::string b = traced_run(24301);
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+}
+
+TEST(FleetDeterminism, DifferentSeedsProduceDifferentStreams) {
+  EXPECT_NE(traced_run(1), traced_run(2));
+}
+
+TEST(FleetDeterminism, SweepThreadsMatchSerialRun) {
+  ExperimentSpec spec;
+  spec.label = "fleet-det";
+  spec.system = test_system();
+  spec.fleet = test_fleet();
+
+  const LabelledResult serial = run_experiment(spec);
+  const std::vector<ExperimentSpec> specs(3, spec);
+  const auto sweep = run_sweep(specs, 3);
+  ASSERT_EQ(sweep.size(), 3u);
+
+  for (const LabelledResult& r : sweep) {
+    EXPECT_EQ(r.result.cycles, serial.result.cycles);
+    EXPECT_EQ(r.result.fleet.jobs_completed, serial.result.fleet.jobs_completed);
+    EXPECT_EQ(r.result.fleet.jobs_rejected, serial.result.fleet.jobs_rejected);
+    EXPECT_EQ(r.result.fleet.peak_queue_depth,
+              serial.result.fleet.peak_queue_depth);
+    EXPECT_DOUBLE_EQ(r.result.fleet.goodput, serial.result.fleet.goodput);
+    EXPECT_DOUBLE_EQ(r.result.fleet.mean_slowdown,
+                     serial.result.fleet.mean_slowdown);
+    EXPECT_DOUBLE_EQ(r.result.fleet.slowdown_p99,
+                     serial.result.fleet.slowdown_p99);
+    EXPECT_DOUBLE_EQ(r.result.fleet.fairness_mean,
+                     serial.result.fleet.fairness_mean);
+    EXPECT_EQ(r.result.driver.page_faults, serial.result.driver.page_faults);
+    EXPECT_EQ(r.result.h2d_pages, serial.result.h2d_pages);
+  }
+}
+
+}  // namespace
+}  // namespace uvmsim

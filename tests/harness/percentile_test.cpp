@@ -1,0 +1,82 @@
+#include "harness/percentile.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace uvmsim {
+namespace {
+
+TEST(Percentile, EmptyYieldsZero) {
+  EXPECT_EQ(percentile_sorted({}, 50.0), 0.0);
+  EXPECT_EQ(percentile({}, 99.0), 0.0);
+}
+
+TEST(Percentile, SingleElementIsEveryPercentile) {
+  const std::vector<double> one{7.5};
+  EXPECT_EQ(percentile_sorted(one, 0.0), 7.5);
+  EXPECT_EQ(percentile_sorted(one, 50.0), 7.5);
+  EXPECT_EQ(percentile_sorted(one, 100.0), 7.5);
+}
+
+// Nearest-rank on {15,20,35,40,50} (the canonical worked example):
+// p30 -> rank ceil(1.5)=2 -> 20; p40 -> rank 2 -> 20; p50 -> rank 3 -> 35;
+// p100 -> rank 5 -> 50.
+TEST(Percentile, CanonicalNearestRankExample) {
+  const std::vector<double> v{15, 20, 35, 40, 50};
+  EXPECT_EQ(percentile_sorted(v, 30.0), 20.0);
+  EXPECT_EQ(percentile_sorted(v, 40.0), 20.0);
+  EXPECT_EQ(percentile_sorted(v, 50.0), 35.0);
+  EXPECT_EQ(percentile_sorted(v, 100.0), 50.0);
+}
+
+TEST(Percentile, ResultIsAlwaysAnActualSample) {
+  const std::vector<double> v{1, 2, 3, 4};
+  for (double p : {1.0, 10.0, 25.0, 33.0, 50.0, 66.0, 75.0, 90.0, 99.0}) {
+    const double r = percentile_sorted(v, p);
+    EXPECT_TRUE(r == 1 || r == 2 || r == 3 || r == 4) << "p=" << p;
+  }
+}
+
+TEST(Percentile, ZeroPercentIsMinHundredIsMax) {
+  const std::vector<double> v{3, 1, 4, 1, 5, 9, 2, 6};
+  EXPECT_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_EQ(percentile(v, 100.0), 9.0);
+}
+
+TEST(Percentile, UnsortedOverloadSorts) {
+  EXPECT_EQ(percentile({50, 15, 40, 35, 20}, 50.0), 35.0);
+}
+
+TEST(Percentile, P99NeedsOneHundredSamplesToLeaveTheMax) {
+  // With 100 samples, p99 -> rank 99, the second-largest.
+  std::vector<double> v;
+  for (int i = 1; i <= 100; ++i) v.push_back(static_cast<double>(i));
+  EXPECT_EQ(percentile_sorted(v, 99.0), 99.0);
+  EXPECT_EQ(percentile_sorted(v, 95.0), 95.0);
+  EXPECT_EQ(percentile_sorted(v, 50.0), 50.0);
+  // With 99 samples, p99 -> rank ceil(98.01) = 99, the max.
+  v.pop_back();
+  EXPECT_EQ(percentile_sorted(v, 99.0), 99.0);
+}
+
+TEST(Percentile, SummaryMatchesIndividualCalls) {
+  std::vector<double> v;
+  for (int i = 0; i < 1000; ++i) v.push_back(static_cast<double>((i * 37) % 251));
+  const PercentileSummary s = summarize_percentiles(v);
+  EXPECT_EQ(s.p50, percentile(v, 50.0));
+  EXPECT_EQ(s.p95, percentile(v, 95.0));
+  EXPECT_EQ(s.p99, percentile(v, 99.0));
+  EXPECT_LE(s.p50, s.p95);
+  EXPECT_LE(s.p95, s.p99);
+}
+
+TEST(Percentile, DuplicateHeavySamples) {
+  const std::vector<double> v{1, 1, 1, 1, 1, 1, 1, 1, 1, 100};
+  EXPECT_EQ(percentile_sorted(v, 50.0), 1.0);
+  EXPECT_EQ(percentile_sorted(v, 90.0), 1.0);
+  EXPECT_EQ(percentile_sorted(v, 95.0), 100.0);
+}
+
+}  // namespace
+}  // namespace uvmsim

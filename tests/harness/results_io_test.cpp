@@ -74,6 +74,60 @@ TEST(ResultsIo, JsonEscapesStrings) {
   EXPECT_NE(doc.find("with \\\"quotes\\\" and \\n newline"), std::string::npos);
 }
 
+LabelledResult fleet_sample(const std::string& label = "fleet-hr") {
+  LabelledResult r = sample(label);
+  r.result.workload = "fleet";
+  r.result.fleet.enabled = true;
+  r.result.fleet.admission = "headroom";
+  r.result.fleet.scheduler = "least-loaded";
+  r.result.fleet.devices = 4;
+  r.result.fleet.arrival_rate = 40.0;
+  r.result.fleet.jobs_submitted = 1000;
+  r.result.fleet.jobs_completed = 950;
+  r.result.fleet.jobs_rejected = 50;
+  r.result.fleet.rejected_policy = 50;
+  r.result.fleet.goodput = 31.5;
+  r.result.fleet.slowdown_p95 = 3.25;
+  r.result.devices.resize(4);
+  for (u32 d = 0; d < 4; ++d) r.result.devices[d].id = d;
+  return r;
+}
+
+TEST(ResultsIo, FleetJsonBlockOnlyForFleetRuns) {
+  std::ostringstream plain;
+  write_json(plain, {sample()});
+  EXPECT_EQ(plain.str().find("\"fleet\""), std::string::npos);
+
+  std::ostringstream os;
+  write_json(os, {fleet_sample()});
+  const std::string doc = os.str();
+  EXPECT_NE(doc.find("\"fleet\":{"), std::string::npos);
+  EXPECT_NE(doc.find("\"admission\":\"headroom\""), std::string::npos);
+  EXPECT_NE(doc.find("\"scheduler\":\"least-loaded\""), std::string::npos);
+  EXPECT_NE(doc.find("\"jobs_completed\":950"), std::string::npos);
+  EXPECT_NE(doc.find("\"slowdown_p95\":3.25"), std::string::npos);
+  EXPECT_NE(doc.find("\"fleet_devices\":["), std::string::npos);
+  // A fleet run fills `devices` but is not a fabric run: no fabric keys.
+  EXPECT_EQ(doc.find("\"fabric\""), std::string::npos);
+}
+
+TEST(ResultsIo, FleetCsvOneRowPerFleetResult) {
+  const auto count = [](const std::string& s) {
+    return std::count(s.begin(), s.end(), ',');
+  };
+  std::ostringstream os;
+  write_fleet_csv(os, {sample(), fleet_sample(), fleet_sample("b")});
+  const std::string doc = os.str();
+  EXPECT_EQ(std::count(doc.begin(), doc.end(), '\n'), 3);  // header + 2 rows
+  EXPECT_EQ(doc.find("label,eviction,prefetcher,admission"), 0u);
+  EXPECT_NE(doc.find("fleet-hr,MHPE"), std::string::npos);
+  std::istringstream lines(doc);
+  std::string header, row;
+  std::getline(lines, header);
+  std::getline(lines, row);
+  EXPECT_EQ(count(header), count(row));
+}
+
 TEST(ResultsIo, SaveToFilesRoundTrips) {
   const std::string dir = ::testing::TempDir();
   save_csv(dir + "/r.csv", {sample()});

@@ -119,6 +119,15 @@ TEST(TraceDeterminism, OversubscribedRunCoversAllEventTypes) {
           << "large-pages event emitted by a default run: " << to_string(t);
       continue;
     }
+    // Job lifecycle events only fire in --fleet runs (fleet-level recorder);
+    // presence is covered by tests/fleet. A fixed-N run emitting one would
+    // break the byte-identity guarantee.
+    if (t == EventType::kJobArrived || t == EventType::kJobAdmitted ||
+        t == EventType::kJobRejected || t == EventType::kJobCompleted) {
+      EXPECT_FALSE(seen.contains(t))
+          << "fleet event emitted by a fixed-N run: " << to_string(t);
+      continue;
+    }
     EXPECT_TRUE(seen.contains(t))
         << "event type never emitted: " << to_string(t);
   }

@@ -1,0 +1,71 @@
+#include "tenancy/fairness.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace uvmsim {
+namespace {
+
+// The degenerate cases have documented, defined results (fairness.hpp):
+// they feed fleet windowed-fairness output, where an empty or stalled
+// window must produce a finite number, never NaN/Inf.
+
+TEST(JainIndex, EmptyVectorIsZero) { EXPECT_EQ(jain_index({}), 0.0); }
+
+TEST(JainIndex, AllZeroVectorIsZero) {
+  EXPECT_EQ(jain_index({0.0}), 0.0);
+  EXPECT_EQ(jain_index({0.0, 0.0, 0.0}), 0.0);
+}
+
+TEST(JainIndex, SinglePositiveElementIsPerfectlyFair) {
+  EXPECT_DOUBLE_EQ(jain_index({0.25}), 1.0);
+  EXPECT_DOUBLE_EQ(jain_index({123.0}), 1.0);
+}
+
+TEST(JainIndex, EqualSharesArePerfectlyFair) {
+  EXPECT_DOUBLE_EQ(jain_index({0.5, 0.5, 0.5, 0.5}), 1.0);
+}
+
+TEST(JainIndex, KnownUnevenValue) {
+  // x = {1, 3}: J = (1+3)^2 / (2 * (1+9)) = 16/20 = 0.8.
+  EXPECT_DOUBLE_EQ(jain_index({1.0, 3.0}), 0.8);
+}
+
+TEST(JainIndex, OneStarvedTenantBoundsTheIndex) {
+  // k of n tenants progressing equally, the rest at zero -> J = k/n.
+  EXPECT_DOUBLE_EQ(jain_index({1.0, 1.0, 0.0, 0.0}), 0.5);
+  EXPECT_DOUBLE_EQ(jain_index({1.0, 0.0, 0.0, 0.0}), 0.25);
+}
+
+TEST(JainIndex, AlwaysFiniteAndInUnitInterval) {
+  const std::vector<std::vector<double>> cases{
+      {}, {0.0}, {1e-300, 1e-300}, {1e300, 1.0}, {0.0, 5.0, 0.0}};
+  for (const auto& c : cases) {
+    const double j = jain_index(c);
+    EXPECT_TRUE(std::isfinite(j));
+    EXPECT_GE(j, 0.0);
+    EXPECT_LE(j, 1.0);
+  }
+}
+
+TEST(ApplySoloBaselines, NoTenantsYieldsZeroIndexAndNoNan) {
+  RunResult r;
+  apply_solo_baselines(r, {});
+  EXPECT_EQ(r.jain_fairness, 0.0);
+}
+
+TEST(ApplySoloBaselines, ZeroSoloCyclesExcludedFromIndex) {
+  RunResult r;
+  r.tenants.resize(2);
+  r.tenants[0].finish_cycle = 200;
+  r.tenants[1].finish_cycle = 300;
+  apply_solo_baselines(r, {100, 0});  // tenant 1 has no usable baseline
+  EXPECT_DOUBLE_EQ(r.tenants[0].slowdown_vs_solo, 2.0);
+  EXPECT_EQ(r.tenants[1].slowdown_vs_solo, 0.0);
+  EXPECT_DOUBLE_EQ(r.jain_fairness, 1.0);  // single participating tenant
+}
+
+}  // namespace
+}  // namespace uvmsim

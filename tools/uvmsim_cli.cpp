@@ -29,6 +29,7 @@
 #include "core/policy_registry.hpp"
 #include "core/uvm_system.hpp"
 #include "fabric/fabric_system.hpp"
+#include "fleet/fleet_system.hpp"
 #include "harness/cli.hpp"
 #include "harness/report.hpp"
 #include "obs/interval_metrics.hpp"
@@ -200,6 +201,67 @@ void print_fabric_csv(const RunResult& r) {
     std::cout << l.name << ',' << l.units_moved << ',' << l.utilisation << "\n";
 }
 
+void print_fleet(const RunResult& r) {
+  const FleetRunResult& fl = r.fleet;
+  TextTable t({"fleet metric", "value"});
+  t.add_row({"admission / scheduler", fl.admission + " / " + fl.scheduler});
+  t.add_row({"devices x arrival rate",
+             std::to_string(fl.devices) + " x " + fmt(fl.arrival_rate, 1) +
+                 " jobs/Mcycle"});
+  t.add_row({"jobs submitted / completed / rejected",
+             std::to_string(fl.jobs_submitted) + " / " +
+                 std::to_string(fl.jobs_completed) + " / " +
+                 std::to_string(fl.jobs_rejected)});
+  t.add_row({"rejections (queue-full/never-fits/policy)",
+             std::to_string(fl.rejected_queue_full) + "/" +
+                 std::to_string(fl.rejected_never_fits) + "/" +
+                 std::to_string(fl.rejected_policy)});
+  t.add_row({"rejection rate", fmt(fl.rejection_rate * 100, 2) + "%"});
+  t.add_row({"goodput", fmt(fl.goodput, 3) + " jobs/Mcycle"});
+  t.add_row({"queue wait mean / p95 (cycles)",
+             fmt(fl.mean_queue_wait, 0) + " / " + fmt(fl.p95_queue_wait, 0)});
+  t.add_row({"peak queue depth", std::to_string(fl.peak_queue_depth)});
+  t.add_row({"slowdown mean / p50 / p95 / p99",
+             fmt(fl.mean_slowdown, 2) + "x / " + fmt(fl.slowdown_p50, 2) +
+                 "x / " + fmt(fl.slowdown_p95, 2) + "x / " +
+                 fmt(fl.slowdown_p99, 2) + "x"});
+  t.add_row({"windowed fairness min / mean",
+             fmt(fl.fairness_min, 4) + " / " + fmt(fl.fairness_mean, 4)});
+  std::cout << "\nfleet serving (" << fl.admission << " admission, "
+            << fl.scheduler << " placement):\n"
+            << t.str();
+
+  TextTable d({"device", "capacity", "faults", "pages in", "evicted", "h2d",
+               "d2h"});
+  for (const DeviceRunResult& dev : r.devices)
+    d.add_row({std::to_string(dev.id), std::to_string(dev.capacity_pages),
+               std::to_string(dev.driver.page_faults),
+               std::to_string(dev.driver.pages_migrated_in),
+               std::to_string(dev.driver.pages_evicted),
+               std::to_string(dev.h2d_pages), std::to_string(dev.d2h_pages)});
+  std::cout << "\nper-device:\n" << d.str();
+}
+
+void print_fleet_csv(const RunResult& r) {
+  const FleetRunResult& fl = r.fleet;
+  std::cout << "admission,scheduler,devices,arrival_rate,jobs_submitted,"
+               "jobs_completed,jobs_rejected,rejected_queue_full,"
+               "rejected_never_fits,rejected_policy,peak_queue_depth,"
+               "rejection_rate,goodput,mean_queue_wait,p95_queue_wait,"
+               "mean_slowdown,slowdown_p50,slowdown_p95,slowdown_p99,"
+               "fairness_min,fairness_mean\n"
+            << fl.admission << ',' << fl.scheduler << ',' << fl.devices << ','
+            << fl.arrival_rate << ',' << fl.jobs_submitted << ','
+            << fl.jobs_completed << ',' << fl.jobs_rejected << ','
+            << fl.rejected_queue_full << ',' << fl.rejected_never_fits << ','
+            << fl.rejected_policy << ',' << fl.peak_queue_depth << ','
+            << fl.rejection_rate << ',' << fl.goodput << ','
+            << fl.mean_queue_wait << ',' << fl.p95_queue_wait << ','
+            << fl.mean_slowdown << ',' << fl.slowdown_p50 << ','
+            << fl.slowdown_p95 << ',' << fl.slowdown_p99 << ','
+            << fl.fairness_min << ',' << fl.fairness_mean << "\n";
+}
+
 std::vector<std::string> split_csv_list(const std::string& s) {
   std::vector<std::string> out;
   std::string cur;
@@ -288,6 +350,19 @@ int main(int argc, char** argv) {
   cli.add_option("tenant-evict",
                  "victim scope in shared mode: global | self", "global");
   cli.add_flag("no-solo", "skip the solo baselines (no slowdown/Jain output)");
+  cli.add_flag("fleet",
+               "fleet serving: open-loop job arrivals with admission control "
+               "over --gpus devices (docs/fleet.md)");
+  cli.add_option("jobs", "fleet: total jobs the arrival stream submits", "1000");
+  cli.add_option("arrival-rate",
+                 "fleet: offered load in jobs per million cycles", "20");
+  cli.add_option("admission", "fleet: always | headroom | quota", "always");
+  cli.add_option("fleet-sched",
+                 "fleet: first-fit | least-loaded | pattern-affinity",
+                 "first-fit");
+  cli.add_option("arrival-trace",
+                 "fleet: interarrival trace file (one gap per line) instead "
+                 "of Poisson arrivals");
   cli.add_option("gpus", "number of GPUs on the NVLink fabric (>=2 enables it)", "1");
   cli.add_option("fabric", "link topology: pcie | ring | switch", "ring");
   cli.add_option("placement",
@@ -380,6 +455,59 @@ int main(int argc, char** argv) {
   sys.warps_per_sm = static_cast<u32>(cli.get_int("warps"));
 
   try {
+    if (cli.get_flag("fleet")) {
+      FleetConfig fl;
+      fl.enabled = true;
+      if (cli.was_set("gpus"))
+        fl.devices = static_cast<u32>(std::max(1ll, cli.get_int("gpus")));
+      fl.jobs = static_cast<u64>(std::max(1ll, cli.get_int("jobs")));
+      fl.arrival_rate = cli.get_double("arrival-rate");
+      if (cli.was_set("oversub")) fl.oversub = cli.get_double("oversub");
+      const auto adm = parse_admission_kind(cli.get("admission"));
+      if (!adm) {
+        std::cerr << "unknown --admission: " << cli.get("admission") << "\n";
+        return 2;
+      }
+      fl.admission = *adm;
+      const auto sched = parse_fleet_sched_kind(cli.get("fleet-sched"));
+      if (!sched) {
+        std::cerr << "unknown --fleet-sched: " << cli.get("fleet-sched") << "\n";
+        return 2;
+      }
+      fl.scheduler = *sched;
+      if (cli.was_set("arrival-trace")) {
+        fl.arrival_trace = cli.get("arrival-trace");
+        if (ArrivalStream::load_trace(fl.arrival_trace).empty()) {
+          std::cerr << "error: cannot read arrival trace (or no gaps): "
+                    << fl.arrival_trace << "\n";
+          return 2;
+        }
+      }
+
+      FleetSystem system(sys, pol, fl);
+      std::ofstream trace_file;
+      std::unique_ptr<JsonlSink> trace_sink;
+      system.set_event_mask(*event_mask);
+      if (cli.was_set("trace-out")) {
+        trace_file.open(cli.get("trace-out"));
+        if (!trace_file) {
+          std::cerr << "error: cannot open " << cli.get("trace-out") << "\n";
+          return 2;
+        }
+        trace_sink = std::make_unique<JsonlSink>(trace_file);
+        system.add_sink(trace_sink.get());
+      }
+
+      const RunResult r = system.run();
+      if (cli.get_flag("csv")) {
+        print_fleet_csv(r);
+      } else {
+        print_fleet(r);
+        if (cli.get_flag("sim-stats")) print_sim_stats(r);
+      }
+      return r.completed ? 0 : 1;
+    }
+
     if (cli.was_set("tenants")) {
       const auto names = split_csv_list(cli.get("tenants"));
       if (names.size() < 2) {
