@@ -29,6 +29,14 @@ build-asan/tools/uvmsim --workload SRD --oversub 0.9 --large-pages \
 grep -q '"ev":"coalesce"' "$TRACE_DIR/lp.jsonl"
 echo "sanitized large-pages run OK: $(wc -l < "$TRACE_DIR/lp.jsonl") events"
 
+# A traced GPU-driven fault-backend run: per-SM queue churn, overflow-list
+# erase-in-the-middle, and WakeCallback moves through the pending map are
+# the allocation-heavy paths the backend adds (docs/faultsvc.md).
+build-asan/tools/uvmsim --workload BFR --oversub 0.5 --fault-backend gpu-driven \
+  --trace-out "$TRACE_DIR/gb.jsonl" >/dev/null
+grep -q '"ev":"gpu_fault_serviced"' "$TRACE_DIR/gb.jsonl"
+echo "sanitized gpu-driven backend run OK: $(wc -l < "$TRACE_DIR/gb.jsonl") events"
+
 # A traced fleet run: thousands of tenant attach/detach cycles, Gpu
 # construction/teardown mid-simulation, and namespace recycling are the
 # lifetime-heavy paths a leak or use-after-free would hide in

@@ -63,6 +63,48 @@ cmp "$TRACE_DIR/lp_a.jsonl" "$TRACE_DIR/lp_b.jsonl"
 echo "large-pages trace OK: $(wc -l < "$TRACE_DIR/lp_a.jsonl") events, byte-identical rerun"
 
 echo
+echo "== fault-backend host default byte-identity (explicit flag is a no-op) =="
+"$BUILD"/tools/uvmsim --workload NW --oversub 0.5 --fault-backend host \
+  --trace-out "$TRACE_DIR/hb.jsonl" > "$TRACE_DIR/hb.txt"
+"$BUILD"/tools/uvmsim --workload NW --oversub 0.5 \
+  --trace-out "$TRACE_DIR/hb_def.jsonl" > "$TRACE_DIR/hb_def.txt"
+cmp "$TRACE_DIR/hb.jsonl" "$TRACE_DIR/hb_def.jsonl"
+cmp "$TRACE_DIR/hb.txt" "$TRACE_DIR/hb_def.txt"
+if grep -qE '"ev":"(fault_enqueued|fault_queue_full|gpu_fault_serviced)"' \
+    "$TRACE_DIR/hb_def.jsonl"; then
+  echo "FAIL: host-backend run emitted a gated GPU-backend event"
+  exit 1
+fi
+echo "host-backend byte-identity OK"
+
+echo
+echo "== gpu-driven trace determinism (backend events, byte-identical rerun) =="
+"$BUILD"/tools/uvmsim --workload BFR --oversub 0.5 --fault-backend gpu-driven \
+  --trace-out "$TRACE_DIR/gb_a.jsonl" >/dev/null
+"$BUILD"/tools/uvmsim --workload BFR --oversub 0.5 --fault-backend gpu-driven \
+  --trace-out "$TRACE_DIR/gb_b.jsonl" >/dev/null
+grep -q '"ev":"fault_enqueued"' "$TRACE_DIR/gb_a.jsonl"
+grep -q '"ev":"gpu_fault_serviced"' "$TRACE_DIR/gb_a.jsonl"
+cmp "$TRACE_DIR/gb_a.jsonl" "$TRACE_DIR/gb_b.jsonl"
+echo "gpu-driven trace OK: $(wc -l < "$TRACE_DIR/gb_a.jsonl") events, byte-identical rerun"
+
+echo
+echo "== fault-backend flag validation (bad values must exit 2) =="
+for bad in "--fault-backend bogus" "--fault-latency-us 0" \
+           "--evict-service-us -1" "--gpu-fault-queue-depth 0"; do
+  # shellcheck disable=SC2086
+  if "$BUILD"/tools/uvmsim --workload NW $bad >/dev/null 2>&1; then
+    echo "FAIL: '$bad' was accepted"
+    exit 1
+  fi
+done
+echo "flag validation OK"
+
+echo
+echo "== fault-backend smoke (gpu-driven must cut mean fault stall on BFS/BFR) =="
+"$BUILD"/bench/abl_fault_backend --smoke
+
+echo
 echo "== fleet trace determinism (job lifecycle events, byte-identical rerun) =="
 "$BUILD"/tools/uvmsim --fleet --jobs 100 --gpus 2 --arrival-rate 40 --oversub 0.4 \
   --trace-out "$TRACE_DIR/fl_a.jsonl" >/dev/null

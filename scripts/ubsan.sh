@@ -34,6 +34,15 @@ build-ubsan/tools/uvmsim --workload SRD --oversub 0.9 --large-pages \
 grep -q '"ev":"coalesce"' "$TRACE_DIR/lp.jsonl"
 echo "ubsan large-pages run OK: $(wc -l < "$TRACE_DIR/lp.jsonl") events"
 
+# Traced GPU-driven fault-backend run with UB fatal: the us -> cycle
+# conversions, handler-occupancy max arithmetic and queue-index modulo all
+# run under the sanitizer (docs/faultsvc.md). A depth-1 queue forces the
+# overflow path too.
+build-ubsan/tools/uvmsim --workload BFR --oversub 0.5 --fault-backend gpu-driven \
+  --gpu-fault-queue-depth 1 --trace-out "$TRACE_DIR/gb.jsonl" >/dev/null
+grep -q '"ev":"fault_queue_full"' "$TRACE_DIR/gb.jsonl"
+echo "ubsan gpu-driven backend run OK: $(wc -l < "$TRACE_DIR/gb.jsonl") events"
+
 # Traced fleet run with UB fatal: exponential-gap draws (log/double ->
 # integer cycle conversion), percentile rank arithmetic and Jain-window
 # indexing all run under the sanitizer (docs/fleet.md).

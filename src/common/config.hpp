@@ -24,6 +24,13 @@ enum class PlacementKind : u8 {
   kAffinity,    ///< contiguous chunk ranges, one slice per device
 };
 
+/// Which fault-service backend models the far-fault service path
+/// (src/faultsvc, docs/faultsvc.md).
+enum class FaultBackendKind : u8 {
+  kHostDriver,  ///< classic host round trip: fault_latency_us + FaultBatcher
+  kGpuDriven,   ///< GPUVM-style per-SM queues + GPU-resident handler
+};
+
 /// Multi-GPU fabric parameters (tentpole of src/fabric; gpus == 1 keeps the
 /// single-GPU system byte-identical — no fabric object is even built).
 struct FabricConfig {
@@ -104,6 +111,25 @@ struct SystemConfig {
   /// critical path (Mosaic's lazy coalescing).
   double coalesce_delay_us = 5.0;
 
+  // --- Fault-service backend (src/faultsvc, docs/faultsvc.md) ---------------
+  /// Which backend services far faults. The host driver is the paper's
+  /// model (and the default: every artefact stays byte-identical); the
+  /// GPU-driven backend models GPUVM (arXiv 2411.05309), where per-SM
+  /// memory-resident fault queues feed a GPU-resident handler and the host
+  /// round trip disappears from the service path.
+  FaultBackendKind fault_backend = FaultBackendKind::kHostDriver;
+  /// GPU-driven backend: per-SM bounded fault queue depth. An enqueue that
+  /// finds its SM's queue full counts a queue-full stall and overflows to a
+  /// spill list drained as queue slots free up (the SM keeps replaying).
+  u32 gpu_fault_queue_depth = 32;
+  /// GPU-driven backend: per-fault handler service cost (queue pop, page-
+  /// table manipulation by the GPU-resident handler). An order of magnitude
+  /// below fault_latency_us — GPUVM's core claim.
+  double gpu_fault_service_us = 2.0;
+  /// GPU-driven backend: doorbell-coalesced pickup cost, charged once per
+  /// handler wakeup regardless of how many queued faults it drains.
+  double gpu_doorbell_us = 0.5;
+
   [[nodiscard]] Cycle cycles_per_us() const {
     return static_cast<Cycle>(core_ghz * 1000.0);
   }
@@ -116,6 +142,12 @@ struct SystemConfig {
   }
   [[nodiscard]] Cycle coalesce_delay_cycles() const {
     return static_cast<Cycle>(coalesce_delay_us * core_ghz * 1000.0);
+  }
+  [[nodiscard]] Cycle gpu_fault_service_cycles() const {
+    return static_cast<Cycle>(gpu_fault_service_us * core_ghz * 1000.0);
+  }
+  [[nodiscard]] Cycle gpu_doorbell_cycles() const {
+    return static_cast<Cycle>(gpu_doorbell_us * core_ghz * 1000.0);
   }
   /// Cycles for one 4 KB page to cross PCIe: 4096 B / 16 GB/s = 256 ns (~359 cy).
   [[nodiscard]] Cycle pcie_page_cycles() const {
@@ -241,6 +273,14 @@ struct PolicyConfig {
   return "?";
 }
 
+[[nodiscard]] constexpr const char* to_string(FaultBackendKind k) noexcept {
+  switch (k) {
+    case FaultBackendKind::kHostDriver: return "host";
+    case FaultBackendKind::kGpuDriven: return "gpu-driven";
+  }
+  return "?";
+}
+
 [[nodiscard]] constexpr const char* to_string(PlacementKind k) noexcept {
   switch (k) {
     case PlacementKind::kFirstTouch: return "first-touch";
@@ -255,6 +295,14 @@ struct PolicyConfig {
   if (s == "pcie") return FabricKind::kPcie;
   if (s == "ring") return FabricKind::kRing;
   if (s == "switch" || s == "nvswitch") return FabricKind::kSwitch;
+  return std::nullopt;
+}
+
+[[nodiscard]] inline std::optional<FaultBackendKind> parse_fault_backend_kind(
+    std::string_view s) noexcept {
+  if (s == "host" || s == "host-driver") return FaultBackendKind::kHostDriver;
+  if (s == "gpu-driven" || s == "gpu" || s == "gpuvm")
+    return FaultBackendKind::kGpuDriven;
   return std::nullopt;
 }
 

@@ -92,6 +92,10 @@ RunResult UvmSystem::run(Cycle max_cycles) {
         r.adaptive_phase_history.emplace_back(h.at, h.phase);
   }
   r.large_pages = driver_->large_pages_enabled();
+  r.fault_backend = driver_->fault_backend().name();
+  r.gpu_fault_backend =
+      driver_->fault_backend_kind() == FaultBackendKind::kGpuDriven;
+  r.faultsvc = driver_->backend_stats();
   r.trace_events_recorded = recorder_.events_recorded();
   r.clamped_past = eq_.clamped_past();
   r.sim.events_executed = eq_.executed();

@@ -155,6 +155,14 @@ struct RunResult {
   /// large_frames_evicted, gpu.*_tlb_large_hits) are meaningful.
   bool large_pages = false;
 
+  /// Fault-service backend this run used (SystemConfig::fault_backend;
+  /// docs/faultsvc.md). The stats are all zero — and the JSON/report
+  /// writers omit the whole block — under the default host backend, so
+  /// pre-seam artefacts stay byte-identical.
+  std::string fault_backend = "host";
+  bool gpu_fault_backend = false;
+  FaultBackendStats faultsvc;
+
   u64 trace_events_recorded = 0;  ///< flight-recorder events this run emitted
 
   std::size_t final_chain_length = 0;

@@ -169,6 +169,18 @@ RunResult FabricSystem::run(Cycle max_cycles) {
           {l.name, l.link.units_moved(), l.link.utilisation(r.cycles)});
   }
   r.large_pages = drivers_[0]->large_pages_enabled();
+  r.fault_backend = drivers_[0]->fault_backend().name();
+  r.gpu_fault_backend =
+      drivers_[0]->fault_backend_kind() == FaultBackendKind::kGpuDriven;
+  for (const auto& drv : drivers_) {
+    const FaultBackendStats& bs = drv->backend_stats();
+    r.faultsvc.faults_enqueued += bs.faults_enqueued;
+    r.faultsvc.queue_full_stalls += bs.queue_full_stalls;
+    r.faultsvc.handler_pickups += bs.handler_pickups;
+    r.faultsvc.handler_busy_cycles += bs.handler_busy_cycles;
+    r.faultsvc.max_queue_depth =
+        std::max(r.faultsvc.max_queue_depth, bs.max_queue_depth);
+  }
   r.clamped_past = eq_.clamped_past();
   r.sim.events_executed = eq_.executed();
   r.sim.event_heap_peak = eq_.peak_pending();

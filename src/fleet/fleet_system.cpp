@@ -302,6 +302,8 @@ RunResult FleetSystem::run(Cycle max_cycles) {
   r.completed =
       submitted_ == fleet_.jobs && completed_ + rejected_ == submitted_;
   r.large_pages = pol_cfg_.large_pages;
+  r.fault_backend = to_string(sys_cfg_.fault_backend);
+  r.gpu_fault_backend = sys_cfg_.fault_backend == FaultBackendKind::kGpuDriven;
   r.clamped_past = eq_.clamped_past();
 
   double h2d_util = 0.0;
@@ -324,6 +326,13 @@ RunResult FleetSystem::run(Cycle max_cycles) {
     h2d_util += d.driver->h2d().utilisation(r.cycles);
     r.final_chain_length += d.driver->chains().chain(0).size();
     r.trace_events_recorded += d.recorder.events_recorded();
+    const FaultBackendStats& bs = d.driver->backend_stats();
+    r.faultsvc.faults_enqueued += bs.faults_enqueued;
+    r.faultsvc.queue_full_stalls += bs.queue_full_stalls;
+    r.faultsvc.handler_pickups += bs.handler_pickups;
+    r.faultsvc.handler_busy_cycles += bs.handler_busy_cycles;
+    r.faultsvc.max_queue_depth =
+        std::max(r.faultsvc.max_queue_depth, bs.max_queue_depth);
     r.sim.chain_slab_capacity += d.driver->chains().total_slab_capacity();
     r.sim.page_table_capacity += d.driver->page_table().table_capacity();
     r.sim.page_table_load =

@@ -142,7 +142,7 @@ void Gpu::do_access(u32 sm, u32 warp, PageId page) {
       finish_access(sm, warp, p, eq_.now());
     };
     static_assert(WakeCallback::fits_inline<decltype(wake)>);
-    driver_.fault(p, std::move(wake));
+    driver_.fault(p, sm, std::move(wake));
   };
   static_assert(PageWalker::WalkDone::fits_inline<decltype(done)>);
   walker_.walk(page, std::move(done));

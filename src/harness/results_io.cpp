@@ -277,6 +277,17 @@ void write_json(std::ostream& os, const std::vector<LabelledResult>& results) {
          << "\"l1_tlb_large_hits\":" << x.gpu.l1_tlb_large_hits << ','
          << "\"l2_tlb_large_hits\":" << x.gpu.l2_tlb_large_hits;
     }
+    // Fault-service-backend extension (docs/faultsvc.md): keys only appear
+    // under --fault-backend gpu-driven, so default-run JSON stays
+    // byte-identical with the host backend.
+    if (x.gpu_fault_backend) {
+      os << ",\"fault_backend\":\"" << escape_json(x.fault_backend) << "\","
+         << "\"faults_enqueued\":" << x.faultsvc.faults_enqueued << ','
+         << "\"queue_full_stalls\":" << x.faultsvc.queue_full_stalls << ','
+         << "\"handler_pickups\":" << x.faultsvc.handler_pickups << ','
+         << "\"handler_busy_cycles\":" << x.faultsvc.handler_busy_cycles << ','
+         << "\"max_queue_depth\":" << x.faultsvc.max_queue_depth;
+    }
     // Simulator-overhead counters (docs/performance.md). Only emitted for
     // real runs (synthetic LabelledResults in tests execute no events), and
     // flat rather than nested so existing consumers' object counts hold.

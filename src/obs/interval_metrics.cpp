@@ -73,6 +73,12 @@ void IntervalMetricsSink::emit(const TraceEvent& e) {
       // Fleet job lifecycle (--fleet only); SLA accounting aggregates these
       // in FleetSystem, not the per-interval CSV.
       break;
+    case EventType::kFaultEnqueued:
+    case EventType::kFaultQueueFull:
+    case EventType::kGpuFaultServiced:
+      // GPU-driven backend bookkeeping (--fault-backend gpu-driven only);
+      // surfaced through FaultBackendStats, not the per-interval CSV.
+      break;
   }
   cur_dirty_ = true;
 }

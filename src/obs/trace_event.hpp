@@ -57,9 +57,15 @@ enum class EventType : u8 {
   kJobAdmitted,            ///< a: job id, b: device, c: queue wait cycles
   kJobRejected,            ///< a: job id, b: reason (JobRejectReason), c: queue depth
   kJobCompleted,           ///< a: job id, b: device, c: service cycles
+  // GPU-driven fault-service backend (emitted only when --fault-backend
+  // gpu-driven, so host-backend traces stay byte-identical across schema
+  // revisions; docs/faultsvc.md).
+  kFaultEnqueued,          ///< a: page, b: SM queue, c: queue depth after enqueue
+  kFaultQueueFull,         ///< a: page, b: SM queue, c: overflow backlog
+  kGpuFaultServiced,       ///< a: lead page, b: faults in pickup, c: handler busy cycles
 };
 
-inline constexpr u32 kNumEventTypes = 24;
+inline constexpr u32 kNumEventTypes = 27;
 
 /// Reasons carried in kPatternDeleted's `b` field.
 enum class PatternDeleteReason : u8 {
@@ -119,6 +125,9 @@ enum class TenantKeyKind : u8 { kNone, kPage, kChunk };
     case EventType::kBatchServiced:
     case EventType::kRemoteAccess:
     case EventType::kPeerMigration:
+    case EventType::kFaultEnqueued:
+    case EventType::kFaultQueueFull:
+    case EventType::kGpuFaultServiced:
       return TenantKeyKind::kPage;
     case EventType::kPageSpilled:
     case EventType::kEvictionChosen:
@@ -172,6 +181,9 @@ enum class TenantKeyKind : u8 { kNone, kPage, kChunk };
     case EventType::kJobAdmitted: return "job_admitted";
     case EventType::kJobRejected: return "job_rejected";
     case EventType::kJobCompleted: return "job_completed";
+    case EventType::kFaultEnqueued: return "fault_enqueued";
+    case EventType::kFaultQueueFull: return "fault_queue_full";
+    case EventType::kGpuFaultServiced: return "gpu_fault_serviced";
   }
   return "?";
 }
@@ -208,6 +220,9 @@ struct EventFieldNames {
     case EventType::kJobAdmitted: return {"job", "device", "wait"};
     case EventType::kJobRejected: return {"job", "reason", "queued"};
     case EventType::kJobCompleted: return {"job", "device", "cycles"};
+    case EventType::kFaultEnqueued: return {"page", "queue", "depth"};
+    case EventType::kFaultQueueFull: return {"page", "queue", "backlog"};
+    case EventType::kGpuFaultServiced: return {"page", "faults", "busy"};
   }
   return {{}, {}, {}};
 }

@@ -128,6 +128,10 @@ RunResult MultiTenantSystem::run(Cycle max_cycles) {
   for (u64 d = 0; d < driver_->chains().domains(); ++d)
     r.final_chain_length += driver_->chains().chain(d).size();
   r.large_pages = driver_->large_pages_enabled();
+  r.fault_backend = driver_->fault_backend().name();
+  r.gpu_fault_backend =
+      driver_->fault_backend_kind() == FaultBackendKind::kGpuDriven;
+  r.faultsvc = driver_->backend_stats();
   r.trace_events_recorded = recorder_.events_recorded();
   r.clamped_past = eq_.clamped_past();
   r.sim.events_executed = eq_.executed();

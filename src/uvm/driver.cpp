@@ -13,11 +13,12 @@ UvmDriver::UvmDriver(EventQueue& eq, const SystemConfig& sys,
       footprint_pages_(footprint_pages),
       chains_(pol.interval_faults),
       frames_(capacity_pages, u64{pol.pre_evict_watermark_chunks} * kChunkPages),
-      batcher_(pol.fault_batch),
+      backend_(make_fault_backend(sys, pol)),
       evictor_(eq, chains_, pt_, frames_, sys.pcie_page_cycles(), stats_),
       scheduler_(eq, sys, pol, frames_, pt_, chains_, stats_) {
   scheduler_.set_completion_hook(
       [this](TenantId t, bool peer) { post_migration(t, peer); });
+  scheduler_.set_backend(backend_.get());
   // Mapped pages never exceed the frames backing them: size the page table
   // once so the fault path never rehashes mid-run.
   pt_.reserve(capacity_pages);
@@ -48,6 +49,7 @@ void UvmDriver::set_prefetcher(std::unique_ptr<Prefetcher> prefetcher) {
 }
 void UvmDriver::set_recorder(FlightRecorder* rec) {
   rec_ = rec;
+  backend_->set_recorder(rec_);
   evictor_.set_recorder(rec_);
   scheduler_.set_recorder(rec_);
   chains_.set_recorder(rec_);
@@ -133,7 +135,7 @@ void UvmDriver::note_touch(PageId p) {
   policy->on_page_touched(*e, idx);
 }
 
-void UvmDriver::fault(PageId p, WakeCallback wake) {
+void UvmDriver::fault(PageId p, u32 sm, WakeCallback wake) {
   assert(p < footprint_pages_);
   if (pt_.resident(p)) {  // raced with a completing migration
     note_touch(p);
@@ -150,7 +152,7 @@ void UvmDriver::fault(PageId p, WakeCallback wake) {
     scheduler_.add_waiter(p, std::move(wake));
     return;
   }
-  if (batcher_.coalesce(p, std::move(wake))) {
+  if (backend_->coalesce(p, std::move(wake))) {
     ++stats_.faults_coalesced;  // fault already raised, not yet serviced
     if (t != kNoTenant) ++table_->stats(t).faults_coalesced;
     record_event(rec_, EventType::kFaultCoalesced, p, 0);
@@ -185,8 +187,8 @@ void UvmDriver::fault(PageId p, WakeCallback wake) {
         // Another device is fetching the page right now; re-route once its
         // migration has had time to land.
         eq_.schedule_in(sys_.fault_latency_cycles() / 4 + 1,
-                        [this, p, w = std::move(wake)]() mutable {
-                          fault(p, std::move(w));
+                        [this, p, sm, w = std::move(wake)]() mutable {
+                          fault(p, sm, std::move(w));
                         });
         return;
     }
@@ -197,7 +199,7 @@ void UvmDriver::fault(PageId p, WakeCallback wake) {
   // Wrong-eviction detection happens per fault event, in the domain that
   // evicted (and may re-admit) the page's chunk.
   chains_.policy_for(t)->on_fault(p);
-  batcher_.raise(p, std::move(wake), eq_.now());
+  backend_->raise(p, sm, std::move(wake), eq_.now());
   dispatch_pending();
 }
 
@@ -205,7 +207,7 @@ void UvmDriver::service_batch(std::vector<PageId> leads) {
   // Any of the batch's faults may have been absorbed into another plan (or
   // even completed) between formation/retry and now; if none are left,
   // release the slot and move on.
-  std::erase_if(leads, [&](PageId p) { return !batcher_.pending(p); });
+  std::erase_if(leads, [&](PageId p) { return !backend_->pending(p); });
   if (leads.empty()) {
     scheduler_.release_slot();
     dispatch_pending();
@@ -213,7 +215,7 @@ void UvmDriver::service_batch(std::vector<PageId> leads) {
   }
   if (pol_.fault_batch > 1)
     record_event(rec_, EventType::kFaultBatchFormed, leads.front(),
-                 leads.size(), batcher_.queued());
+                 leads.size(), backend_->queued());
   const TenantId t = tenant_of(leads.front());
   ChunkChain& chain = chains_.chain_for(t);
 
@@ -262,7 +264,7 @@ void UvmDriver::service_batch(std::vector<PageId> leads) {
     admission_cap = std::min(admission_cap, table_->quota_frames(t));
   if (m.pages.size() > admission_cap) m.pages.resize(admission_cap);
   while (leads.size() > m.pages.size()) {  // window wider than capacity
-    batcher_.requeue_front(leads.back());
+    backend_->requeue_front(leads.back());
     leads.pop_back();
   }
 
@@ -305,7 +307,7 @@ void UvmDriver::service_batch(std::vector<PageId> leads) {
       m.pages.pop_back();
       if (m.pages.size() < leads.size()) {
         assert(leads.back() == dropped);
-        batcher_.requeue_front(dropped);
+        backend_->requeue_front(dropped);
         leads.pop_back();
       }
     }
@@ -317,7 +319,7 @@ void UvmDriver::service_batch(std::vector<PageId> leads) {
   //    waiters ride this migration and their backlog entries will be
   //    skipped at batch formation.
   for (const PageId page : m.pages)
-    scheduler_.mark_in_flight(page, batcher_.extract(page));
+    scheduler_.mark_in_flight(page, backend_->extract(page));
 
   // 4. Hand over to the scheduler for timing and completion.
   m.lead = leads.front();
@@ -448,7 +450,7 @@ void UvmDriver::post_migration(TenantId tenant, bool peer) {
 
 void UvmDriver::dispatch_pending() {
   if (!scheduler_.has_free_slot()) return;
-  std::vector<PageId> leads = batcher_.take_batch(table_);
+  std::vector<PageId> leads = backend_->take_batch(table_);
   if (leads.empty()) return;
   scheduler_.acquire_slot();
   service_batch(std::move(leads));

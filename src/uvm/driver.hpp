@@ -2,7 +2,10 @@
 // memory (paper §II-A) — now a thin facade wiring the four layers of the
 // fault-service pipeline (docs/architecture.md):
 //
-//   FaultBatcher        intake, coalescing, batch formation (--fault-batch)
+//   FaultServiceBackend intake, batch formation and service timing — the
+//                       pluggable seam (src/faultsvc): the classic host
+//                       driver (FaultBatcher + fault_latency_us) or the
+//                       GPUVM-style GPU-driven handler (--fault-backend)
 //   FramePool           frame accounting, oversubscription cap, live pressure
 //   EvictionEngine      room-making: demand eviction + pre-eviction
 //   MigrationScheduler  plan timing, PCIe scheduling, completion + wake
@@ -40,6 +43,7 @@
 #include <vector>
 
 #include "common/config.hpp"
+#include "faultsvc/fault_backend.hpp"
 #include "mem/bandwidth_link.hpp"
 #include "obs/flight_recorder.hpp"
 #include "policy/eviction_policy.hpp"
@@ -51,7 +55,6 @@
 #include "uvm/driver_types.hpp"
 #include "uvm/eviction_engine.hpp"
 #include "uvm/fabric_port.hpp"
-#include "uvm/fault_batcher.hpp"
 #include "uvm/frame_pool.hpp"
 #include "uvm/large_frames.hpp"
 #include "uvm/migration_scheduler.hpp"
@@ -165,8 +168,24 @@ class UvmDriver final : public ResidencyView {
   /// Record a demand touch on a resident page (called on L1 TLB misses).
   void note_touch(PageId p);
 
-  /// Raise a replayable far fault for `p`; `wake` fires once `p` is mapped.
-  void fault(PageId p, WakeCallback wake);
+  /// Raise a replayable far fault for `p` from SM `sm`; `wake` fires once
+  /// `p` is mapped. The SM id selects the GPU-driven backend's per-SM fault
+  /// queue; the host backend ignores it.
+  void fault(PageId p, u32 sm, WakeCallback wake);
+  /// Source-less fault (fabric forwards, retries, direct driver calls):
+  /// lands in SM queue 0 under the GPU-driven backend.
+  void fault(PageId p, WakeCallback wake) { fault(p, 0, std::move(wake)); }
+
+  /// The fault-service backend in charge (--fault-backend; docs/faultsvc.md).
+  [[nodiscard]] const FaultServiceBackend& fault_backend() const noexcept {
+    return *backend_;
+  }
+  [[nodiscard]] FaultBackendKind fault_backend_kind() const noexcept {
+    return backend_->kind();
+  }
+  [[nodiscard]] const FaultBackendStats& backend_stats() const noexcept {
+    return backend_->backend_stats();
+  }
 
   // --- ResidencyView (prefetcher oracle: resident OR already in flight) ------
   /// On a fabric, pages a peer holds (or is fetching, or that placement
@@ -233,7 +252,10 @@ class UvmDriver final : public ResidencyView {
   u32 device_ = kHostDevice;
 
   FramePool frames_;
-  FaultBatcher batcher_;
+  /// The pluggable fault-service seam (src/faultsvc): intake, batch
+  /// formation and service timing. Chosen once at construction from
+  /// SystemConfig::fault_backend.
+  std::unique_ptr<FaultServiceBackend> backend_;
   EvictionEngine evictor_;
   MigrationScheduler scheduler_;
   /// Coalescing/splintering subsystem — created only when

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "faultsvc/fault_backend.hpp"
 #include "uvm/large_frames.hpp"
 
 namespace uvmsim {
@@ -31,12 +32,17 @@ void MigrationScheduler::merge_plan(std::vector<PageId>& merged,
 }
 
 void MigrationScheduler::dispatch(MigrationBatch&& m, u64 demand_evictions) {
-  // The 20 us fault service happens first (driver round trips and page-table
-  // manipulation), lengthened by any eviction work that had to run
-  // synchronously on this batch's critical path (pre-eviction exists to keep
-  // demand_evictions at zero), then the pages occupy the H2D link.
-  const Cycle service_done = eq_.now() + fault_latency_cycles_ +
-                             demand_evictions * evict_service_cycles_;
+  // Service happens first — the backend's timing model (the classic 20 us
+  // host round trip, or the GPU-driven handler's occupancy), lengthened by
+  // any eviction work that had to run synchronously on this batch's
+  // critical path (pre-eviction exists to keep demand_evictions at zero) —
+  // then the pages occupy the H2D link.
+  const Cycle service_done =
+      backend_ != nullptr
+          ? backend_->reserve_service(eq_.now(), m.lead, m.faults,
+                                      demand_evictions)
+          : eq_.now() + fault_latency_cycles_ +
+                demand_evictions * evict_service_cycles_;
   // Peer batches cross the fabric instead of the host H2D link.
   const Cycle transfer_done =
       m.src_device != kHostDevice && fabric_ != nullptr

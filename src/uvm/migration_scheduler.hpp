@@ -31,6 +31,7 @@
 
 namespace uvmsim {
 
+class FaultServiceBackend;
 class LargeFrameManager;
 
 class MigrationScheduler {
@@ -53,6 +54,12 @@ class MigrationScheduler {
   /// Large-pages wiring: completions bind frames through the slot-binding
   /// allocator and queue a coalesce scan when a chunk goes fully-touched.
   void set_large_manager(LargeFrameManager* lfm) noexcept { lfm_ = lfm; }
+  /// Fault-service backend wiring (src/faultsvc): dispatch charges service
+  /// time through the backend's timing model. Without one (bare scheduler
+  /// unit tests) the classic host charge applies.
+  void set_backend(FaultServiceBackend* backend) noexcept {
+    backend_ = backend;
+  }
   /// Runs after each completed batch (driver facade: pre-evict, release the
   /// slot, admit the next batch) with the batch's tenant; `peer` marks peer
   /// fetches, which never held a driver slot.
@@ -110,6 +117,7 @@ class MigrationScheduler {
   FabricPort* fabric_ = nullptr;
   u32 device_ = kHostDevice;
   LargeFrameManager* lfm_ = nullptr;  ///< null when --large-pages is off
+  FaultServiceBackend* backend_ = nullptr;  ///< service-timing seam
   std::function<void(TenantId, bool)> hook_;
 };
 

@@ -1,0 +1,73 @@
+// UVMBench-style BFS-frontier workload (bench/abl_fault_backend).
+//
+// Level-synchronous graph traversal: each level visits a "frontier" region
+// of the vertex array with uniform random draws — the frontier expands from
+// a small seed region to nearly the whole graph around the middle levels,
+// then contracts again — and every level also gathers neighbour/edge data
+// scattered across the entire footprint. The result is the fault pattern
+// GPUVM's evaluation leans on: bursts of irregular far faults from many SMs
+// at once, no stride the pattern buffer can latch onto, and frontier-sized
+// working sets that blow through an oversubscribed memory each level.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "workloads/patterns.hpp"
+
+namespace uvmsim {
+
+class GraphFrontierWorkload final : public PatternWorkloadBase {
+ public:
+  /// `levels` BFS levels; the frontier holds `peak_fraction` of the footprint
+  /// at the middle level and `seed_fraction` at the first/last ones, ramping
+  /// linearly in between. `gather_fraction` scales each level's scattered
+  /// whole-footprint neighbour gather.
+  GraphFrontierWorkload(std::string name, std::string abbr, u64 pages,
+                        u32 levels = 8, double seed_fraction = 0.05,
+                        double peak_fraction = 0.85,
+                        double gather_fraction = 0.15)
+      : PatternWorkloadBase(std::move(name), std::move(abbr), pages,
+                            PatternType::kMostlyRepetitive),
+        levels_(std::max(2u, levels)),
+        seed_fraction_(seed_fraction),
+        peak_fraction_(peak_fraction),
+        gather_fraction_(gather_fraction) {}
+
+ protected:
+  [[nodiscard]] std::vector<Segment> segments(const WarpContext& ctx) const override {
+    const u64 n = footprint_pages();
+    std::vector<Segment> segs;
+    segs.reserve(2 * levels_);
+    const u32 mid = levels_ / 2;
+    for (u32 level = 0; level < levels_; ++level) {
+      // Triangle ramp: seed -> peak -> seed over the traversal.
+      const double t = level <= mid
+                           ? static_cast<double>(level) / static_cast<double>(mid)
+                           : static_cast<double>(levels_ - 1 - level) /
+                                 static_cast<double>(levels_ - 1 - mid);
+      const double frac = seed_fraction_ + t * (peak_fraction_ - seed_fraction_);
+      const u64 frontier = std::clamp<u64>(
+          static_cast<u64>(frac * static_cast<double>(n)), kChunkPages, n);
+      // The frontier region slides with the level so successive levels visit
+      // fresh vertices (the wavefront), wrapping at the footprint edge.
+      const u64 base = (static_cast<u64>(level) * (n / levels_)) % n;
+      const u64 region = std::min(frontier, n - base);
+      const u64 frontier_draws = std::max<u64>(
+          1, frontier / std::max<u64>(1, ctx.total_warps));
+      segs.push_back(Segment::random(base, region, frontier_draws, /*acc=*/1));
+      // Neighbour gather: edge/offset arrays live anywhere in the footprint.
+      const u64 gather_draws = std::max<u64>(
+          1, static_cast<u64>(gather_fraction_ * static_cast<double>(n)) /
+                 std::max<u64>(1, ctx.total_warps));
+      segs.push_back(Segment::random(0, n, gather_draws, /*acc=*/1));
+    }
+    return segs;
+  }
+
+ private:
+  u32 levels_;
+  double seed_fraction_, peak_fraction_, gather_fraction_;
+};
+
+}  // namespace uvmsim

@@ -128,6 +128,15 @@ TEST(TraceDeterminism, OversubscribedRunCoversAllEventTypes) {
           << "fleet event emitted by a fixed-N run: " << to_string(t);
       continue;
     }
+    // GPU-driven backend events only fire under --fault-backend gpu-driven;
+    // presence is covered by the gpu-driven run below. A host-backend run
+    // emitting one would break the byte-identity guarantee.
+    if (t == EventType::kFaultEnqueued || t == EventType::kFaultQueueFull ||
+        t == EventType::kGpuFaultServiced) {
+      EXPECT_FALSE(seen.contains(t))
+          << "backend event emitted by a host-backend run: " << to_string(t);
+      continue;
+    }
     EXPECT_TRUE(seen.contains(t))
         << "event type never emitted: " << to_string(t);
   }
@@ -160,6 +169,47 @@ TEST(TraceDeterminism, OversubscribedRunCoversAllEventTypes) {
   EXPECT_TRUE(seen_large.contains(EventType::kLargeFrameEvicted));
   const TracedRun rl2 = traced_run("SRD", 0.9, lp);
   EXPECT_EQ(rl.jsonl, rl2.jsonl);
+}
+
+// GPU-driven backend (--fault-backend gpu-driven): the gated enqueue and
+// handler-pickup events must fire, queue-full stalls must fire once the
+// per-SM queues are squeezed, and the run must stay byte-deterministic.
+TEST(TraceDeterminism, GpuDrivenBackendEventsAndDeterminism) {
+  auto gpu_run = [](u32 queue_depth) {
+    const auto wl = make_benchmark("NW");
+    SystemConfig sc;
+    sc.fault_backend = FaultBackendKind::kGpuDriven;
+    sc.gpu_fault_queue_depth = queue_depth;
+    UvmSystem sys(sc, presets::cppe(), *wl, 0.5);
+    std::ostringstream os;
+    JsonlSink jsonl(os);
+    RingSink ring(1u << 20);
+    sys.recorder().add_sink(&jsonl);
+    sys.recorder().add_sink(&ring);
+    TracedRun out;
+    out.result = sys.run();
+    EXPECT_TRUE(out.result.completed);
+    out.jsonl = os.str();
+    out.events = ring.events();
+    return out;
+  };
+  const TracedRun a = gpu_run(32);
+  std::set<EventType> seen;
+  for (const TraceEvent& e : a.events) seen.insert(e.type);
+  EXPECT_TRUE(seen.contains(EventType::kFaultEnqueued));
+  EXPECT_TRUE(seen.contains(EventType::kGpuFaultServiced));
+  const TracedRun b = gpu_run(32);
+  EXPECT_EQ(a.jsonl, b.jsonl);
+
+  // Depth 1: every SM queue overflows under a fault burst.
+  const TracedRun c = gpu_run(1);
+  std::set<EventType> seen_tight;
+  for (const TraceEvent& e : c.events) seen_tight.insert(e.type);
+  EXPECT_TRUE(seen_tight.contains(EventType::kFaultQueueFull));
+  EXPECT_GT(c.result.faultsvc.queue_full_stalls, 0u);
+  EXPECT_TRUE(c.result.completed) << "overflowed faults must still be serviced";
+  const TracedRun d = gpu_run(1);
+  EXPECT_EQ(c.jsonl, d.jsonl);
 }
 
 // Interval metrics are a pure fold of the event stream, so they inherit its

@@ -134,6 +134,17 @@ void print_text(const RunResult& r) {
                std::to_string(r.gpu.l1_tlb_large_hits) + "/" +
                    std::to_string(r.gpu.l2_tlb_large_hits)});
   }
+  if (r.gpu_fault_backend) {
+    t.add_row({"fault backend", r.fault_backend});
+    t.add_row({"faults enqueued (queue-full)",
+               std::to_string(r.faultsvc.faults_enqueued) + " (" +
+                   std::to_string(r.faultsvc.queue_full_stalls) + ")"});
+    t.add_row({"handler pickups / busy cycles",
+               std::to_string(r.faultsvc.handler_pickups) + " / " +
+                   std::to_string(r.faultsvc.handler_busy_cycles)});
+    t.add_row({"max fault-queue depth",
+               std::to_string(r.faultsvc.max_queue_depth)});
+  }
   if (r.trace_events_recorded > 0)
     t.add_row({"trace events recorded", std::to_string(r.trace_events_recorded)});
   if (r.clamped_past > 0)
@@ -311,16 +322,29 @@ void print_tenant_csv(const RunResult& r) {
 }
 
 void print_csv(const RunResult& r) {
+  // The extra fault-backend columns appear only under --fault-backend
+  // gpu-driven, so default CSV artefacts stay byte-identical.
   std::cout << "workload,eviction,prefetcher,oversub,cycles,completed,faults,"
                "migration_ops,pages_in,pages_demanded,pages_prefetched,"
-               "pages_evicted,mhpe_switched,pattern_matches,pattern_mismatches\n"
+               "pages_evicted,mhpe_switched,pattern_matches,pattern_mismatches";
+  if (r.gpu_fault_backend)
+    std::cout << ",fault_backend,faults_enqueued,queue_full_stalls,"
+                 "handler_pickups,handler_busy_cycles,max_queue_depth";
+  std::cout << "\n"
             << r.workload << ',' << r.eviction_name << ',' << r.prefetcher_name
             << ',' << r.oversub << ',' << r.cycles << ',' << r.completed << ','
             << r.driver.page_faults << ',' << r.driver.migration_ops << ','
             << r.driver.pages_migrated_in << ',' << r.driver.pages_demanded << ','
             << r.driver.pages_prefetched << ',' << r.driver.pages_evicted << ','
             << r.mhpe_switched_to_lru << ',' << r.pattern_matches << ','
-            << r.pattern_mismatches << "\n";
+            << r.pattern_mismatches;
+  if (r.gpu_fault_backend)
+    std::cout << ',' << r.fault_backend << ',' << r.faultsvc.faults_enqueued
+              << ',' << r.faultsvc.queue_full_stalls << ','
+              << r.faultsvc.handler_pickups << ','
+              << r.faultsvc.handler_busy_cycles << ','
+              << r.faultsvc.max_queue_depth;
+  std::cout << "\n";
 }
 
 }  // namespace
@@ -328,7 +352,9 @@ void print_csv(const RunResult& r) {
 int main(int argc, char** argv) {
   CliParser cli(
       "uvmsim — GPU unified-memory oversubscription simulator (CPPE, IPDPS'20)");
-  cli.add_option("workload", "Table II abbreviation (see --list)", "NW");
+  cli.add_option("workload",
+                 "Table II abbreviation (see --list), or an extension: "
+                 "BFR (BFS frontier), MLT (ML-training phases)", "NW");
   cli.add_option("trace", "replay a recorded trace file instead of a workload");
   cli.add_option("record-trace", "record the workload's streams to a file and exit");
   cli.add_option("oversub", "fraction of the footprint that fits in memory", "0.5");
@@ -344,6 +370,16 @@ int main(int argc, char** argv) {
   cli.add_option("interval", "interval length in migrated pages", "64");
   cli.add_option("fault-batch",
                  "pending faults drained per driver wakeup (1 = classic)", "1");
+  cli.add_option("fault-backend",
+                 "fault-service backend: host | gpu-driven (docs/faultsvc.md)",
+                 "host");
+  cli.add_option("fault-latency-us",
+                 "host-driver far-fault handling latency in microseconds", "20");
+  cli.add_option("evict-service-us",
+                 "driver service time per demand eviction in microseconds",
+                 "2.5");
+  cli.add_option("gpu-fault-queue-depth",
+                 "gpu-driven backend: per-SM fault queue depth", "32");
   cli.add_option("tenants",
                  "comma-separated workloads co-scheduled on one GPU, e.g. NW,BFS");
   cli.add_option("tenant-mode", "shared | partitioned | quota", "shared");
@@ -453,6 +489,31 @@ int main(int argc, char** argv) {
   SystemConfig sys;
   sys.num_sms = static_cast<u32>(cli.get_int("sms"));
   sys.warps_per_sm = static_cast<u32>(cli.get_int("warps"));
+  const auto backend = parse_fault_backend_kind(cli.get("fault-backend"));
+  if (!backend) {
+    std::cerr << "unknown --fault-backend: " << cli.get("fault-backend")
+              << " (host | gpu-driven)\n";
+    return 2;
+  }
+  sys.fault_backend = *backend;
+  const double fault_latency_us = cli.get_double("fault-latency-us");
+  if (fault_latency_us <= 0) {
+    std::cerr << "--fault-latency-us must be > 0\n";
+    return 2;
+  }
+  sys.fault_latency_us = fault_latency_us;
+  const double evict_service_us = cli.get_double("evict-service-us");
+  if (evict_service_us <= 0) {
+    std::cerr << "--evict-service-us must be > 0\n";
+    return 2;
+  }
+  sys.evict_service_us = evict_service_us;
+  const long long queue_depth = cli.get_int("gpu-fault-queue-depth");
+  if (queue_depth < 1) {
+    std::cerr << "--gpu-fault-queue-depth must be >= 1\n";
+    return 2;
+  }
+  sys.gpu_fault_queue_depth = static_cast<u32>(queue_depth);
 
   try {
     if (cli.get_flag("fleet")) {
