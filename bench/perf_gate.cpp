@@ -18,12 +18,22 @@
 // deterministic, so a mismatch there means the simulation itself changed
 // (the timing comparison is then reported but still enforced — a behaviour
 // change that slows the core is exactly what the gate exists to catch).
+//
+// A second scenario family times the sharded engine (docs/performance.md):
+// the 4-GPU NW@0.50 switch fabric under --engine seq and --engine sharded at
+// 1/2/4 worker threads, written to BENCH_PR10.json by the full run. The
+// matching gate is `--sharded-smoke`: seq and sharded@1 are re-measured and
+// compared against the committed numbers (same --tolerance), and sharded@1
+// must not be slower than seq measured in the same process — the one-thread
+// engine runs its windows inline, so any gap there is pure engine overhead,
+// not parallelism.
 #include <chrono>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_common.hpp"
@@ -82,12 +92,47 @@ Measurement measure(const Scenario& sc) {
   return m;
 }
 
-void write_json(std::ostream& os, const std::vector<Measurement>& ms) {
+/// One timed sharded-fabric scenario: the 4-GPU NW@0.50 switch preset,
+/// `reps` back-to-back runs (a single run is a few hundred ms; repetition
+/// keeps the committed numbers stable against scheduler noise).
+Measurement measure_sharded(const std::string& name, EngineKind kind,
+                            u32 threads, std::size_t reps = 3) {
+  Measurement m;
+  m.name = name;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < reps; ++i) {
+    ExperimentSpec spec;
+    spec.workload = "NW";
+    spec.label = name;
+    spec.policy = presets::cppe();
+    spec.oversub = 0.5;
+    spec.fabric.gpus = 4;
+    spec.fabric.topology = FabricKind::kSwitch;
+    spec.engine.kind = kind;
+    spec.engine.threads = threads;
+    const LabelledResult r = run_experiment(spec);
+    m.events += r.result.sim.events_executed;
+    ++m.runs;
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  m.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  return m;
+}
+
+std::vector<Measurement> measure_sharded_family() {
+  return {measure_sharded("fabric4-seq", EngineKind::kSequential, 0),
+          measure_sharded("fabric4-sharded@1", EngineKind::kSharded, 1),
+          measure_sharded("fabric4-sharded@2", EngineKind::kSharded, 2),
+          measure_sharded("fabric4-sharded@4", EngineKind::kSharded, 4)};
+}
+
+void write_json(std::ostream& os, const std::vector<Measurement>& ms,
+                const char* sweep) {
   double total = 0;
   for (const auto& m : ms) total += m.wall_ms;
   os << "{\n"
      << "  \"schema\": \"uvmsim-perf-gate-v1\",\n"
-     << "  \"sweep\": \"fig8\",\n"
+     << "  \"sweep\": \"" << sweep << "\",\n"
      << "  \"scenarios\": [\n";
   for (std::size_t i = 0; i < ms.size(); ++i)
     os << "    {\"name\": \"" << ms[i].name << "\", \"runs\": " << ms[i].runs
@@ -126,31 +171,48 @@ bool lookup_baseline(const std::string& path, const std::string& name,
 
 int main(int argc, char** argv) {
   bool smoke = false;
+  bool sharded_smoke = false;
   std::string out_path = "BENCH_PR5.json";
   std::string baseline_path = "BENCH_PR5.json";
+  std::string sharded_out_path = "BENCH_PR10.json";
+  std::string sharded_baseline_path = "BENCH_PR10.json";
   double tolerance_pct = 25.0;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a == "--smoke") smoke = true;
+    else if (a == "--sharded-smoke") sharded_smoke = true;
     else if (a == "--out" && i + 1 < argc) out_path = argv[++i];
     else if (a == "--baseline" && i + 1 < argc) baseline_path = argv[++i];
+    else if (a == "--sharded-out" && i + 1 < argc) sharded_out_path = argv[++i];
+    else if (a == "--sharded-baseline" && i + 1 < argc) sharded_baseline_path = argv[++i];
     else if (a == "--tolerance" && i + 1 < argc) tolerance_pct = std::stod(argv[++i]);
     else if (a == "--help" || a == "-h") {
       std::cout << "perf_gate — wall-clock regression gate\n\noptions:\n"
                    "  --smoke\n      run the CPPE@0.50 scenario only and fail "
                    "if wall time regresses\n      beyond --tolerance vs the "
                    "committed --baseline numbers\n"
+                   "  --sharded-smoke\n      re-measure the 4-GPU fabric under "
+                   "--engine seq and sharded@1 thread;\n      fail on a "
+                   "regression vs --sharded-baseline or if the one-thread\n"
+                   "      sharded engine is slower than seq\n"
                    "  --out <f.json>\n      full mode: write fresh baseline "
                    "numbers here (default BENCH_PR5.json)\n"
                    "  --baseline <f.json>\n      committed numbers --smoke "
                    "compares against (default BENCH_PR5.json)\n"
+                   "  --sharded-out <f.json>\n      full mode: write fresh "
+                   "sharded-engine numbers here (default BENCH_PR10.json)\n"
+                   "  --sharded-baseline <f.json>\n      committed numbers "
+                   "--sharded-smoke compares against (default "
+                   "BENCH_PR10.json)\n"
                    "  --tolerance <pct>\n      allowed wall-clock regression "
                    "in percent (default 25)\n"
                    "  --help\n      show this message\n";
       return 0;
     } else {
-      std::cerr << "usage: perf_gate [--smoke] [--out f.json] "
-                   "[--baseline f.json] [--tolerance pct] (try --help)\n";
+      std::cerr << "usage: perf_gate [--smoke] [--sharded-smoke] "
+                   "[--out f.json] [--baseline f.json] [--sharded-out f.json] "
+                   "[--sharded-baseline f.json] [--tolerance pct] "
+                   "(try --help)\n";
       return 2;
     }
   }
@@ -159,6 +221,55 @@ int main(int argc, char** argv) {
   std::cout << "perf_gate: WARNING — assertions enabled; numbers are not "
                "comparable to a Release-built BENCH_PR5.json\n";
 #endif
+
+  if (sharded_smoke) {
+    // Two cheap scenarios gate the sharded engine: a wall-clock regression
+    // check for each vs the committed BENCH_PR10.json, and an engine-overhead
+    // check — sharded@1 runs its barrier windows inline on the calling
+    // thread, so it must not lose to seq (measured in the same process, which
+    // cancels out host speed differences vs the committed file).
+    int rc = 0;
+    const Measurement seq =
+        measure_sharded("fabric4-seq", EngineKind::kSequential, 0);
+    const Measurement sh1 =
+        measure_sharded("fabric4-sharded@1", EngineKind::kSharded, 1);
+    for (const Measurement& m : {seq, sh1}) {
+      double base_ms = 0;
+      u64 base_events = 0;
+      if (!lookup_baseline(sharded_baseline_path, m.name, base_ms,
+                           base_events)) {
+        std::cerr << "perf_gate: cannot read scenario '" << m.name << "' from "
+                  << sharded_baseline_path << "\n";
+        return 2;
+      }
+      const double limit_ms = base_ms * (1.0 + tolerance_pct / 100.0);
+      std::cout << "perf_gate --sharded-smoke: " << m.name << " "
+                << fmt(m.wall_ms, 1) << " ms vs committed " << fmt(base_ms, 1)
+                << " ms (limit " << fmt(limit_ms, 1) << " ms, +"
+                << fmt(tolerance_pct, 0) << "%)\n";
+      if (m.events != base_events)
+        std::cout << "perf_gate: note — events " << m.events
+                  << " != committed " << base_events << " (simulated "
+                  << "behaviour changed; refresh " << sharded_baseline_path
+                  << " by running perf_gate without --smoke)\n";
+      if (m.wall_ms > limit_ms) {
+        std::cout << "perf_gate: FAIL — " << m.name
+                  << " regression beyond tolerance\n";
+        rc = 1;
+      }
+    }
+    const double sh1_limit = seq.wall_ms * (1.0 + tolerance_pct / 100.0);
+    std::cout << "perf_gate --sharded-smoke: sharded@1 " << fmt(sh1.wall_ms, 1)
+              << " ms vs seq " << fmt(seq.wall_ms, 1) << " ms (limit "
+              << fmt(sh1_limit, 1) << " ms)\n";
+    if (sh1.wall_ms > sh1_limit) {
+      std::cout << "perf_gate: FAIL — one-thread sharded engine slower than "
+                   "seq beyond tolerance\n";
+      rc = 1;
+    }
+    if (rc == 0) std::cout << "perf_gate: OK\n";
+    return rc;
+  }
 
   if (smoke) {
     // One scenario keeps the gate cheap enough for every check.sh run while
@@ -207,7 +318,28 @@ int main(int argc, char** argv) {
     std::cerr << "perf_gate: cannot open " << out_path << "\n";
     return 2;
   }
-  write_json(os, ms);
+  write_json(os, ms, "fig8");
   std::cout << "wrote " << out_path << "\n";
+
+  // Sharded-engine family: the same fabric run under both engines and three
+  // thread counts. On a single-core host the 2/4-thread rows time-slice one
+  // CPU and so measure barrier overhead, not scaling.
+  std::cout << "\n--- sharded engine (4-GPU NW@0.50 switch fabric, "
+            << std::thread::hardware_concurrency() << " hw threads) ---\n";
+  const std::vector<Measurement> sm = measure_sharded_family();
+  TextTable st({"scenario", "runs", "wall ms", "events", "vs seq"});
+  for (const Measurement& m : sm)
+    st.add_row({m.name, std::to_string(m.runs), fmt(m.wall_ms, 1),
+                std::to_string(m.events),
+                fmt(sm.front().wall_ms / m.wall_ms, 2) + "x"});
+  std::cout << st.str();
+
+  std::ofstream sos(sharded_out_path);
+  if (!sos) {
+    std::cerr << "perf_gate: cannot open " << sharded_out_path << "\n";
+    return 2;
+  }
+  write_json(sos, sm, "sharded-fabric@4gpu");
+  std::cout << "wrote " << sharded_out_path << "\n";
   return 0;
 }

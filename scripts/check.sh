@@ -41,6 +41,42 @@ cmp "$TRACE_DIR/f_a.jsonl" "$TRACE_DIR/f_b.jsonl"
 echo "fabric trace OK: $(wc -l < "$TRACE_DIR/f_a.jsonl") events, byte-identical rerun"
 
 echo
+echo "== sharded engine determinism (reruns and thread counts byte-identical) =="
+"$BUILD"/tools/uvmsim --workload NW --oversub 0.5 --gpus 4 --fabric ring \
+  --engine sharded --engine-threads 1 --trace-out "$TRACE_DIR/sh_t1.jsonl" \
+  > "$TRACE_DIR/sh_t1.txt"
+"$BUILD"/tools/uvmsim --workload NW --oversub 0.5 --gpus 4 --fabric ring \
+  --engine sharded --engine-threads 4 --trace-out "$TRACE_DIR/sh_t4.jsonl" \
+  > "$TRACE_DIR/sh_t4.txt"
+"$BUILD"/tools/uvmsim --workload NW --oversub 0.5 --gpus 4 --fabric ring \
+  --engine sharded --engine-threads 4 --trace-out "$TRACE_DIR/sh_t4b.jsonl" \
+  > "$TRACE_DIR/sh_t4b.txt"
+cmp "$TRACE_DIR/sh_t1.jsonl" "$TRACE_DIR/sh_t4.jsonl"
+cmp "$TRACE_DIR/sh_t4.jsonl" "$TRACE_DIR/sh_t4b.jsonl"
+cmp "$TRACE_DIR/sh_t1.txt" "$TRACE_DIR/sh_t4.txt"
+echo "sharded fabric OK: $(wc -l < "$TRACE_DIR/sh_t1.jsonl") events, byte-identical across 1/4 threads and rerun"
+
+"$BUILD"/tools/uvmsim --fleet --jobs 100 --gpus 4 --arrival-rate 50 --oversub 0.4 \
+  --engine sharded --engine-threads 1 --trace-out "$TRACE_DIR/shf_t1.jsonl" >/dev/null
+"$BUILD"/tools/uvmsim --fleet --jobs 100 --gpus 4 --arrival-rate 50 --oversub 0.4 \
+  --engine sharded --engine-threads 5 --trace-out "$TRACE_DIR/shf_t5.jsonl" >/dev/null
+cmp "$TRACE_DIR/shf_t1.jsonl" "$TRACE_DIR/shf_t5.jsonl"
+grep -q '"ev":"job_completed"' "$TRACE_DIR/shf_t1.jsonl"
+echo "sharded fleet OK: $(wc -l < "$TRACE_DIR/shf_t1.jsonl") events, byte-identical across 1/5 threads"
+
+echo
+echo "== sharded engine flag validation (bad combinations must exit 2) =="
+for bad in "--engine bogus" "--engine sharded --tenants NW,BFS" \
+           "--engine sharded --gpus 2 --spill" "--engine-threads -1"; do
+  # shellcheck disable=SC2086
+  if "$BUILD"/tools/uvmsim --workload NW $bad >/dev/null 2>&1; then
+    echo "FAIL: '$bad' was accepted"
+    exit 1
+  fi
+done
+echo "engine flag validation OK"
+
+echo
 echo "== fabric spill smoke (spill-to-peer must cut host write-back) =="
 "$BUILD"/bench/fabric_scaling --smoke
 
@@ -137,3 +173,7 @@ echo "== wall-clock perf gate (Release, vs committed BENCH_PR5.json) =="
 cmake -B build-perf -G Ninja -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build build-perf --target perf_gate >/dev/null
 build-perf/bench/perf_gate --smoke --baseline BENCH_PR5.json
+
+echo
+echo "== sharded-engine perf gate (Release, vs committed BENCH_PR10.json) =="
+build-perf/bench/perf_gate --sharded-smoke --sharded-baseline BENCH_PR10.json

@@ -31,6 +31,24 @@ enum class FaultBackendKind : u8 {
   kGpuDriven,   ///< GPUVM-style per-SM queues + GPU-resident handler
 };
 
+/// Which simulation engine advances the event queues of a multi-device run
+/// (src/sim/sharded_engine.hpp, docs/performance.md).
+enum class EngineKind : u8 {
+  kSequential,  ///< one EventQueue drives every device (the classic engine)
+  kSharded,     ///< per-device shards under conservative barrier windows
+};
+
+/// Simulation-engine selection (--engine / --engine-threads). Orthogonal to
+/// the simulated system: the sequential default leaves every artefact
+/// byte-identical; the sharded engine trades the single global event order
+/// for near-linear multi-core scaling on fabric and fleet runs.
+struct EngineConfig {
+  EngineKind kind = EngineKind::kSequential;
+  /// Worker threads for the sharded engine: 0 = hardware_concurrency,
+  /// always capped at the shard (device) count.
+  u32 threads = 0;
+};
+
 /// Multi-GPU fabric parameters (tentpole of src/fabric; gpus == 1 keeps the
 /// single-GPU system byte-identical — no fabric object is even built).
 struct FabricConfig {
@@ -288,6 +306,21 @@ struct PolicyConfig {
     case PlacementKind::kAffinity: return "affinity";
   }
   return "?";
+}
+
+[[nodiscard]] constexpr const char* to_string(EngineKind k) noexcept {
+  switch (k) {
+    case EngineKind::kSequential: return "seq";
+    case EngineKind::kSharded: return "sharded";
+  }
+  return "?";
+}
+
+[[nodiscard]] inline std::optional<EngineKind> parse_engine_kind(
+    std::string_view s) noexcept {
+  if (s == "seq" || s == "sequential") return EngineKind::kSequential;
+  if (s == "sharded" || s == "parallel") return EngineKind::kSharded;
+  return std::nullopt;
 }
 
 [[nodiscard]] inline std::optional<FabricKind> parse_fabric_kind(

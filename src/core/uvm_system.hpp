@@ -97,8 +97,23 @@ struct FleetRunResult {
 /// cost): allocation and sizing behaviour of the hot-path structures. Filled
 /// by every system's run(); surfaced in sweep JSON, `uvmsim --sim-stats`
 /// and bench/tab5_overhead. See docs/performance.md.
+/// Sharded-engine counters (sim/sharded_engine.hpp): filled only when a run
+/// used --engine sharded; all-defaults (and omitted from JSON/report) under
+/// the sequential engine, so existing artefacts stay byte-identical.
+struct EngineRunStats {
+  bool sharded = false;
+  u32 shards = 0;            ///< shard count (devices, +1 control for fleet)
+  u32 threads = 0;           ///< resolved worker-thread count
+  u64 lookahead_cycles = 0;  ///< conservative window width
+  u64 windows = 0;           ///< barrier windows executed
+  u64 messages = 0;          ///< cross-shard messages delivered
+  u64 stall_windows = 0;     ///< windows with <= 1 shard doing work
+  u64 barrier_waits = 0;     ///< barrier crossings (2/window when threaded)
+  u64 max_skew = 0;          ///< max end-of-window clock spread
+};
+
 struct SimPerfCounters {
-  u64 events_executed = 0;     ///< events the kernel ran (all devices share one queue)
+  u64 events_executed = 0;     ///< events the kernel ran (summed across shards)
   u64 event_heap_peak = 0;     ///< high-water mark of pending events
   u64 event_heap_capacity = 0; ///< final heap allocation, in events
   /// Events whose callback capture exceeded the inline buffer and took the
@@ -189,6 +204,10 @@ struct RunResult {
 
   /// Simulator-overhead counters (cost of simulating, not simulated cost).
   SimPerfCounters sim;
+
+  /// Sharded-engine counters; all-defaults under --engine seq (the JSON and
+  /// report writers then omit the block entirely).
+  EngineRunStats engine_stats;
 
   [[nodiscard]] double speedup_vs(const RunResult& baseline) const {
     return cycles == 0 ? 0.0

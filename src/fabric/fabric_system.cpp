@@ -38,7 +38,8 @@ void accumulate(DriverStats& into, const DriverStats& s) {
 
 FabricSystem::FabricSystem(const SystemConfig& sys, const PolicyConfig& pol,
                            const Workload& workload, double oversub,
-                           const FabricConfig& fabric)
+                           const FabricConfig& fabric,
+                           const EngineConfig& engine)
     : sys_cfg_(sys),
       pol_cfg_(pol),
       fab_cfg_(fabric),
@@ -58,29 +59,51 @@ FabricSystem::FabricSystem(const SystemConfig& sys, const PolicyConfig& pol,
                         oversub * static_cast<double>(footprint) /
                         static_cast<double>(n)))));
 
-  if (n > 1)
-    coord_ = std::make_unique<FabricCoordinator>(eq_, sys_cfg_, fab_cfg_,
-                                                 footprint);
+  // Sharded needs >= 2 devices (one shard per device); otherwise a single
+  // shard makes the engine a verbatim sequential EventQueue.
+  const bool shard = engine.kind == EngineKind::kSharded && n > 1;
+  const Cycle hop_latency = std::max<Cycle>(
+      1, static_cast<Cycle>(fab_cfg_.nvlink_latency_us * sys_cfg_.core_ghz *
+                            1000.0));
+  engine_ = std::make_unique<ShardedEngine>(shard ? n : 1,
+                                            shard ? hop_latency : Cycle{1},
+                                            shard ? engine.threads : 1);
+  if (shard) {
+    fab_cfg_.spill = false;  // chunks may not change device (sharded_fabric.hpp)
+    sharded_ = std::make_unique<ShardedFabric>(*engine_, sys_cfg_, fab_cfg_,
+                                               footprint);
+  } else if (n > 1) {
+    coord_ = std::make_unique<FabricCoordinator>(engine_->queue(0), sys_cfg_,
+                                                 fab_cfg_, footprint);
+  }
 
   const u32 warps_per_device = sys_cfg_.num_sms * sys_cfg_.warps_per_sm;
   for (u32 d = 0; d < n; ++d) {
-    auto rec = std::make_unique<FlightRecorder>(eq_);
+    EventQueue& q = engine_->queue(shard ? d : 0);
+    auto rec = std::make_unique<FlightRecorder>(q);
     if (n > 1) rec->set_device(d);
 
-    auto driver = std::make_unique<UvmDriver>(eq_, sys_cfg_, pol_cfg_,
+    auto driver = std::make_unique<UvmDriver>(q, sys_cfg_, pol_cfg_,
                                               footprint, capacity);
     driver->set_recorder(rec.get());
     driver->set_policy(make_eviction_policy(pol_cfg_, driver->chain()));
     driver->set_prefetcher(make_prefetcher(pol_cfg_));
-    if (n > 1) driver->attach_fabric(coord_.get(), d, fab_cfg_.spill);
+    if (shard)
+      driver->attach_fabric(sharded_->port(d), d, /*spill=*/false);
+    else if (n > 1)
+      driver->attach_fabric(coord_.get(), d, fab_cfg_.spill);
 
     shards_.push_back(std::make_unique<ShardedWorkload>(
         workload_, d * warps_per_device, n * warps_per_device));
     // Per-device warp seeds derive from pol.seed + device id, so device 0
     // of a 1-GPU fabric matches UvmSystem's seeding exactly.
-    auto gpu = std::make_unique<Gpu>(eq_, sys_cfg_, *driver, *shards_.back(),
+    auto gpu = std::make_unique<Gpu>(q, sys_cfg_, *driver, *shards_.back(),
                                      pol_cfg_.seed + d);
-    if (n > 1) {
+    if (shard) {
+      sharded_->attach_device(d, driver.get());
+      sharded_->set_invalidator(
+          d, [g = gpu.get()](PageId p) { g->remote_shootdown(p); });
+    } else if (n > 1) {
       coord_->attach_device(d, driver.get());
       coord_->set_invalidator(
           d, [g = gpu.get()](PageId p) { g->remote_shootdown(p); });
@@ -94,7 +117,20 @@ FabricSystem::FabricSystem(const SystemConfig& sys, const PolicyConfig& pol,
 FabricSystem::~FabricSystem() = default;
 
 void FabricSystem::add_sink(TraceSink* sink) {
-  for (auto& rec : recorders_) rec->add_sink(sink);
+  user_sinks_.push_back(sink);
+  if (sharded_ == nullptr) {
+    for (auto& rec : recorders_) rec->add_sink(sink);
+    return;
+  }
+  // Sharded: recorders stage into per-shard buffers (created on the first
+  // sink, so sink-less runs record nothing — same as sequential); run()
+  // merges the buffers into every user sink deterministically.
+  if (shard_buffers_.empty()) {
+    for (auto& rec : recorders_) {
+      shard_buffers_.push_back(std::make_unique<BufferSink>());
+      rec->add_sink(shard_buffers_.back().get());
+    }
+  }
 }
 
 void FabricSystem::set_event_mask(u32 mask) {
@@ -103,7 +139,7 @@ void FabricSystem::set_event_mask(u32 mask) {
 
 RunResult FabricSystem::run(Cycle max_cycles) {
   for (auto& g : gpus_) g->launch();
-  eq_.run(max_cycles);
+  engine_->run(max_cycles);
 
   RunResult r;
   r.workload = workload_.abbr();
@@ -113,19 +149,22 @@ RunResult FabricSystem::run(Cycle max_cycles) {
   r.footprint_pages = workload_.footprint_pages();
   // Fabric-shaped result fields stay at their defaults for 1-GPU systems so
   // the result (and its JSON) is indistinguishable from a UvmSystem run.
-  if (coord_ != nullptr) {
+  if (num_gpus() > 1) {
     r.fabric = to_string(fab_cfg_.topology);
     r.gpus = num_gpus();
   }
 
   r.completed = true;
   Cycle last_finish = 0;
+  Cycle last_now = 0;
   for (u32 d = 0; d < num_gpus(); ++d) {
     const Gpu& g = *gpus_[d];
     const UvmDriver& drv = *drivers_[d];
+    const EventQueue& q = engine_->queue(sharded_ ? d : 0);
+    last_now = std::max(last_now, q.now());
     r.capacity_pages += drv.capacity_pages();
     r.completed = r.completed && g.finished();
-    const Cycle fin = g.finished() ? g.finish_cycle() : eq_.now();
+    const Cycle fin = g.finished() ? g.finish_cycle() : q.now();
     last_finish = std::max(last_finish, fin);
 
     DeviceRunResult dr;
@@ -136,7 +175,7 @@ RunResult FabricSystem::run(Cycle max_cycles) {
     dr.driver = drv.stats();
     dr.h2d_pages = drv.h2d().units_moved();
     dr.d2h_pages = drv.d2h().units_moved();
-    if (coord_ != nullptr) r.devices.push_back(dr);
+    if (num_gpus() > 1) r.devices.push_back(dr);
 
     accumulate(r.driver, drv.stats());
     r.h2d_pages += dr.h2d_pages;
@@ -160,13 +199,27 @@ RunResult FabricSystem::run(Cycle max_cycles) {
     r.final_chain_length += drv.chain().size();
     r.trace_events_recorded += recorders_[d]->events_recorded();
   }
-  r.cycles = r.completed ? last_finish : eq_.now();
+  r.cycles = r.completed ? last_finish : last_now;
   r.h2d_utilisation = drivers_[0]->h2d().utilisation(r.cycles);
 
   if (coord_ != nullptr) {
     for (const FabricTopology::Link& l : coord_->topology().links())
       r.links.push_back(
           {l.name, l.link.units_moved(), l.link.utilisation(r.cycles)});
+  } else if (sharded_ != nullptr) {
+    // Every device charges its private topology copy; the copies share link
+    // ordering, so per-link totals are the index-wise sums (utilisation =
+    // busy/now is additive across copies at the same `now`).
+    const auto& base = sharded_->topology(0).links();
+    for (std::size_t i = 0; i < base.size(); ++i) {
+      LinkRunResult lr{base[i].name, 0, 0.0};
+      for (u32 d = 0; d < num_gpus(); ++d) {
+        const FabricTopology::Link& l = sharded_->topology(d).links()[i];
+        lr.units_moved += l.link.units_moved();
+        lr.utilisation += l.link.utilisation(r.cycles);
+      }
+      r.links.push_back(lr);
+    }
   }
   r.large_pages = drivers_[0]->large_pages_enabled();
   r.fault_backend = drivers_[0]->fault_backend().name();
@@ -181,18 +234,39 @@ RunResult FabricSystem::run(Cycle max_cycles) {
     r.faultsvc.max_queue_depth =
         std::max(r.faultsvc.max_queue_depth, bs.max_queue_depth);
   }
-  r.clamped_past = eq_.clamped_past();
-  r.sim.events_executed = eq_.executed();
-  r.sim.event_heap_peak = eq_.peak_pending();
-  r.sim.event_heap_capacity = eq_.heap_capacity();
-  r.sim.oversize_events = eq_.oversize_events();
+  for (u32 s = 0; s < engine_->num_shards(); ++s) {
+    const EventQueue& q = engine_->queue(s);
+    r.clamped_past += q.clamped_past();
+    r.sim.events_executed += q.executed();
+    r.sim.event_heap_peak += q.peak_pending();
+    r.sim.event_heap_capacity += q.heap_capacity();
+    r.sim.oversize_events += q.oversize_events();
+  }
   for (const auto& drv : drivers_) {
     r.sim.chain_slab_capacity += drv->chains().total_slab_capacity();
     r.sim.page_table_capacity += drv->page_table().table_capacity();
     r.sim.page_table_load =
         std::max(r.sim.page_table_load, drv->page_table().load_factor());
   }
+  if (sharded_ != nullptr) {
+    r.engine_stats.sharded = true;
+    r.engine_stats.shards = engine_->num_shards();
+    r.engine_stats.threads = engine_->threads();
+    r.engine_stats.lookahead_cycles = engine_->lookahead();
+    const EngineStats& es = engine_->stats();
+    r.engine_stats.windows = es.windows;
+    r.engine_stats.messages = es.messages;
+    r.engine_stats.stall_windows = es.stall_windows;
+    r.engine_stats.barrier_waits = es.barrier_waits;
+    r.engine_stats.max_skew = es.max_skew;
+  }
   for (auto& rec : recorders_) rec->flush();
+  if (sharded_ != nullptr && !shard_buffers_.empty()) {
+    std::vector<const BufferSink*> streams;
+    for (const auto& b : shard_buffers_) streams.push_back(b.get());
+    merge_shard_traces(streams, user_sinks_);
+    for (auto& b : shard_buffers_) b->clear();
+  }
   return r;
 }
 

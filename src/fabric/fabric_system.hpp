@@ -1,19 +1,25 @@
 // FabricSystem: N GPUs on one NVLink fabric running one shared workload —
 // the multi-GPU sibling of UvmSystem (core/uvm_system.hpp).
 //
-// One EventQueue and one host drive N full Gpu instances, each with its OWN
-// UvmDriver (frame pool, chunk chains, prefetcher, PCIe link pair) — unlike
-// MultiTenantSystem, which shares one driver. The FabricCoordinator joins
-// the drivers: fault routing (remote access / peer fetch / placement
-// forwarding), eviction spill-to-peer and the link-graph timing all flow
-// through it (docs/fabric.md).
+// N full Gpu instances, each with its OWN UvmDriver (frame pool, chunk
+// chains, prefetcher, PCIe link pair), run over a ShardedEngine
+// (sim/sharded_engine.hpp). Under the default --engine seq the engine holds
+// ONE shard whose run() is a verbatim EventQueue::run — byte-identical to
+// the historical single-queue build — and the synchronous FabricCoordinator
+// joins the drivers (fault routing, spill-to-peer, link timing;
+// docs/fabric.md). Under --engine sharded each device owns a shard (its own
+// EventQueue) advanced in parallel, and the message-passing ShardedFabric
+// replaces the coordinator (forward-only home-pinned protocol;
+// docs/performance.md).
 //
 // Each device records through its own FlightRecorder stamped with its
-// device id; all recorders share the caller's sinks, so one JSONL stream
-// interleaves every device's events in simulation order.
+// device id. Sequential runs share the caller's sinks directly; sharded
+// runs stage per-shard buffers and merge them into the caller's sinks after
+// the run, in (cycle, shard) order — deterministic across thread counts.
 //
-// A 1-GPU FabricSystem builds no coordinator and is cycle-for-cycle
-// identical to UvmSystem (tests/fabric/fabric_system_test.cpp holds this).
+// A 1-GPU FabricSystem builds no fabric and is cycle-for-cycle identical to
+// UvmSystem (tests/fabric/fabric_system_test.cpp holds this); --engine
+// sharded needs >= 2 GPUs and falls back to the sequential single shard.
 #pragma once
 
 #include <limits>
@@ -23,10 +29,12 @@
 #include "common/config.hpp"
 #include "core/uvm_system.hpp"
 #include "fabric/fabric.hpp"
+#include "fabric/sharded_fabric.hpp"
 #include "fabric/sharded_workload.hpp"
 #include "gpu/gpu.hpp"
 #include "obs/flight_recorder.hpp"
-#include "sim/event_queue.hpp"
+#include "obs/shard_trace.hpp"
+#include "sim/sharded_engine.hpp"
 #include "uvm/driver.hpp"
 #include "workloads/workload.hpp"
 
@@ -40,7 +48,7 @@ class FabricSystem {
   /// matches the single-GPU run at N = 1.
   FabricSystem(const SystemConfig& sys, const PolicyConfig& pol,
                const Workload& workload, double oversub,
-               const FabricConfig& fabric);
+               const FabricConfig& fabric, const EngineConfig& engine = {});
   ~FabricSystem();
 
   FabricSystem(const FabricSystem&) = delete;
@@ -50,7 +58,8 @@ class FabricSystem {
   [[nodiscard]] RunResult run(
       Cycle max_cycles = std::numeric_limits<Cycle>::max());
 
-  /// Attach a trace sink / event mask to every device's recorder.
+  /// Attach a trace sink / event mask to every device's recorder. Sharded
+  /// runs deliver the merged, deterministic stream to the sink after run().
   void add_sink(TraceSink* sink);
   void set_event_mask(u32 mask);
 
@@ -59,9 +68,16 @@ class FabricSystem {
   }
   [[nodiscard]] UvmDriver& driver(u32 d) noexcept { return *drivers_[d]; }
   [[nodiscard]] Gpu& gpu(u32 d) noexcept { return *gpus_[d]; }
-  [[nodiscard]] EventQueue& queue() noexcept { return eq_; }
-  /// Null for 1-GPU systems (no fabric is built).
+  /// Shard 0's queue — THE queue under --engine seq.
+  [[nodiscard]] EventQueue& queue() noexcept { return engine_->queue(0); }
+  [[nodiscard]] ShardedEngine& engine() noexcept { return *engine_; }
+  [[nodiscard]] bool sharded() const noexcept { return sharded_ != nullptr; }
+  /// Null for 1-GPU and sharded systems (no coordinator is built).
   [[nodiscard]] FabricCoordinator* fabric() noexcept { return coord_.get(); }
+  /// Null outside --engine sharded.
+  [[nodiscard]] ShardedFabric* sharded_fabric() noexcept {
+    return sharded_.get();
+  }
 
  private:
   SystemConfig sys_cfg_;
@@ -70,12 +86,16 @@ class FabricSystem {
   const Workload& workload_;
   double oversub_;
 
-  EventQueue eq_;
+  std::unique_ptr<ShardedEngine> engine_;
   std::unique_ptr<FabricCoordinator> coord_;
+  std::unique_ptr<ShardedFabric> sharded_;
   std::vector<std::unique_ptr<FlightRecorder>> recorders_;
   std::vector<std::unique_ptr<UvmDriver>> drivers_;
   std::vector<std::unique_ptr<ShardedWorkload>> shards_;
   std::vector<std::unique_ptr<Gpu>> gpus_;
+  /// Sharded tracing: per-device staging buffers + the caller's real sinks.
+  std::vector<std::unique_ptr<BufferSink>> shard_buffers_;
+  std::vector<TraceSink*> user_sinks_;
 };
 
 }  // namespace uvmsim

@@ -66,7 +66,7 @@ void accumulate(DriverStats& into, const DriverStats& s) {
 }  // namespace
 
 FleetSystem::FleetSystem(const SystemConfig& sys, const PolicyConfig& pol,
-                         const FleetConfig& fleet)
+                         const FleetConfig& fleet, const EngineConfig& engine)
     : sys_cfg_(sys),
       job_cfg_(sys),
       pol_cfg_(pol),
@@ -87,6 +87,17 @@ FleetSystem::FleetSystem(const SystemConfig& sys, const PolicyConfig& pol,
                static_cast<u64>(std::ceil(
                    fleet_.oversub * static_cast<double>(fleet_.arena_pages)))));
 
+  // Sharded: shard 0 is the control plane, shard 1+d is device d; the
+  // admission/completion round trip crosses shards at the fault-service
+  // latency, which is therefore the conservative lookahead.
+  sharded_ = engine.kind == EngineKind::kSharded;
+  lookahead_ =
+      sharded_ ? std::max<Cycle>(1, sys_cfg_.fault_latency_cycles()) : 1;
+  engine_ = std::make_unique<ShardedEngine>(
+      sharded_ ? 1 + fleet_.devices : 1, lookahead_,
+      sharded_ ? engine.threads : 1);
+  job_recorder_ = std::make_unique<FlightRecorder>(engine_->queue(0));
+
   mix_ = make_fleet_job_mix();
 
   // Solo calibration: each template once, alone, on the same SM slice with
@@ -105,9 +116,10 @@ FleetSystem::FleetSystem(const SystemConfig& sys, const PolicyConfig& pol,
       fleet_, pol_cfg_.seed, static_cast<u32>(mix_.size()), std::move(trace));
 
   for (u32 d = 0; d < fleet_.devices; ++d) {
-    auto dev = std::make_unique<Device>(eq_);
+    EventQueue& q = dev_queue(d);
+    auto dev = std::make_unique<Device>(q);
     dev->table.enable_arena(fleet_.arena_pages);
-    dev->driver = std::make_unique<UvmDriver>(eq_, sys_cfg_, pol_cfg_,
+    dev->driver = std::make_unique<UvmDriver>(q, sys_cfg_, pol_cfg_,
                                               fleet_.arena_pages,
                                               capacity_frames_);
     dev->recorder.set_tenant_table(&dev->table);
@@ -119,6 +131,10 @@ FleetSystem::FleetSystem(const SystemConfig& sys, const PolicyConfig& pol,
         make_eviction_policy(pol_cfg_, dev->driver->chain()));
     dev->driver->set_prefetcher(make_prefetcher(pol_cfg_));
     devices_.push_back(std::move(dev));
+    if (sharded_) {
+      shadow_tables_.push_back(std::make_unique<TenantTable>());
+      shadow_tables_.back()->enable_arena(fleet_.arena_pages);
+    }
   }
 
   jobs_.reserve(fleet_.jobs);
@@ -128,12 +144,27 @@ FleetSystem::FleetSystem(const SystemConfig& sys, const PolicyConfig& pol,
 FleetSystem::~FleetSystem() = default;
 
 void FleetSystem::add_sink(TraceSink* sink) {
-  job_recorder_.add_sink(sink);
-  for (auto& d : devices_) d->recorder.add_sink(sink);
+  user_sinks_.push_back(sink);
+  if (!sharded_) {
+    job_recorder_->add_sink(sink);
+    for (auto& d : devices_) d->recorder.add_sink(sink);
+    return;
+  }
+  // Sharded: recorders stage into per-shard buffers (created on the first
+  // sink, so sink-less runs record nothing — same as sequential); run()
+  // merges the buffers into every user sink deterministically.
+  if (shard_buffers_.empty()) {
+    shard_buffers_.push_back(std::make_unique<BufferSink>());
+    job_recorder_->add_sink(shard_buffers_.back().get());
+    for (auto& d : devices_) {
+      shard_buffers_.push_back(std::make_unique<BufferSink>());
+      d->recorder.add_sink(shard_buffers_.back().get());
+    }
+  }
 }
 
 void FleetSystem::set_event_mask(u32 mask) {
-  job_recorder_.set_event_mask(mask);
+  job_recorder_->set_event_mask(mask);
   for (auto& d : devices_) d->recorder.set_event_mask(mask);
 }
 
@@ -147,13 +178,16 @@ u64 FleetSystem::promise_of(const Job& j) const {
   return std::min(j.footprint_pages, capacity_frames_);
 }
 
-DeviceLoad FleetSystem::load_of(const Device& d, const Job& j) const {
+DeviceLoad FleetSystem::load_of(u32 device, const Job& j) const {
+  const Device& d = *devices_[device];
   DeviceLoad l;
   l.capacity_frames = capacity_frames_;
   l.promised_frames = d.promised_frames;
   l.active_jobs = d.active_jobs;
   l.job_slots = job_slots_;
-  l.namespace_fits = d.table.can_fit(j.footprint_pages);
+  l.namespace_fits = sharded_
+                         ? shadow_tables_[device]->can_fit(j.footprint_pages)
+                         : d.table.can_fit(j.footprint_pages);
   l.same_pattern_jobs = d.pattern_active[static_cast<std::size_t>(j.pattern)];
   return l;
 }
@@ -168,14 +202,14 @@ void FleetSystem::schedule_next_arrival() {
   j.footprint_pages = mix_[a.tpl]->footprint_pages();
   j.pattern = mix_[a.tpl]->pattern();
   jobs_.push_back(j);
-  eq_.schedule_in(a.gap, [this, id] { on_arrival(id); });
+  queue().schedule_in(a.gap, [this, id] { on_arrival(id); });
 }
 
 void FleetSystem::on_arrival(u64 id) {
   Job& j = jobs_[id];
-  j.arrival = eq_.now();
-  job_recorder_.record(EventType::kJobArrived, id, j.footprint_pages,
-                       static_cast<u64>(j.pattern));
+  j.arrival = queue().now();
+  job_recorder_->record(EventType::kJobArrived, id, j.footprint_pages,
+                        static_cast<u64>(j.pattern));
   // Open loop: the next arrival's gap never depends on this job's fate.
   schedule_next_arrival();
 
@@ -200,7 +234,7 @@ bool FleetSystem::try_admit(u64 id) {
   const Job& j = jobs_[id];
   std::vector<DeviceLoad> eligible;
   for (u32 d = 0; d < devices_.size(); ++d) {
-    DeviceLoad l = load_of(*devices_[d], j);
+    DeviceLoad l = load_of(d, j);
     l.id = d;
     if (admission_.admissible(l, j.footprint_pages))
       eligible.push_back(std::move(l));
@@ -213,28 +247,65 @@ bool FleetSystem::try_admit(u64 id) {
 void FleetSystem::admit(u64 id, u32 device) {
   Job& j = jobs_[id];
   Device& d = *devices_[device];
-  const TenantId t = d.table.attach(mix_[j.tpl]->abbr(), j.footprint_pages);
+  const TenantId t = view(device).attach(mix_[j.tpl]->abbr(),
+                                         j.footprint_pages);
   assert(t != kNoTenant && "admissible() guaranteed a namespace region");
   j.tenant = t;
   j.device = device;
-  j.admit = eq_.now();
+  j.admit = queue().now();
   j.state = JobState::kRunning;
   d.promised_frames += promise_of(j);
   ++d.active_jobs;
   ++d.pattern_active[static_cast<std::size_t>(j.pattern)];
 
+  if (sharded_) {
+    // Control half only: the device shard replays the attach at the base
+    // the shadow table chose, one admission round trip later. The shadow
+    // attaches now and detaches at finish + lookahead, so its occupied set
+    // is a superset of the device's — the region is guaranteed free there.
+    const PageId base = view(device).info(t).base;
+    job_recorder_->record(EventType::kJobAdmitted, id, device,
+                          j.admit - j.arrival);
+    engine_->post(0, 1 + device, j.admit + lookahead_,
+                  [this, id, device, base] { launch_job(id, device, base); });
+    return;
+  }
+
   Running& r = running_[id];
+  r.device = device;
   r.workload =
       std::make_unique<OffsetWorkload>(*mix_[j.tpl], d.table.info(t).base);
-  r.gpu = std::make_unique<Gpu>(eq_, job_cfg_, *d.driver, *r.workload,
+  r.gpu = std::make_unique<Gpu>(queue(), job_cfg_, *d.driver, *r.workload,
                                 job_seed(id));
   // The hook fires inside the last warp's event — defer teardown one event
   // so the Gpu never destroys itself re-entrantly.
   r.gpu->set_on_finished([this, id] {
-    eq_.schedule_at(eq_.now(), [this, id] { complete(id); });
+    queue().schedule_at(queue().now(), [this, id] { complete(id); });
   });
-  job_recorder_.record(EventType::kJobAdmitted, id, device,
-                       j.admit - j.arrival);
+  job_recorder_->record(EventType::kJobAdmitted, id, device,
+                        j.admit - j.arrival);
+  r.gpu->launch();
+}
+
+void FleetSystem::launch_job(u64 id, u32 device, PageId base) {
+  // Device-shard context. Job fields were finalised by the control shard
+  // before it posted this message, so the reads below are race-free; the
+  // device-table tenant id lives in Running (slots can differ between the
+  // shadow and device tables).
+  const Job& j = jobs_[id];
+  Device& d = *devices_[device];
+  Running& r = running_[id];
+  r.device = device;
+  r.tenant = d.table.attach_at(mix_[j.tpl]->abbr(), j.footprint_pages, base);
+  assert(r.tenant != kNoTenant && "subset invariant: prescribed region free");
+  r.workload = std::make_unique<OffsetWorkload>(*mix_[j.tpl], base);
+  EventQueue& q = dev_queue(device);
+  r.gpu = std::make_unique<Gpu>(q, job_cfg_, *d.driver, *r.workload,
+                                job_seed(id));
+  r.gpu->set_on_finished([this, id, device] {
+    EventQueue& dq = dev_queue(device);
+    dq.schedule_at(dq.now(), [this, id] { device_complete(id); });
+  });
   r.gpu->launch();
 }
 
@@ -243,8 +314,8 @@ void FleetSystem::reject(u64 id, JobRejectReason reason) {
   j.state = JobState::kRejected;
   j.reject_reason = reason;
   ++rejected_;
-  job_recorder_.record(EventType::kJobRejected, id, static_cast<u64>(reason),
-                       queue_.size());
+  job_recorder_->record(EventType::kJobRejected, id, static_cast<u64>(reason),
+                        queue_.size());
 }
 
 void FleetSystem::complete(u64 id) {
@@ -266,8 +337,43 @@ void FleetSystem::complete(u64 id) {
   j.state = JobState::kCompleted;
   ++completed_;
   completion_order_.push_back(id);
-  job_recorder_.record(EventType::kJobCompleted, id, j.device,
-                       j.finish - j.admit);
+  job_recorder_->record(EventType::kJobCompleted, id, j.device,
+                        j.finish - j.admit);
+  drain_queue();
+}
+
+void FleetSystem::device_complete(u64 id) {
+  // Device-shard half: full local teardown (frames, arena region and slot
+  // return to this device), then tell the control shard the finish cycle.
+  Running& r = running_[id];
+  const u32 device = r.device;
+  Device& d = *devices_[device];
+  const Cycle finish = r.gpu->finish_cycle();
+  accumulate(d.gpu_total, r.gpu->stats());
+  r.gpu.reset();
+  d.driver->detach_tenant(r.tenant);
+  d.table.detach(r.tenant);
+  r.workload.reset();
+  r.tenant = kNoTenant;
+  engine_->post(1 + device, 0, dev_queue(device).now() + lookahead_,
+                [this, id, finish] { control_complete(id, finish); });
+}
+
+void FleetSystem::control_complete(u64 id, Cycle finish) {
+  // Control-shard half: the shadow region frees only now (finish +
+  // lookahead), preserving the subset invariant for later admissions.
+  Job& j = jobs_[id];
+  Device& d = *devices_[j.device];
+  j.finish = finish;
+  view(j.device).detach(j.tenant);
+  d.promised_frames -= promise_of(j);
+  --d.active_jobs;
+  --d.pattern_active[static_cast<std::size_t>(j.pattern)];
+  j.state = JobState::kCompleted;
+  ++completed_;
+  completion_order_.push_back(id);
+  job_recorder_->record(EventType::kJobCompleted, id, j.device,
+                        j.finish - j.admit);
   drain_queue();
 }
 
@@ -284,7 +390,7 @@ void FleetSystem::drain_queue() {
 
 RunResult FleetSystem::run(Cycle max_cycles) {
   schedule_next_arrival();
-  eq_.run(max_cycles);
+  engine_->run(max_cycles);
 
   RunResult r;
   r.workload = "fleet";
@@ -294,20 +400,22 @@ RunResult FleetSystem::run(Cycle max_cycles) {
   r.capacity_pages = capacity_frames_ * devices_.size();
   // The queue drains once the last job finishes, and a drained clock
   // fast-forwards to a finite max_cycles — so the fleet's makespan is the
-  // last job event, not eq_.now().
+  // last job event, not the engine clock.
+  Cycle now_max = 0;
+  for (u32 s = 0; s < engine_->num_shards(); ++s)
+    now_max = std::max(now_max, engine_->queue(s).now());
   Cycle makespan = 0;
   for (const Job& j : jobs_)
     makespan = std::max({makespan, j.finish, j.arrival});
-  r.cycles = std::min(eq_.now(), std::max<Cycle>(makespan, 1));
+  r.cycles = std::min(now_max, std::max<Cycle>(makespan, 1));
   r.completed =
       submitted_ == fleet_.jobs && completed_ + rejected_ == submitted_;
   r.large_pages = pol_cfg_.large_pages;
   r.fault_backend = to_string(sys_cfg_.fault_backend);
   r.gpu_fault_backend = sys_cfg_.fault_backend == FaultBackendKind::kGpuDriven;
-  r.clamped_past = eq_.clamped_past();
 
   double h2d_util = 0.0;
-  r.trace_events_recorded = job_recorder_.events_recorded();
+  r.trace_events_recorded = job_recorder_->events_recorded();
   for (u32 i = 0; i < devices_.size(); ++i) {
     Device& d = *devices_[i];
     DeviceRunResult dr;
@@ -340,11 +448,33 @@ RunResult FleetSystem::run(Cycle max_cycles) {
     d.recorder.flush();
   }
   r.h2d_utilisation = h2d_util / static_cast<double>(devices_.size());
-  r.sim.events_executed = eq_.executed();
-  r.sim.event_heap_peak = eq_.peak_pending();
-  r.sim.event_heap_capacity = eq_.heap_capacity();
-  r.sim.oversize_events = eq_.oversize_events();
-  job_recorder_.flush();
+  for (u32 s = 0; s < engine_->num_shards(); ++s) {
+    const EventQueue& q = engine_->queue(s);
+    r.clamped_past += q.clamped_past();
+    r.sim.events_executed += q.executed();
+    r.sim.event_heap_peak += q.peak_pending();
+    r.sim.event_heap_capacity += q.heap_capacity();
+    r.sim.oversize_events += q.oversize_events();
+  }
+  if (sharded_) {
+    r.engine_stats.sharded = true;
+    r.engine_stats.shards = engine_->num_shards();
+    r.engine_stats.threads = engine_->threads();
+    r.engine_stats.lookahead_cycles = engine_->lookahead();
+    const EngineStats& es = engine_->stats();
+    r.engine_stats.windows = es.windows;
+    r.engine_stats.messages = es.messages;
+    r.engine_stats.stall_windows = es.stall_windows;
+    r.engine_stats.barrier_waits = es.barrier_waits;
+    r.engine_stats.max_skew = es.max_skew;
+  }
+  job_recorder_->flush();
+  if (sharded_ && !shard_buffers_.empty()) {
+    std::vector<const BufferSink*> streams;
+    for (const auto& b : shard_buffers_) streams.push_back(b.get());
+    merge_shard_traces(streams, user_sinks_);
+    for (auto& b : shard_buffers_) b->clear();
+  }
 
   FleetRunResult& f = r.fleet;
   f.enabled = true;

@@ -62,7 +62,7 @@ LabelledResult run_multi_tenant(const ExperimentSpec& spec) {
 LabelledResult run_fabric(const ExperimentSpec& spec) {
   const auto workload = make_benchmark(spec.workload);
   FabricSystem system(spec.system, spec.policy, *workload, spec.oversub,
-                      spec.fabric);
+                      spec.fabric, spec.engine);
 
   std::ofstream trace_file;
   std::unique_ptr<JsonlSink> trace_sink;
@@ -81,7 +81,7 @@ LabelledResult run_fabric(const ExperimentSpec& spec) {
 // One JSONL stream carries the fleet-level job lifecycle events and every
 // device's fault traffic, interleaved in simulation order.
 LabelledResult run_fleet(const ExperimentSpec& spec) {
-  FleetSystem system(spec.system, spec.policy, spec.fleet);
+  FleetSystem system(spec.system, spec.policy, spec.fleet, spec.engine);
 
   std::ofstream trace_file;
   std::unique_ptr<JsonlSink> trace_sink;

@@ -38,6 +38,12 @@ struct ExperimentSpec {
   /// workload sharded over N devices). Mutually exclusive with `tenants`.
   FabricConfig fabric;
 
+  // --- Simulation engine (src/sim/sharded_engine.hpp) ----------------------
+  /// --engine sharded parallelises multi-GPU fabric and fleet runs (one
+  /// shard per device, conservative barrier windows); ignored — with the
+  /// sequential single shard — for single-GPU and multi-tenant runs.
+  EngineConfig engine;
+
   // --- Fleet serving (src/fleet) -------------------------------------------
   /// fleet.enabled switches the experiment to a FleetSystem run (open-loop
   /// job arrivals over fleet.devices independent memory systems; `workload`

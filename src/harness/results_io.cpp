@@ -300,6 +300,21 @@ void write_json(std::ostream& os, const std::vector<LabelledResult>& results) {
          << "\"sim_page_table_capacity\":" << x.sim.page_table_capacity << ','
          << "\"sim_page_table_load\":" << x.sim.page_table_load;
     }
+    // Sharded-engine counters (docs/performance.md): keys only appear under
+    // --engine sharded, so sequential-run JSON stays byte-identical.
+    if (x.engine_stats.sharded) {
+      os << ",\"engine\":{"
+         << "\"kind\":\"sharded\","
+         << "\"shards\":" << x.engine_stats.shards << ','
+         << "\"threads\":" << x.engine_stats.threads << ','
+         << "\"lookahead_cycles\":" << x.engine_stats.lookahead_cycles << ','
+         << "\"windows\":" << x.engine_stats.windows << ','
+         << "\"messages\":" << x.engine_stats.messages << ','
+         << "\"stall_windows\":" << x.engine_stats.stall_windows << ','
+         << "\"barrier_waits\":" << x.engine_stats.barrier_waits << ','
+         << "\"max_skew\":" << x.engine_stats.max_skew
+         << "}";
+    }
     // Event-queue health: only surfaced when something actually clamped, so
     // clean runs keep the historical key set.
     if (x.clamped_past != 0) os << ",\"clamped_past\":" << x.clamped_past;

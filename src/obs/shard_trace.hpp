@@ -1,0 +1,60 @@
+// Per-shard trace buffering for the sharded engine (docs/performance.md).
+//
+// Under --engine sharded, recorders on different shards emit concurrently,
+// so they cannot share the caller's sinks directly. Instead each shard's
+// recorder(s) write into a private BufferSink (append-only, touched only by
+// the worker executing that shard), and after the run the coordinator merges
+// every buffer into the real sinks in (cycle, shard, emission-index) order —
+// the same deterministic total order the engine uses for messages, so two
+// sharded runs produce byte-identical JSONL regardless of thread count.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "obs/trace_event.hpp"
+#include "obs/trace_sink.hpp"
+
+namespace uvmsim {
+
+/// Unbounded in-memory sink: the per-shard staging buffer. Events arrive in
+/// the shard's execution order, so `events()` is sorted by `t` already.
+class BufferSink final : public TraceSink {
+ public:
+  void emit(const TraceEvent& e) override { events_.push_back(e); }
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const noexcept {
+    return events_;
+  }
+  void clear() { events_.clear(); }
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+/// Merge per-shard buffered streams into `sinks` by (t, shard, index):
+/// streams[s] is shard s's buffer (each internally time-sorted). The merge
+/// is stable across worker counts because stream contents are — the engine
+/// guarantees per-shard execution order is thread-count-invariant.
+inline void merge_shard_traces(const std::vector<const BufferSink*>& streams,
+                               const std::vector<TraceSink*>& sinks) {
+  if (sinks.empty()) return;
+  std::vector<std::size_t> at(streams.size(), 0);
+  while (true) {
+    std::size_t best = streams.size();
+    for (std::size_t s = 0; s < streams.size(); ++s) {
+      if (streams[s] == nullptr) continue;
+      const auto& ev = streams[s]->events();
+      if (at[s] >= ev.size()) continue;
+      if (best == streams.size() ||
+          ev[at[s]].t < streams[best]->events()[at[best]].t)
+        best = s;  // ties keep the lower shard id (scan order)
+    }
+    if (best == streams.size()) break;
+    const TraceEvent& e = streams[best]->events()[at[best]++];
+    for (TraceSink* sink : sinks) sink->emit(e);
+  }
+  for (TraceSink* sink : sinks) sink->flush();
+}
+
+}  // namespace uvmsim

@@ -23,6 +23,10 @@
 
 namespace uvmsim {
 
+/// "No pending event" sentinel (also the EventQueue::run default cap: run
+/// to drain). A real simulation never reaches cycle 2^64-1.
+inline constexpr Cycle kNeverCycle = ~Cycle{0};
+
 class EventQueue {
  public:
   using Callback = InlineFunction<void(), kCallbackInlineBytes>;
@@ -51,6 +55,12 @@ class EventQueue {
   [[nodiscard]] Cycle now() const noexcept { return now_; }
   [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
   [[nodiscard]] std::size_t pending() const noexcept { return heap_.size(); }
+  /// Cycle of the earliest pending event; kNeverCycle when the queue is
+  /// empty. The sharded engine's window computation peeks every shard's
+  /// queue without popping (sim/sharded_engine.hpp).
+  [[nodiscard]] Cycle next_when() const noexcept {
+    return heap_.empty() ? kNeverCycle : heap_.front().when;
+  }
   /// Events whose requested time was in the past and got clamped to now().
   /// Non-zero means a component computed a stale timestamp.
   [[nodiscard]] u64 clamped_past() const noexcept { return clamped_past_; }

@@ -1,0 +1,75 @@
+// Shard: one partition of a sharded parallel simulation, plus the
+// timestamped message type that joins shards (sim/sharded_engine.hpp).
+//
+// A shard owns a private EventQueue (the PR-5 allocation-free kernel,
+// untouched) and an outbox of cross-shard messages staged during the
+// current window. Within a window exactly one worker thread executes a
+// given shard, so the queue, the outbox and everything reachable from the
+// shard's callbacks need no locks; the engine's barrier hands ownership
+// back to the coordinator between windows.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/event_queue.hpp"
+
+namespace uvmsim {
+
+/// A timestamped cross-shard interaction: `fn` runs on shard `dst`'s queue
+/// at cycle `deliver`. The conservative-lookahead contract requires
+/// `deliver >= send time + lookahead`, so a message posted during a window
+/// can never affect that same window.
+///
+/// Messages are drained in (deliver, src, seq) order — a strict total order
+/// (seq is unique per sender) that is a pure function of simulation state,
+/// so replays and different thread counts inject identically.
+///
+/// `fn` is std::function, not InlineFunction: messages are the cold path
+/// (hundreds per million events), and the copyable erased type lets the
+/// coordinator move them through staging vectors freely. Move-only payloads
+/// (WakeCallback) ride in a shared_ptr at the call site.
+struct ShardMessage {
+  Cycle deliver = 0;
+  u32 src = 0;
+  u32 dst = 0;
+  u64 seq = 0;  ///< per-sender send sequence
+  std::function<void()> fn;
+
+  [[nodiscard]] bool before(const ShardMessage& o) const noexcept {
+    if (deliver != o.deliver) return deliver < o.deliver;
+    if (src != o.src) return src < o.src;
+    return seq < o.seq;
+  }
+};
+
+/// One shard's state. The engine indexes shards by id; systems bind one
+/// device stack (or the fleet control plane) to each shard's queue.
+struct Shard {
+  explicit Shard(u32 shard_id) : id(shard_id) {}
+
+  Shard(const Shard&) = delete;
+  Shard& operator=(const Shard&) = delete;
+
+  u32 id = 0;
+  EventQueue queue;
+  /// Messages posted from this shard during the current window; appended
+  /// only by the worker executing the shard, drained by the coordinator in
+  /// shard-id order after the barrier.
+  std::vector<ShardMessage> outbox;
+  u64 send_seq = 0;
+  /// Events this shard executed in the current window (stall accounting).
+  u64 window_executed = 0;
+};
+
+/// Shard-level engine counters, surfaced via --sim-stats / RunResult.
+struct EngineStats {
+  u64 windows = 0;        ///< barrier windows executed
+  u64 messages = 0;       ///< cross-shard messages delivered
+  u64 stall_windows = 0;  ///< windows where <= 1 shard had executable work
+  u64 barrier_waits = 0;  ///< barrier crossings (2 per window when threaded)
+  u64 max_skew = 0;       ///< max end-of-window clock spread across shards
+};
+
+}  // namespace uvmsim

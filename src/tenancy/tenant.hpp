@@ -187,6 +187,49 @@ class TenantTable {
     return static_cast<TenantId>(slot);
   }
 
+  /// Attach a tenant at a PRESCRIBED base. The sharded fleet engine admits
+  /// on the control shard's shadow table (which picks the region first-fit)
+  /// and replays the attach on the device's table with the chosen base; the
+  /// control table attaches earlier and detaches later than the device one,
+  /// so the prescribed range is always inside a free region here (the subset
+  /// invariant, docs/performance.md). Returns kNoTenant if it is not — the
+  /// caller treats that as a protocol bug.
+  TenantId attach_at(std::string name, u64 footprint_pages, PageId base) {
+    assert(arena_ && footprint_pages > 0);
+    assert(base % kNamespaceAlignPages == 0);
+    const u64 need = align_up(footprint_pages);
+    std::size_t r = 0;
+    for (; r < free_regions_.size(); ++r) {
+      const auto& [rb, rp] = free_regions_[r];
+      if (base >= rb && base + need <= rb + rp) break;
+    }
+    assert(r < free_regions_.size() && "prescribed region must be free");
+    if (r == free_regions_.size()) return kNoTenant;
+    const auto [rb, rp] = free_regions_[r];
+    free_regions_.erase(free_regions_.begin() + static_cast<long>(r));
+    if (base + need < rb + rp)
+      free_regions_.insert(free_regions_.begin() + static_cast<long>(r),
+                           {base + need, (rb + rp) - (base + need)});
+    if (base > rb)
+      free_regions_.insert(free_regions_.begin() + static_cast<long>(r),
+                           {rb, base - rb});
+    std::size_t slot = tenants_.size();
+    for (std::size_t i = 0; i < tenants_.size(); ++i)
+      if (!active_[i]) { slot = i; break; }
+    if (slot == tenants_.size()) {
+      tenants_.emplace_back();
+      active_.push_back(false);
+    }
+    TenantInfo& t = tenants_[slot];
+    t = TenantInfo{};
+    t.name = std::move(name);
+    t.base = base;
+    t.footprint_pages = footprint_pages;
+    active_[slot] = true;
+    ++attached_;
+    return static_cast<TenantId>(slot);
+  }
+
   /// Detach a tenant whose frames have all been surrendered; its namespace
   /// region returns to the free list (coalescing with adjacent free space)
   /// and its slot id becomes reusable.

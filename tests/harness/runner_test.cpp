@@ -60,6 +60,44 @@ TEST(Runner, EmptySweepIsFine) {
   EXPECT_TRUE(run_sweep({}).empty());
 }
 
+// Sweeps of sharded-engine experiments must not fork threads-squared: the
+// sweep pool divides down by the engines' worker demand.
+TEST(Runner, SweepWorkerCapPreventsThreadOversubscription) {
+  // Sequential engines: no division, 0 resolves to hardware.
+  EXPECT_EQ(sweep_worker_cap(0, 8, 1), 8u);
+  EXPECT_EQ(sweep_worker_cap(6, 8, 1), 6u);
+  // Sharded engines: sweep x engine stays ~hardware.
+  EXPECT_EQ(sweep_worker_cap(0, 16, 4), 4u);
+  EXPECT_EQ(sweep_worker_cap(8, 16, 4), 4u);
+  EXPECT_EQ(sweep_worker_cap(2, 16, 4), 2u);  // explicit request below cap
+  // Engine demand >= hardware: still one sweep worker, never zero.
+  EXPECT_EQ(sweep_worker_cap(0, 4, 8), 1u);
+  EXPECT_EQ(sweep_worker_cap(0, 0, 1), 1u);
+}
+
+TEST(Runner, EngineThreadsOfResolvesShardsAndFallbacks) {
+  ExperimentSpec seq;
+  seq.workload = "STN";
+  EXPECT_EQ(engine_threads_of(seq), 1u);
+
+  ExperimentSpec fab = seq;
+  fab.engine.kind = EngineKind::kSharded;
+  fab.engine.threads = 8;
+  fab.fabric.gpus = 4;
+  EXPECT_EQ(engine_threads_of(fab), 4u);  // capped at shard count
+
+  ExperimentSpec fallback = fab;
+  fallback.fabric.gpus = 1;  // single GPU: engine falls back to sequential
+  EXPECT_EQ(engine_threads_of(fallback), 1u);
+
+  ExperimentSpec fleet = seq;
+  fleet.engine.kind = EngineKind::kSharded;
+  fleet.engine.threads = 16;
+  fleet.fleet.enabled = true;
+  fleet.fleet.devices = 4;
+  EXPECT_EQ(engine_threads_of(fleet), 5u);  // control shard + 4 devices
+}
+
 TEST(Runner, MoreThreadsThanWork) {
   std::vector<ExperimentSpec> specs;
   ExperimentSpec s;

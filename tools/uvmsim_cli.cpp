@@ -167,6 +167,25 @@ void print_sim_stats(const RunResult& r) {
              std::to_string(r.sim.page_table_capacity) + " (" +
                  fmt(r.sim.page_table_load, 3) + ")"});
   std::cout << "\nsimulator overhead:\n" << t.str();
+  // Sharded-engine counters only exist under --engine sharded; omitting the
+  // whole table otherwise keeps --engine seq output byte-identical.
+  if (r.engine_stats.sharded) {
+    TextTable e({"sharded-engine metric", "value"});
+    e.add_row({"shards x threads",
+               std::to_string(r.engine_stats.shards) + " x " +
+                   std::to_string(r.engine_stats.threads)});
+    e.add_row({"lookahead (cycles)",
+               std::to_string(r.engine_stats.lookahead_cycles)});
+    e.add_row({"barrier windows", std::to_string(r.engine_stats.windows)});
+    e.add_row({"cross-shard messages",
+               std::to_string(r.engine_stats.messages)});
+    e.add_row({"stall windows (<=1 shard active)",
+               std::to_string(r.engine_stats.stall_windows)});
+    e.add_row({"barrier waits", std::to_string(r.engine_stats.barrier_waits)});
+    e.add_row({"max end-of-window clock skew",
+               std::to_string(r.engine_stats.max_skew)});
+    std::cout << "\nsharded engine:\n" << e.str();
+  }
 }
 
 void print_fabric(const RunResult& r) {
@@ -408,6 +427,12 @@ int main(int argc, char** argv) {
                  "remote accesses before a page migrates to the accessor "
                  "(0 = always migrate)", "4");
   cli.add_flag("spill", "evict to the least-loaded peer instead of the host");
+  cli.add_option("engine",
+                 "simulation engine for multi-GPU fabric / fleet runs: "
+                 "seq | sharded (docs/performance.md)", "seq");
+  cli.add_option("engine-threads",
+                 "sharded engine worker threads (0 = hardware, capped at the "
+                 "shard count)", "0");
   cli.add_option("sms", "number of SMs", "28");
   cli.add_option("warps", "warps per SM", "8");
   cli.add_option("seed", "experiment seed", "24301");
@@ -515,6 +540,36 @@ int main(int argc, char** argv) {
   }
   sys.gpu_fault_queue_depth = static_cast<u32>(queue_depth);
 
+  EngineConfig eng;
+  const auto engine_kind = parse_engine_kind(cli.get("engine"));
+  if (!engine_kind) {
+    std::cerr << "unknown --engine: " << cli.get("engine")
+              << " (seq | sharded)\n";
+    return 2;
+  }
+  eng.kind = *engine_kind;
+  const long long engine_threads = cli.get_int("engine-threads");
+  if (engine_threads < 0) {
+    std::cerr << "--engine-threads must be >= 0\n";
+    return 2;
+  }
+  eng.threads = static_cast<u32>(engine_threads);
+  if (eng.kind == EngineKind::kSharded) {
+    // Sharding needs per-device state: one shared driver (tenants) cannot
+    // shard, and spill moves chunks between devices mid-run, which the
+    // forward-only sharded fabric protocol forbids.
+    if (cli.was_set("tenants")) {
+      std::cerr << "--engine sharded does not support --tenants "
+                   "(one shared driver cannot shard)\n";
+      return 2;
+    }
+    if (cli.get_flag("spill") && !cli.get_flag("fleet")) {
+      std::cerr << "--engine sharded does not support --spill "
+                   "(chunks may not change device)\n";
+      return 2;
+    }
+  }
+
   try {
     if (cli.get_flag("fleet")) {
       FleetConfig fl;
@@ -545,7 +600,7 @@ int main(int argc, char** argv) {
         }
       }
 
-      FleetSystem system(sys, pol, fl);
+      FleetSystem system(sys, pol, fl, eng);
       std::ofstream trace_file;
       std::unique_ptr<JsonlSink> trace_sink;
       system.set_event_mask(*event_mask);
@@ -655,7 +710,8 @@ int main(int argc, char** argv) {
       fab.spill = cli.get_flag("spill");
 
       const auto workload = make_benchmark(cli.get("workload"));
-      FabricSystem system(sys, pol, *workload, cli.get_double("oversub"), fab);
+      FabricSystem system(sys, pol, *workload, cli.get_double("oversub"), fab,
+                          eng);
 
       std::ofstream trace_file;
       std::unique_ptr<JsonlSink> trace_sink;
